@@ -1,0 +1,27 @@
+// Shared helpers for the reproduction bench binaries. Each binary prints the
+// paper-style table/series it regenerates, plus the paper's published values
+// where useful for side-by-side comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cloudsync.hpp"
+
+namespace cloudsync::bench {
+
+inline void print_section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline std::string human(double bytes) { return format_bytes(bytes); }
+
+/// Experiment config for (service, method) at the default MN vantage point.
+inline experiment_config make_config(const service_profile& s,
+                                     access_method m) {
+  experiment_config cfg{s};
+  cfg.method = m;
+  return cfg;
+}
+
+}  // namespace cloudsync::bench

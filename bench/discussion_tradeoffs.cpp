@@ -1,0 +1,125 @@
+// §7 discussion, made measurable:
+//  (1) logical storage interfaces — the same IDS workload through the
+//      whole-object GET+PUT+DELETE mid-layer vs the Cumulus-style chunk
+//      store: identical wire traffic, very different backend I/O;
+//  (2) traffic cost — the paper's §1 S3-pricing arithmetic, from the
+//      ISP-trace averages and from our own measured workloads.
+#include "bench_util.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+namespace {
+
+struct run_result {
+  std::uint64_t wire_traffic = 0;
+  backend_op_stats backend;
+  std::uint64_t retained_bytes = 0;
+};
+
+/// 4 MB file, then 40 one-byte edits, each synced separately.
+run_result modify_workload(service_profile profile, bool chunk_store) {
+  experiment_config cfg{std::move(profile)};
+  cfg.use_chunk_store = chunk_store;
+  experiment_env env(cfg);
+  station& st = env.primary();
+  st.fs.create("doc", make_compressed_file(env.random(), 4 * MiB),
+               env.clock().now());
+  env.settle();
+  env.the_cloud().store().reset_stats();
+  const auto snap = st.client->meter().snap();
+
+  for (int i = 0; i < 40; ++i) {
+    env.clock().advance_to(env.clock().now() + sim_time::from_sec(30));
+    modify_random_byte(st.fs, "doc", env.random(), env.clock().now());
+    env.settle();
+  }
+
+  run_result res;
+  res.wire_traffic = experiment_env::traffic_since(st, snap);
+  res.backend = env.the_cloud().store().stats();
+  res.retained_bytes = env.the_cloud().store().retained_bytes();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  print_section(
+      "Tradeoff 1: 40 one-byte edits of a 4 MB file — client traffic vs "
+      "cloud backend I/O under each sync/storage strategy");
+  {
+    service_profile full = box();  // full-file sync
+    full.commit_processing = sim_time{};
+    service_profile ids = dropbox();  // incremental sync
+    ids.commit_processing = sim_time{};
+
+    struct variant {
+      const char* label;
+      service_profile profile;
+      bool chunks;
+    };
+    const variant variants[] = {
+        {"full-file sync, whole objects", full, false},
+        {"IDS + GET/PUT/DELETE mid-layer", ids, false},
+        {"IDS + chunk-store substrate", ids, true},
+    };
+
+    text_table table;
+    table.header({"Strategy", "wire traffic", "backend ops", "bytes written",
+                  "bytes read", "retained"});
+    for (const variant& v : variants) {
+      const run_result res = modify_workload(v.profile, v.chunks);
+      table.row({v.label, human(static_cast<double>(res.wire_traffic)),
+                 strfmt("%llu", (unsigned long long)res.backend.total_ops()),
+                 human(static_cast<double>(res.backend.bytes_written)),
+                 human(static_cast<double>(res.backend.bytes_read)),
+                 human(static_cast<double>(res.retained_bytes))});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "Reading: IDS cuts wire traffic ~50x but, on a RESTful whole-object "
+        "backend, every edit re-reads and re-writes the 4 MB object; the "
+        "chunk store removes that amplification at the cost of manifest "
+        "complexity (the paper's 'implementation difficulty' axis).\n");
+  }
+
+  print_section(
+      "Tradeoff 2: the paper's S3 cost arithmetic (Jan-2014 pricing, "
+      "outbound $0.05/GB)");
+  {
+    const pricing p = pricing::s3_2014();
+    text_table table;
+    table.header({"Scenario", "USD/day"});
+    // §1: ISP-trace averages: 5.18 MB out + 2.8 MB in per sync, 1e9/day.
+    table.row({"paper: 1B syncs/day x 5.18 MB out (ISP trace)",
+               strfmt("$%.0f", project_daily_cost(1e9, 5.18e6, 2.8e6, p))});
+    // What full-file vs IDS does to that bill for the edit-heavy share.
+    const run_result full = modify_workload(
+        [] {
+          service_profile s = box();
+          s.commit_processing = sim_time{};
+          return s;
+        }(),
+        false);
+    const run_result ids = modify_workload(
+        [] {
+          service_profile s = dropbox();
+          s.commit_processing = sim_time{};
+          return s;
+        }(),
+        false);
+    // Price the measured per-user workload scaled to 10M users/day.
+    const double full_usd = project_daily_cost(
+        1e7, static_cast<double>(full.wire_traffic) * 0.4,
+        static_cast<double>(full.wire_traffic) * 0.6, p);
+    const double ids_usd = project_daily_cost(
+        1e7, static_cast<double>(ids.wire_traffic) * 0.4,
+        static_cast<double>(ids.wire_traffic) * 0.6, p);
+    table.row({"10M users/day doing the 40-edit workload, full-file sync",
+               strfmt("$%.0f", full_usd)});
+    table.row({"same, with IDS", strfmt("$%.0f", ids_usd)});
+    std::printf("%s\n", table.str().c_str());
+  }
+  return 0;
+}

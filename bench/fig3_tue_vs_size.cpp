@@ -1,0 +1,35 @@
+// Reproduces Figure 3: TUE vs size of the created file (PC clients).
+// Paper conclusion: a "moderate" file is >= 100 KB (TUE <= 1.5), ideally
+// >= 1 MB (TUE < 1.2).
+#include "bench_util.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+int main() {
+  print_section("Figure 3: TUE vs size of the created file (PC client)");
+
+  const std::uint64_t sizes[] = {1 * KiB,   4 * KiB,   16 * KiB, 64 * KiB,
+                                 100 * KiB, 256 * KiB, 1 * MiB,  4 * MiB,
+                                 16 * MiB,  64 * MiB};
+
+  text_table table;
+  std::vector<std::string> header{"Size"};
+  for (const service_profile& s : all_services()) header.push_back(s.name);
+  table.header(std::move(header));
+
+  for (const std::uint64_t z : sizes) {
+    std::vector<std::string> row{human(static_cast<double>(z))};
+    for (const service_profile& s : all_services()) {
+      const std::uint64_t traffic = measure_creation_traffic(
+          make_config(s, access_method::pc_client), z);
+      row.push_back(strfmt("%.2f", tue(traffic, z)));
+    }
+    table.row(std::move(row));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Check: TUE <= ~1.5 at 100 KB and < ~1.2 at >= 1 MB for every "
+      "service (paper's 'moderate size' guidance).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Figure 5: cross-user deduplication ratio vs block size
+// (128 KB ... 16 MB, plus full-file), trace-driven.
+// Paper: block-level dedup shows only *trivial superiority* over full-file.
+#include "bench_util.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+int main() {
+  print_section(
+      "Figure 5: dedup ratio (cross-user) vs block size "
+      "[paper: block-level barely above the full-file level line]");
+
+  trace_params params;
+  params.scale = 0.05;  // ~11k files
+  const trace_dataset ds = generate_trace(params);
+
+  const double full_cross = dedup_ratio_full_file(ds, true);
+  const double full_same = dedup_ratio_full_file(ds, false);
+
+  text_table table;
+  table.header({"Granularity", "Dedup ratio (cross-user)",
+                "Dedup ratio (same user)", "vs full-file"});
+  for (std::size_t g = 0; g < trace_block_sizes.size(); ++g) {
+    const double cross = dedup_ratio_blocks(ds, g, true);
+    const double same = dedup_ratio_blocks(ds, g, false);
+    table.row({human(static_cast<double>(trace_block_sizes[g])),
+               strfmt("%.4f", cross), strfmt("%.4f", same),
+               strfmt("+%.2f%%", (cross / full_cross - 1.0) * 100.0)});
+  }
+  table.row({"Full file", strfmt("%.4f", full_cross),
+             strfmt("%.4f", full_same), "baseline"});
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "Full-file duplicate byte fraction: %.1f%% (paper: 18.8%%). The gain "
+      "from block-level dedup stays in the low percent range -> supporting "
+      "full-file dedup is basically sufficient.\n",
+      full_file_duplicate_fraction(ds) * 100.0);
+  return 0;
+}

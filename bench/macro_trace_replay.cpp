@@ -1,0 +1,41 @@
+// Macro-level analysis (§3.1): replay the calibrated trace through every
+// service's full sync stack and compare fleet-level traffic, TUE, sync
+// delay, and provider cost. This is the paper's dataset meeting the paper's
+// benchmarks: the per-mechanism findings (BDS, IDS, compression, dedup)
+// should compound into visibly different fleet bills.
+#include "bench_util.hpp"
+#include "core/fleet.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+int main() {
+  print_section(
+      "Macro trace replay: per-service fleet totals over the same "
+      "calibrated workload");
+
+  fleet_config cfg;
+  cfg.trace.scale = 0.01;          // ~2.2k files generated
+  cfg.max_files_per_service = 200;  // replayed per service
+
+  const auto reports = replay_trace_fleet(cfg);
+
+  text_table table;
+  table.header({"Service", "users", "files", "update bytes", "sync traffic",
+                "TUE", "commits", "mean sync delay", "replay cost"});
+  for (const fleet_service_report& r : reports) {
+    table.row({r.service, strfmt("%zu", r.users), strfmt("%zu", r.files),
+               human(static_cast<double>(r.update_bytes)),
+               human(static_cast<double>(r.sync_traffic)),
+               strfmt("%.2f", r.tue()),
+               strfmt("%llu", (unsigned long long)r.commits),
+               strfmt("%.1f s", r.mean_staleness_sec),
+               strfmt("$%.4f", r.bill.total_usd())});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Reading: the services with more of the paper's four mechanisms (BDS, "
+      "IDS, compression, dedup) end up with lower TUE on the same workload; "
+      "deferment trades a little sync delay for much of that gain.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table 6: sync traffic of a (compressed) file creation, for
+// Z ∈ {1 B, 1 KB, 1 MB, 10 MB} × 6 services × 3 access methods.
+#include "bench_util.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+int main() {
+  print_section(
+      "Table 6: sync traffic of a (compressed) file creation "
+      "[paper: e.g. Google Drive PC 9K/10K/1.13M/11.2M]");
+
+  const std::uint64_t sizes[] = {1, 1 * KiB, 1 * MiB, 10 * MiB};
+
+  for (access_method m : all_access_methods) {
+    std::printf("-- %s --\n", to_string(m));
+    text_table table;
+    table.header({"Service", "1 B", "1 KB", "1 MB", "10 MB"});
+    for (const service_profile& s : all_services()) {
+      std::vector<std::string> row{s.name};
+      for (const std::uint64_t z : sizes) {
+        const std::uint64_t traffic =
+            measure_creation_traffic(make_config(s, m), z);
+        row.push_back(human(static_cast<double>(traffic)));
+      }
+      table.row(std::move(row));
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  return 0;
+}

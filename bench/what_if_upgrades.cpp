@@ -1,0 +1,126 @@
+// The paper's provider guidance, operationalised: start from a plain
+// full-file service (Google-Drive-like) and add the four mechanisms one at
+// a time — compression, IDS, BDS, full-file dedup, then ASD — measuring a
+// mixed workload after each step. This is Table 5's "implications" column
+// as an executable.
+#include "bench_util.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+namespace {
+
+struct workload_result {
+  std::uint64_t traffic = 0;
+  std::uint64_t update_bytes = 0;
+};
+
+/// Mixed workload: a batch of small files, a compressible document that gets
+/// edited repeatedly, a duplicate upload, and a steady append stream.
+workload_result run_mixed_workload(const service_profile& profile) {
+  experiment_config cfg{profile};
+  experiment_env env(cfg);
+  station& st = env.primary();
+  const auto snap = st.client->meter().snap();
+  std::uint64_t update = 0;
+
+  // 1. 40 small files at once (BDS target).
+  for (int i = 0; i < 40; ++i) {
+    st.fs.create(strfmt("batch/f%02d", i),
+                 make_compressed_file(env.random(), 2 * KiB),
+                 env.clock().now());
+    update += 2 * KiB;
+  }
+  env.settle();
+
+  // 2. A 2 MB text report (compression target).
+  st.fs.create("report.txt", make_text_file(env.random(), 2 * MiB),
+               env.clock().now());
+  update += 2 * MiB;
+  env.settle();
+
+  // 3. Ten small edits to the report (IDS target).
+  for (int i = 0; i < 10; ++i) {
+    env.clock().advance_to(env.clock().now() + sim_time::from_sec(60));
+    modify_random_byte(st.fs, "report.txt", env.random(), env.clock().now());
+    update += 1;
+    env.settle();
+  }
+
+  // 4. A duplicate of an existing file (dedup target).
+  const byte_buffer dup(st.fs.read("report.txt").begin(),
+                        st.fs.read("report.txt").end());
+  st.fs.create("report_copy.txt", dup, env.clock().now());
+  update += dup.size();
+  env.settle();
+
+  // 5. A "2 KB / 2 sec" stream to 256 KB (defer target).
+  st.fs.create("notes.md", {}, env.clock().now());
+  const sim_time base = env.clock().now();
+  for (int i = 1; i <= 128; ++i) {
+    env.clock().schedule_at(base + sim_time::from_sec(2.0 * i), [&env, &st] {
+      append_random(st.fs, "notes.md", env.random(), 2 * KiB,
+                    env.clock().now());
+    });
+    update += 2 * KiB;
+  }
+  env.settle();
+
+  return {experiment_env::traffic_since(st, snap), update};
+}
+
+}  // namespace
+
+int main() {
+  print_section(
+      "What if a plain full-file service adopted the paper's mechanisms "
+      "one by one? (mixed workload: batch creates + compressible doc + "
+      "edits + duplicate + append stream)");
+
+  service_profile s = google_drive();
+  s.defer = defer_config::none();  // start from the bare mechanism set
+  s.name = "baseline (full-file)";
+
+  std::vector<std::pair<std::string, service_profile>> steps;
+  steps.emplace_back(s.name, s);
+
+  s.method(access_method::pc_client).upload_compression_level = 6;
+  steps.emplace_back("+ compression", s);
+
+  s.method(access_method::pc_client).incremental_sync = true;
+  s.delta_chunk_size = 10 * KiB;
+  steps.emplace_back("+ incremental sync (IDS)", s);
+
+  method_profile& pc = s.method(access_method::pc_client);
+  pc.batched_sync = true;
+  pc.bds_batch_overhead_up = 6'000;
+  pc.bds_batch_overhead_down = 2'500;
+  pc.bds_per_file_bytes = 150;
+  steps.emplace_back("+ batched sync (BDS)", s);
+
+  s.dedup = {dedup_granularity::full_file, 4 * MiB, false, {}};
+  s.method(access_method::pc_client).dedup_enabled = true;
+  steps.emplace_back("+ full-file dedup", s);
+
+  s.defer = defer_config::asd();
+  steps.emplace_back("+ adaptive sync defer (ASD)", s);
+
+  text_table table;
+  table.header({"Configuration", "sync traffic", "TUE", "saved vs baseline"});
+  std::uint64_t baseline = 0;
+  for (auto& [label, profile] : steps) {
+    const workload_result res = run_mixed_workload(profile);
+    if (baseline == 0) baseline = res.traffic;
+    table.row({label, human(static_cast<double>(res.traffic)),
+               strfmt("%.2f", tue(res.traffic, res.update_bytes)),
+               strfmt("%.1f%%",
+                      100.0 * (1.0 - static_cast<double>(res.traffic) /
+                                         static_cast<double>(baseline)))});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Each mechanism attacks a different slice of the waste; together they "
+      "push TUE to ~1 — the paper's headline claim that today's sync "
+      "traffic has 'enormous space' for optimisation.\n");
+  return 0;
+}

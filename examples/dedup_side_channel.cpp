@@ -1,0 +1,73 @@
+// Why most providers avoid cross-user deduplication (paper §5.2: "perhaps
+// for privacy and security concerns", citing Harnik et al.'s side-channel
+// work): with cross-user dedup, the *traffic* of an upload reveals whether
+// ANY other user already stored that exact content — a confirmation oracle.
+//
+//   $ ./dedup_side_channel
+#include <cstdio>
+
+#include "cloudsync.hpp"
+
+using namespace cloudsync;
+
+namespace {
+
+std::uint64_t upload_cost(experiment_env& env, station& st,
+                          const std::string& name, const byte_buffer& data) {
+  const auto snap = st.client->meter().snap();
+  st.fs.create(name, data, env.clock().now());
+  env.settle();
+  return experiment_env::traffic_since(st, snap);
+}
+
+}  // namespace
+
+int main() {
+  // Ubuntu One: full-file dedup across users (Table 9).
+  experiment_config cfg{ubuntu_one()};
+  experiment_env env(cfg);
+  station& victim = env.primary();
+  station& attacker = env.add_station(1);
+
+  // The victim stores a sensitive document.
+  rng doc_rng(2024);
+  const byte_buffer leaked_memo = random_bytes(doc_rng, 600 * KiB);
+  upload_cost(env, victim, "secrets/memo.pdf", leaked_memo);
+
+  // The attacker has two candidate documents and wants to know which one
+  // the victim possesses. They upload both and compare their own traffic.
+  rng other_rng(999);
+  const byte_buffer innocent = random_bytes(other_rng, 600 * KiB);
+
+  const std::uint64_t cost_guess_right =
+      upload_cost(env, attacker, "probe/a.pdf", leaked_memo);
+  const std::uint64_t cost_guess_wrong =
+      upload_cost(env, attacker, "probe/b.pdf", innocent);
+
+  std::printf("attacker uploads candidate A (the memo):   %s\n",
+              format_bytes(static_cast<double>(cost_guess_right)).c_str());
+  std::printf("attacker uploads candidate B (innocent):   %s\n",
+              format_bytes(static_cast<double>(cost_guess_wrong)).c_str());
+  std::printf(
+      "\n-> candidate A cost %.1fx less traffic: someone on this service "
+      "already has it.\n",
+      static_cast<double>(cost_guess_wrong) /
+          static_cast<double>(cost_guess_right));
+
+  // Same attack against Dropbox (dedup scoped to the account) fails.
+  experiment_config db_cfg{dropbox()};
+  experiment_env db_env(db_cfg);
+  station& db_victim = db_env.primary();
+  station& db_attacker = db_env.add_station(1);
+  upload_cost(db_env, db_victim, "secrets/memo.pdf", leaked_memo);
+  const std::uint64_t db_cost =
+      upload_cost(db_env, db_attacker, "probe/a.pdf", leaked_memo);
+  std::printf(
+      "\non Dropbox (same-account dedup only) the same probe costs %s — "
+      "no signal.\n",
+      format_bytes(static_cast<double>(db_cost)).c_str());
+  std::printf(
+      "This is the privacy cost that makes providers scope dedup per "
+      "account, trading away the 18.8%% cross-user duplicate savings.\n");
+  return 0;
+}

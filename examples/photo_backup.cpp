@@ -1,0 +1,80 @@
+// Photo-backup scenario (paper §4.1 motivation): a user dumps a folder of
+// small-to-medium files into the sync folder at once. Shows how batched data
+// sync (BDS), dedup, and compression each change the bill, and why mobile
+// uploads cost more.
+//
+//   $ ./photo_backup
+#include <cstdio>
+
+#include "cloudsync.hpp"
+
+using namespace cloudsync;
+
+namespace {
+
+struct workload_result {
+  std::uint64_t traffic = 0;
+  std::uint64_t update = 0;
+};
+
+/// 60 x 40 KB "thumbnails" (incompressible), 6 x 2 MB "RAW exports" (mildly
+/// compressible), and 10 exact duplicates of earlier thumbnails — a typical
+/// camera-roll import.
+workload_result import_camera_roll(const service_profile& s,
+                                   access_method method) {
+  experiment_config cfg{s};
+  cfg.method = method;
+  experiment_env env(cfg);
+  station& st = env.primary();
+  const auto snap = st.client->meter().snap();
+
+  std::uint64_t update = 0;
+  std::vector<byte_buffer> thumbs;
+  for (int i = 0; i < 60; ++i) {
+    thumbs.push_back(make_compressed_file(env.random(), 40 * KiB));
+    st.fs.create(strfmt("roll/thumb_%02d.jpg", i), thumbs.back(),
+                 env.clock().now());
+    update += 40 * KiB;
+  }
+  for (int i = 0; i < 6; ++i) {
+    const byte_buffer raw =
+        synthetic_payload(env.random(), 2 * MiB, 1.4);  // mildly compressible
+    st.fs.create(strfmt("roll/raw_%d.dng", i), raw, env.clock().now());
+    update += 2 * MiB;
+  }
+  for (int i = 0; i < 10; ++i) {
+    st.fs.create(strfmt("roll/copy_%d.jpg", i), thumbs[i * 3],
+                 env.clock().now());
+    update += 40 * KiB;
+  }
+  env.settle();
+  return {experiment_env::traffic_since(st, snap), update};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "camera-roll import: 60 x 40 KB photos + 6 x 2 MB RAW + 10 duplicates "
+      "(~14.9 MB of data)\n\n");
+
+  for (access_method m :
+       {access_method::pc_client, access_method::mobile_app}) {
+    std::printf("-- via %s --\n", to_string(m));
+    text_table table;
+    table.header({"Service", "sync traffic", "TUE"});
+    for (const service_profile& s : all_services()) {
+      const workload_result res = import_camera_roll(s, m);
+      table.row({s.name, format_bytes(static_cast<double>(res.traffic)),
+                 strfmt("%.2f", tue(res.traffic, res.update))});
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  std::printf(
+      "Reading: BDS (Dropbox/Ubuntu One) erases the per-photo overhead, "
+      "dedup erases the duplicate copies, and compression trims the RAW "
+      "exports; services with none of the three pay for all of it — "
+      "especially on mobile, where per-event overhead is largest.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Two devices, one account: the full §6 collaboration story — uploads,
+// change notifications, periodic polling, download materialisation, and a
+// conflicted copy when both sides edit the same file.
+//
+//   $ ./two_device_collab
+#include <cstdio>
+
+#include "cloudsync.hpp"
+
+using namespace cloudsync;
+
+int main() {
+  experiment_config cfg{dropbox()};
+  experiment_env env(cfg);
+  station& laptop = env.primary();
+  station& tablet = env.add_station(0);  // same account, second device
+
+  // Both devices keep themselves fresh by polling every 30 s for 20 minutes.
+  tablet.client->enable_periodic_poll(sim_time::from_sec(30),
+                                      sim_time::from_sec(1200));
+  laptop.client->enable_periodic_poll(sim_time::from_sec(30),
+                                      sim_time::from_sec(1200));
+
+  // A working session on the laptop.
+  env.clock().schedule_at(sim_time::from_sec(10), [&] {
+    laptop.fs.create("draft.md", to_buffer("# Draft\n\nIntro."),
+                     env.clock().now());
+  });
+  env.clock().schedule_at(sim_time::from_sec(120), [&] {
+    laptop.fs.append("draft.md", as_bytes("\nMore laptop text."),
+                     env.clock().now());
+  });
+  // Meanwhile the tablet edits the same file between polls…
+  env.clock().schedule_at(sim_time::from_sec(130), [&] {
+    if (tablet.fs.exists("draft.md")) {
+      tablet.fs.append("draft.md", as_bytes("\nTablet note."),
+                       env.clock().now());
+    }
+  });
+  env.settle();
+
+  std::printf("after the session:\n");
+  const auto cloud_doc = env.the_cloud().file_content(0, "draft.md");
+  std::printf("  cloud draft.md : %llu bytes\n",
+              static_cast<unsigned long long>(cloud_doc->size()));
+  std::printf("  laptop draft.md: %llu bytes (converged: %s)\n",
+              static_cast<unsigned long long>(laptop.fs.size("draft.md")),
+              to_string(laptop.fs.read("draft.md")) ==
+                      to_string(*cloud_doc)
+                  ? "yes"
+                  : "no");
+  std::printf("  tablet draft.md: %llu bytes (converged: %s)\n",
+              static_cast<unsigned long long>(tablet.fs.size("draft.md")),
+              to_string(tablet.fs.read("draft.md")) ==
+                      to_string(*cloud_doc)
+                  ? "yes"
+                  : "no");
+  std::printf("  conflicted copies: laptop %llu, tablet %llu\n",
+              static_cast<unsigned long long>(
+                  laptop.client->conflict_count()),
+              static_cast<unsigned long long>(
+                  tablet.client->conflict_count()));
+  std::printf("\ntraffic: laptop %s (up %s), tablet %s (down %s)\n",
+              format_bytes(static_cast<double>(
+                               laptop.client->meter().total()))
+                  .c_str(),
+              format_bytes(static_cast<double>(
+                               laptop.client->meter().total(direction::up)))
+                  .c_str(),
+              format_bytes(static_cast<double>(
+                               tablet.client->meter().total()))
+                  .c_str(),
+              format_bytes(static_cast<double>(
+                               tablet.client->meter().total(direction::down)))
+                  .c_str());
+  std::printf(
+      "\nNote the tablet's polling overhead: every 30 s exchange costs "
+      "headers and acks even when nothing changed — exactly the class of "
+      "overhead traffic the paper's TUE metric exposes.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "chunking/cdc.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace cloudsync {
+
+namespace {
+
+// Deterministic pseudo-random gear table (splitmix64 over the byte value).
+constexpr std::array<std::uint64_t, 256> make_gear_table() {
+  std::array<std::uint64_t, 256> table{};
+  std::uint64_t x = 0x243f6a8885a308d3ull;  // pi digits as seed
+  for (auto& v : table) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    v = z ^ (z >> 31);
+  }
+  return table;
+}
+
+constexpr auto kGear = make_gear_table();
+
+}  // namespace
+
+std::vector<chunk_ref> content_defined_chunks(byte_view data,
+                                              cdc_params params) {
+  assert(params.min_size > 0 && params.min_size <= params.avg_size &&
+         params.avg_size <= params.max_size);
+  assert((params.avg_size & (params.avg_size - 1)) == 0 &&
+         "avg_size must be a power of two");
+  const std::uint64_t mask = params.avg_size - 1;
+
+  std::vector<chunk_ref> out;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t remain = data.size() - start;
+    if (remain <= params.min_size) {
+      out.push_back({start, remain});
+      break;
+    }
+    const std::size_t limit = std::min(remain, params.max_size);
+    std::uint64_t h = 0;
+    std::size_t len = 0;
+    bool cut = false;
+    for (len = 0; len < limit; ++len) {
+      h = (h << 1) + kGear[data[start + len]];
+      if (len + 1 >= params.min_size && (h & mask) == 0) {
+        ++len;
+        cut = true;
+        break;
+      }
+    }
+    (void)cut;
+    out.push_back({start, len});
+    start += len;
+  }
+  return out;
+}
+
+}  // namespace cloudsync

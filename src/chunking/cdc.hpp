@@ -1,0 +1,28 @@
+// Content-defined chunking (gear hash), the "better but more computation
+// intensive" way of dividing files into blocks that the paper cites (EndRE,
+// Meyer & Bolosky) and deliberately does not use for its main results.
+// Provided as an extension and exercised by the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chunking/fixed_chunker.hpp"
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+struct cdc_params {
+  std::size_t min_size = 2 * 1024;
+  std::size_t avg_size = 8 * 1024;  ///< must be a power of two
+  std::size_t max_size = 64 * 1024;
+};
+
+/// Split data at content-defined boundaries (gear rolling hash). Identical
+/// content yields identical chunks regardless of its offset in the file,
+/// which is what makes CDC robust to insertions.
+std::vector<chunk_ref> content_defined_chunks(byte_view data,
+                                              cdc_params params = {});
+
+}  // namespace cloudsync

@@ -1,0 +1,17 @@
+#include "chunking/fixed_chunker.hpp"
+
+#include <cassert>
+
+namespace cloudsync {
+
+std::vector<chunk_ref> fixed_chunks(byte_view data, std::size_t block_size) {
+  assert(block_size > 0);
+  std::vector<chunk_ref> out;
+  out.reserve(data.size() / block_size + 1);
+  for (std::size_t off = 0; off < data.size(); off += block_size) {
+    out.push_back({off, std::min(block_size, data.size() - off)});
+  }
+  return out;
+}
+
+}  // namespace cloudsync

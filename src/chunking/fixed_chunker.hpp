@@ -1,0 +1,26 @@
+// Fixed-size chunking: the "simple and natural way" the paper divides files
+// into blocks (head-anchored, fixed block size) for block-level dedup.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+struct chunk_ref {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+/// Split [0, data.size()) into consecutive blocks of `block_size`; the final
+/// block may be short. Empty input yields no chunks. block_size must be > 0.
+std::vector<chunk_ref> fixed_chunks(byte_view data, std::size_t block_size);
+
+/// View of a chunk within its parent buffer.
+inline byte_view slice(byte_view data, chunk_ref c) {
+  return data.subspan(c.offset, c.size);
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,271 @@
+#include "chunking/rsync.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "chunking/fixed_chunker.hpp"
+#include "compress/varint.hpp"
+#include "util/adler32.hpp"
+#include "util/crc32.hpp"
+#include "util/md5.hpp"
+
+namespace cloudsync {
+
+file_signature compute_signature(byte_view data, std::size_t block_size) {
+  file_signature sig;
+  sig.block_size = block_size;
+  sig.file_size = data.size();
+  for (const chunk_ref& c : fixed_chunks(data, block_size)) {
+    const byte_view block = slice(data, c);
+    sig.blocks.push_back({weak_checksum(block), md5(block)});
+  }
+  return sig;
+}
+
+std::uint64_t file_delta::literal_bytes() const {
+  std::uint64_t n = 0;
+  for (const delta_op& op : ops) {
+    if (op.op == delta_op::kind::literal) n += op.bytes.size();
+  }
+  return n;
+}
+
+std::uint64_t file_delta::copied_bytes(std::uint64_t old_file_size) const {
+  if (block_size == 0) return 0;
+  const std::uint64_t full_blocks = old_file_size / block_size;
+  const std::uint64_t tail = old_file_size % block_size;
+  std::uint64_t n = 0;
+  for (const delta_op& op : ops) {
+    if (op.op != delta_op::kind::copy) continue;
+    for (std::uint64_t b = op.block_index;
+         b < op.block_index + op.block_count; ++b) {
+      n += b < full_blocks ? block_size : tail;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+/// Append a literal byte, merging into a trailing literal op if present.
+void push_literal(std::vector<delta_op>& ops, std::uint8_t byte) {
+  if (ops.empty() || ops.back().op != delta_op::kind::literal) {
+    ops.push_back({delta_op::kind::literal, 0, 0, {}});
+  }
+  ops.back().bytes.push_back(byte);
+}
+
+void push_literal_run(std::vector<delta_op>& ops, byte_view run) {
+  if (run.empty()) return;
+  if (ops.empty() || ops.back().op != delta_op::kind::literal) {
+    ops.push_back({delta_op::kind::literal, 0, 0, {}});
+  }
+  append(ops.back().bytes, run);
+}
+
+/// Append a block copy, extending a trailing run of consecutive copies.
+void push_copy(std::vector<delta_op>& ops, std::uint64_t block_index) {
+  if (!ops.empty() && ops.back().op == delta_op::kind::copy &&
+      ops.back().block_index + ops.back().block_count == block_index) {
+    ++ops.back().block_count;
+    return;
+  }
+  ops.push_back({delta_op::kind::copy, block_index, 1, {}});
+}
+
+}  // namespace
+
+file_delta compute_delta(const file_signature& sig, byte_view new_data) {
+  file_delta delta;
+  delta.block_size = sig.block_size;
+  delta.new_file_size = new_data.size();
+
+  const std::size_t bs = sig.block_size;
+  if (bs == 0 || sig.blocks.empty() || new_data.size() < bs) {
+    // Nothing matchable at full-block granularity: check whether the whole
+    // new file equals the old short file; otherwise ship it as one literal.
+    if (sig.file_size == new_data.size() && sig.blocks.size() == 1 &&
+        !new_data.empty() && sig.blocks[0].strong == md5(new_data)) {
+      delta.ops.push_back({delta_op::kind::copy, 0, 1, {}});
+    } else {
+      push_literal_run(delta.ops, new_data);
+    }
+    return delta;
+  }
+
+  // Index full-size signature blocks by weak checksum. The (possibly short)
+  // final block is handled separately at the tail.
+  const std::uint64_t full_blocks =
+      sig.file_size / bs;
+  std::unordered_multimap<std::uint32_t, std::uint64_t> weak_index;
+  weak_index.reserve(sig.blocks.size());
+  for (std::uint64_t i = 0; i < full_blocks; ++i) {
+    weak_index.emplace(sig.blocks[i].weak, i);
+  }
+  const bool has_tail = sig.file_size % bs != 0;
+  const std::size_t tail_size = static_cast<std::size_t>(sig.file_size % bs);
+
+  rolling_checksum rc(bs);
+  std::size_t pos = 0;
+  bool window_valid = false;
+
+  while (pos + bs <= new_data.size()) {
+    if (!window_valid) {
+      rc.reset(new_data.subspan(pos, bs));
+      window_valid = true;
+    }
+    bool matched = false;
+    auto [it, end] = weak_index.equal_range(rc.value());
+    if (it != end) {
+      const md5_digest strong = md5(new_data.subspan(pos, bs));
+      for (; it != end; ++it) {
+        if (sig.blocks[it->second].strong == strong) {
+          push_copy(delta.ops, it->second);
+          pos += bs;
+          window_valid = false;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      push_literal(delta.ops, new_data[pos]);
+      if (pos + bs < new_data.size()) {
+        rc.roll(new_data[pos], new_data[pos + bs]);
+      } else {
+        window_valid = false;
+      }
+      ++pos;
+    }
+  }
+
+  // Tail: the old file's final short block can only align with the last
+  // tail_size bytes of the new file. If it matches there, everything between
+  // the scan position and that point is literal; otherwise the whole
+  // remainder is.
+  if (has_tail && new_data.size() >= tail_size) {
+    const std::size_t tail_pos = new_data.size() - tail_size;
+    if (tail_pos >= pos) {
+      const byte_view tail_view = new_data.subspan(tail_pos);
+      if (!tail_view.empty() &&
+          sig.blocks[full_blocks].weak == weak_checksum(tail_view) &&
+          sig.blocks[full_blocks].strong == md5(tail_view)) {
+        push_literal_run(delta.ops, new_data.subspan(pos, tail_pos - pos));
+        push_copy(delta.ops, full_blocks);
+        return delta;
+      }
+    }
+  }
+  push_literal_run(delta.ops, new_data.subspan(pos));
+  return delta;
+}
+
+byte_buffer apply_delta(byte_view old_data, const file_delta& delta) {
+  byte_buffer out;
+  out.reserve(delta.new_file_size);
+  const std::size_t bs = delta.block_size;
+  const std::vector<chunk_ref> old_blocks =
+      bs > 0 ? fixed_chunks(old_data, bs) : std::vector<chunk_ref>{};
+
+  for (const delta_op& op : delta.ops) {
+    if (op.op == delta_op::kind::literal) {
+      append(out, op.bytes);
+      continue;
+    }
+    if (op.block_index + op.block_count > old_blocks.size()) {
+      throw std::runtime_error("apply_delta: block index out of range");
+    }
+    for (std::uint64_t b = op.block_index;
+         b < op.block_index + op.block_count; ++b) {
+      append(out, slice(old_data, old_blocks[b]));
+    }
+  }
+  if (out.size() != delta.new_file_size) {
+    throw std::runtime_error("apply_delta: reconstructed size mismatch");
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint8_t kDeltaMagic0 = 'd';
+constexpr std::uint8_t kDeltaMagic1 = 'l';
+constexpr std::uint8_t kOpCopy = 0;
+constexpr std::uint8_t kOpLiteral = 1;
+}  // namespace
+
+byte_buffer serialize_delta(const file_delta& delta) {
+  byte_buffer out;
+  out.push_back(kDeltaMagic0);
+  out.push_back(kDeltaMagic1);
+  put_varint(out, delta.block_size);
+  put_varint(out, delta.new_file_size);
+  put_varint(out, delta.ops.size());
+  for (const delta_op& op : delta.ops) {
+    if (op.op == delta_op::kind::copy) {
+      out.push_back(kOpCopy);
+      put_varint(out, op.block_index);
+      put_varint(out, op.block_count);
+    } else {
+      out.push_back(kOpLiteral);
+      put_varint(out, op.bytes.size());
+      append(out, op.bytes);
+    }
+  }
+  const std::uint32_t crc = crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+file_delta parse_delta(byte_view wire) {
+  auto fail = [](const char* why) -> file_delta {
+    throw std::runtime_error(std::string("parse_delta: ") + why);
+  };
+  if (wire.size() < 6 || wire[0] != kDeltaMagic0 || wire[1] != kDeltaMagic1) {
+    return fail("bad magic");
+  }
+  const std::size_t body_end = wire.size() - 4;
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(wire[body_end + i]) << (8 * i);
+  }
+  if (crc32(wire.first(body_end)) != crc) return fail("crc mismatch");
+
+  const byte_view body = wire.first(body_end);
+  std::size_t pos = 2;
+  file_delta delta;
+  const auto bs = get_varint(body, pos);
+  const auto nfs = get_varint(body, pos);
+  const auto nops = get_varint(body, pos);
+  if (!bs || !nfs || !nops) return fail("truncated header");
+  delta.block_size = static_cast<std::size_t>(*bs);
+  delta.new_file_size = *nfs;
+  delta.ops.reserve(static_cast<std::size_t>(*nops));
+  for (std::uint64_t i = 0; i < *nops; ++i) {
+    if (pos >= body.size()) return fail("truncated op");
+    const std::uint8_t tag = body[pos++];
+    delta_op op;
+    if (tag == kOpCopy) {
+      op.op = delta_op::kind::copy;
+      const auto bi = get_varint(body, pos);
+      const auto bc = get_varint(body, pos);
+      if (!bi || !bc) return fail("truncated copy op");
+      op.block_index = *bi;
+      op.block_count = *bc;
+    } else if (tag == kOpLiteral) {
+      op.op = delta_op::kind::literal;
+      const auto len = get_varint(body, pos);
+      if (!len || pos + *len > body.size()) return fail("truncated literal");
+      op.bytes.assign(body.begin() + static_cast<std::ptrdiff_t>(pos),
+                      body.begin() + static_cast<std::ptrdiff_t>(pos + *len));
+      pos += static_cast<std::size_t>(*len);
+    } else {
+      return fail("unknown op tag");
+    }
+    delta.ops.push_back(std::move(op));
+  }
+  return delta;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,69 @@
+// The rsync algorithm (Tridgell & Mackerras), implemented from scratch:
+// per-block signatures (rolling Adler-32 weak + MD5 strong), rolling-window
+// delta computation against a remote signature, and delta application.
+//
+// This is the paper's "incremental data sync" (IDS) mechanism (§4.3): the
+// client holds the new file, the cloud holds the old one; only blocks that
+// cannot be matched are shipped as literals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/digest.hpp"
+
+namespace cloudsync {
+
+struct block_signature {
+  std::uint32_t weak = 0;   ///< rolling checksum of the block
+  md5_digest strong;        ///< MD5 of the block
+};
+
+/// Signature of a whole (old) file: what the receiver sends to the sender.
+struct file_signature {
+  std::size_t block_size = 0;
+  std::uint64_t file_size = 0;
+  std::vector<block_signature> blocks;  ///< last block may be short
+
+  /// Bytes this signature occupies on the wire (weak 4 B + strong 16 B per
+  /// block, plus a small header) — charged as sync metadata traffic.
+  std::size_t wire_size() const { return 16 + blocks.size() * 20; }
+};
+
+file_signature compute_signature(byte_view data, std::size_t block_size);
+
+/// One instruction of a delta: either copy a run of consecutive blocks from
+/// the old file, or insert literal bytes carried in the delta itself.
+struct delta_op {
+  enum class kind : std::uint8_t { copy, literal };
+  kind op = kind::literal;
+  // copy: first block index and number of consecutive blocks.
+  std::uint64_t block_index = 0;
+  std::uint64_t block_count = 0;
+  // literal: bytes to insert.
+  byte_buffer bytes;
+};
+
+struct file_delta {
+  std::size_t block_size = 0;
+  std::uint64_t new_file_size = 0;
+  std::vector<delta_op> ops;
+
+  std::uint64_t literal_bytes() const;
+  std::uint64_t copied_bytes(std::uint64_t old_file_size) const;
+};
+
+/// Compute the delta that transforms the signed old file into `new_data`.
+file_delta compute_delta(const file_signature& sig, byte_view new_data);
+
+/// Reconstruct the new file from the old file content and a delta.
+/// Throws std::runtime_error if the delta references blocks out of range.
+byte_buffer apply_delta(byte_view old_data, const file_delta& delta);
+
+/// Wire format (what the client actually uploads): varint-framed ops with a
+/// CRC-32 trailer.
+byte_buffer serialize_delta(const file_delta& delta);
+file_delta parse_delta(byte_view wire);
+
+}  // namespace cloudsync

@@ -1,0 +1,25 @@
+// The three service access methods the paper compares throughout:
+// PC client software, web browser, and mobile app.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cloudsync {
+
+enum class access_method : std::uint8_t { pc_client, web_browser, mobile_app };
+
+inline constexpr std::array<access_method, 3> all_access_methods = {
+    access_method::pc_client, access_method::web_browser,
+    access_method::mobile_app};
+
+inline const char* to_string(access_method m) {
+  switch (m) {
+    case access_method::pc_client: return "PC client";
+    case access_method::web_browser: return "Web-based";
+    case access_method::mobile_app: return "Mobile app";
+  }
+  return "?";
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,68 @@
+#include "client/defer_policy.hpp"
+
+#include <algorithm>
+
+#include "util/text_table.hpp"
+
+namespace cloudsync {
+
+std::string fixed_defer::name() const {
+  return strfmt("fixed (%.1f s)", deferment_.sec());
+}
+
+sim_time adaptive_defer::next_fire(sim_time update_time, std::uint64_t) {
+  // Δt_i: inter-update time. The first update after reset uses T_0 as a
+  // stand-in since no gap has been observed yet.
+  const sim_time delta_t =
+      has_last_ ? update_time - last_update_ : params_.t_initial;
+  has_last_ = true;
+  last_update_ = update_time;
+
+  // Eq. 2: T_i = min(T_{i-1}/2 + Δt_i/2 + ε, T_max).
+  sim_time next = current_ * 0.5 + delta_t * 0.5 + params_.epsilon;
+  if (next > params_.t_max) next = params_.t_max;
+  current_ = next;
+  return update_time + current_;
+}
+
+void adaptive_defer::reset() {
+  current_ = params_.t_initial;
+  has_last_ = false;
+  last_update_ = {};
+}
+
+sim_time byte_counter_defer::next_fire(sim_time update_time,
+                                       std::uint64_t pending_bytes) {
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = update_time;
+  }
+  if (pending_bytes >= params_.threshold_bytes) {
+    // Enough accumulated: sync now; the engine drains the batch, and the
+    // next update opens a fresh window.
+    window_open_ = false;
+    return update_time;
+  }
+  // Otherwise wait for more updates, bounded by the oldest pending update's
+  // age. Never answer in the past: if the deadline already expired (the
+  // engine was busy), fire right now.
+  return std::max(update_time, window_start_ + params_.max_wait);
+}
+
+void byte_counter_defer::reset() {
+  window_open_ = false;
+  window_start_ = {};
+}
+
+std::unique_ptr<defer_policy> defer_config::instantiate() const {
+  switch (policy) {
+    case kind::none: return std::make_unique<no_defer>();
+    case kind::fixed: return std::make_unique<fixed_defer>(fixed_deferment);
+    case kind::adaptive: return std::make_unique<adaptive_defer>(adaptive);
+    case kind::byte_counter:
+      return std::make_unique<byte_counter_defer>(byte_counter);
+  }
+  return std::make_unique<no_defer>();
+}
+
+}  // namespace cloudsync

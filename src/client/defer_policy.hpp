@@ -1,0 +1,154 @@
+// Sync deferment policies (paper §6.1).
+//
+// A defer policy answers one question: after a local update at time t, when
+// should the pending batch be committed? The observed behaviours are
+// debounce timers — each new update pushes the commit out again:
+//
+//   no_defer       — commit immediately (Dropbox, Box, Ubuntu One)
+//   fixed_defer(T) — commit T after the *latest* update (Google Drive ≈4.2 s,
+//                    OneDrive ≈10.5 s, SugarSync ≈6 s); inefficient once the
+//                    inter-update gap exceeds T
+//   adaptive_defer — the paper's proposed ASD (Eq. 2):
+//                    T_i = min(T_{i-1}/2 + Δt_i/2 + ε, T_max),
+//                    tracking slightly above the observed inter-update time
+//   byte_counter_defer — UDS-style (the paper's ref [36], discussed in §6.1
+//                    Case 1): commit once the pending update bytes reach a
+//                    threshold, or after a maximum wait
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+class defer_policy {
+ public:
+  virtual ~defer_policy() = default;
+
+  /// Called on each local update; returns the absolute time at which the
+  /// pending batch should be committed (superseding earlier answers).
+  /// `pending_bytes` estimates the accumulated not-yet-synced update size.
+  virtual sim_time next_fire(sim_time update_time,
+                             std::uint64_t pending_bytes) = 0;
+
+  /// Notification that the engine committed the pending batch (lets
+  /// accumulation-based policies close their window). Default: no-op.
+  virtual void on_commit() {}
+
+  /// Forget adaptation state (new experiment).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class no_defer final : public defer_policy {
+ public:
+  sim_time next_fire(sim_time update_time, std::uint64_t) override {
+    return update_time;
+  }
+  void reset() override {}
+  std::string name() const override { return "none"; }
+};
+
+class fixed_defer final : public defer_policy {
+ public:
+  explicit fixed_defer(sim_time deferment) : deferment_(deferment) {}
+
+  sim_time next_fire(sim_time update_time, std::uint64_t) override {
+    return update_time + deferment_;
+  }
+  void reset() override {}
+  std::string name() const override;
+
+  sim_time deferment() const { return deferment_; }
+
+ private:
+  sim_time deferment_;
+};
+
+/// ASD — adaptive sync defer (paper Eq. 2).
+class adaptive_defer final : public defer_policy {
+ public:
+  struct params {
+    sim_time epsilon = sim_time::from_msec(500);  ///< ε ∈ (0, 1.0) seconds
+    sim_time t_max = sim_time::from_sec(15);      ///< upper bound on T_i
+    sim_time t_initial = sim_time::from_sec(1);   ///< T_0
+  };
+
+  adaptive_defer() : adaptive_defer(params{}) {}
+  explicit adaptive_defer(params p) : params_(p), current_(p.t_initial) {}
+
+  sim_time next_fire(sim_time update_time, std::uint64_t) override;
+  void reset() override;
+  std::string name() const override { return "adaptive (ASD)"; }
+
+  sim_time current_deferment() const { return current_; }
+
+ private:
+  params params_;
+  sim_time current_;
+  bool has_last_ = false;
+  sim_time last_update_{};
+};
+
+/// UDS-style batched sync: defer until enough bytes are pending (then sync
+/// immediately) or the oldest pending update has waited `max_wait`.
+class byte_counter_defer final : public defer_policy {
+ public:
+  struct params {
+    std::uint64_t threshold_bytes = 256 * 1024;
+    sim_time max_wait = sim_time::from_sec(30);
+  };
+
+  byte_counter_defer() : byte_counter_defer(params{}) {}
+  explicit byte_counter_defer(params p) : params_(p) {}
+
+  sim_time next_fire(sim_time update_time,
+                     std::uint64_t pending_bytes) override;
+  void on_commit() override { window_open_ = false; }
+  void reset() override;
+  std::string name() const override { return "byte counter (UDS)"; }
+
+ private:
+  params params_;
+  bool window_open_ = false;
+  sim_time window_start_{};
+};
+
+/// Factory-friendly value description of a defer policy, used by
+/// service_profile so profiles stay copyable.
+struct defer_config {
+  enum class kind : std::uint8_t { none, fixed, adaptive, byte_counter };
+  kind policy = kind::none;
+  sim_time fixed_deferment{};
+  adaptive_defer::params adaptive{};
+  byte_counter_defer::params byte_counter{};
+
+  static defer_config none() { return {}; }
+  static defer_config fixed(sim_time t) {
+    defer_config c;
+    c.policy = kind::fixed;
+    c.fixed_deferment = t;
+    return c;
+  }
+  static defer_config asd(adaptive_defer::params p = adaptive_defer::params{}) {
+    defer_config c;
+    c.policy = kind::adaptive;
+    c.adaptive = p;
+    return c;
+  }
+  static defer_config uds(
+      byte_counter_defer::params p = byte_counter_defer::params{}) {
+    defer_config c;
+    c.policy = kind::byte_counter;
+    c.byte_counter = p;
+    return c;
+  }
+
+  std::unique_ptr<defer_policy> instantiate() const;
+};
+
+}  // namespace cloudsync

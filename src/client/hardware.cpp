@@ -1,0 +1,31 @@
+#include "client/hardware.hpp"
+
+namespace cloudsync {
+
+// Calibration note: these throughputs are *end-to-end client pipeline* rates
+// (hash + chunk + compress + local index update), not raw hash speed. They
+// are chosen so that the M1/M2/M3 ordering and magnitude of Fig 8(c) holds:
+// an outdated machine takes ~1 s to index a ~1 MB file and therefore batches
+// sub-second modification streams, while a typical machine does not.
+
+hardware_profile hardware_profile::m1() {
+  return {"M1 (typical, i5 + HDD)", 50.0 * 1024 * 1024,
+          sim_time::from_msec(50)};
+}
+
+hardware_profile hardware_profile::m2() {
+  return {"M2 (outdated, Atom + 5400rpm)", 2.5 * 1024 * 1024,
+          sim_time::from_msec(400)};
+}
+
+hardware_profile hardware_profile::m3() {
+  return {"M3 (advanced, i7 + SSD)", 150.0 * 1024 * 1024,
+          sim_time::from_msec(20)};
+}
+
+hardware_profile hardware_profile::m4() {
+  return {"M4 (smartphone, ARM + MicroSD)", 2.0 * 1024 * 1024,
+          sim_time::from_msec(500)};
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,35 @@
+// Client hardware model (paper Table 4).
+//
+// The only hardware property that shapes TUE is how long the client takes to
+// compute the metadata of a modified file — hashing, chunk indexing, local
+// database updates (§6.2 Condition 2). We model it as a fixed per-operation
+// latency plus a throughput term over the file size.
+#pragma once
+
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+struct hardware_profile {
+  std::string name;
+  double index_bytes_per_sec;   ///< effective metadata-computation throughput
+  sim_time index_fixed_latency; ///< per-operation fixed cost (db commit, scan)
+
+  /// Time to (re)compute the metadata of a file of `bytes`.
+  sim_time index_time(std::uint64_t bytes) const {
+    return index_fixed_latency +
+           sim_time::from_sec(static_cast<double>(bytes) /
+                              index_bytes_per_sec);
+  }
+
+  // Paper Table 4 machines. B1-B3 share M1-M3 hardware (the location differs,
+  // not the machine class); B4 mirrors M4.
+  static hardware_profile m1();  ///< typical: quad-core i5, 7200 RPM disk
+  static hardware_profile m2();  ///< outdated: Atom, 5400 RPM disk
+  static hardware_profile m3();  ///< advanced: quad-core i7, SSD
+  static hardware_profile m4();  ///< smartphone: dual-core ARM, MicroSD
+};
+
+}  // namespace cloudsync

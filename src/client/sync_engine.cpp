@@ -1,0 +1,382 @@
+#include "client/sync_engine.hpp"
+
+#include <algorithm>
+
+#include "chunking/rsync.hpp"
+#include "compress/lzss.hpp"
+
+namespace cloudsync {
+
+namespace {
+/// App-level bytes for one dedup fingerprint on the wire (digest + framing).
+constexpr std::uint64_t kFingerprintWireBytes = 40;
+/// Cloud's per-fingerprint answer ("have it / need it").
+constexpr std::uint64_t kFingerprintAnswerBytes = 8;
+/// Tombstone record for a deletion (attribute update, §4.2).
+constexpr std::uint64_t kDeleteRecordBytes = 300;
+/// Per-file entry in a BDS delete/rename manifest.
+constexpr std::uint64_t kBatchDeleteEntryBytes = 120;
+}  // namespace
+
+sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
+                         sync_options opts)
+    : clock_(clock),
+      fs_(fs),
+      cloud_(cl),
+      user_(user),
+      opts_(std::move(opts)),
+      conn_(opts_.link, opts_.tcp, meter_),
+      defer_(opts_.profile.defer.instantiate()),
+      device_(cl.attach_device(user)) {
+  if (opts_.warm_connection) {
+    conn_.exchange(clock_.now(), 64, 64);
+    meter_.reset();
+  }
+  fs_.subscribe([this](const fs_event& ev) { on_fs_event(ev); });
+}
+
+void sync_client::on_fs_event(const fs_event& ev) {
+  // Changes this client is applying on behalf of the cloud must not loop
+  // back into the upload pipeline.
+  if (applying_remote_) return;
+  const sim_time now = clock_.now();
+
+  auto queue_upsert = [&](const std::string& path) {
+    pending_change& chg = dirty_[path];
+    chg.remove = false;
+    const file_manifest* man = cloud_.manifest(user_, path);
+    chg.existed_in_cloud = man != nullptr && !man->deleted;
+  };
+  auto queue_remove = [&](const std::string& path) {
+    const file_manifest* man = cloud_.manifest(user_, path);
+    const bool in_cloud = man != nullptr && !man->deleted;
+    if (!in_cloud && !dirty_.contains(path)) return;  // never synced
+    if (!in_cloud) {
+      dirty_.erase(path);  // created and deleted within one defer window
+      return;
+    }
+    dirty_[path] = {true, true};
+  };
+
+  switch (ev.op) {
+    case fs_event::kind::created:
+    case fs_event::kind::modified:
+      queue_upsert(ev.path);
+      break;
+    case fs_event::kind::removed:
+      queue_remove(ev.path);
+      break;
+    case fs_event::kind::renamed:
+      queue_remove(ev.old_path);
+      queue_upsert(ev.path);
+      break;
+  }
+
+  // Condition 2 (§6.2): metadata computation queues up on the client.
+  const sim_time start = std::max(index_busy_until_, now);
+  index_busy_until_ = start + opts_.hardware.index_time(ev.size_after);
+
+  if (dirty_.empty()) return;
+  if (!has_earliest_dirty_) {
+    has_earliest_dirty_ = true;
+    earliest_dirty_ = now;
+  }
+  schedule_commit(defer_->next_fire(now, pending_update_estimate()));
+}
+
+std::uint64_t sync_client::pending_update_estimate() const {
+  // Rough size of the not-yet-synced delta: per dirty file, how far the
+  // local size drifted from the last-synced (shadow) size. Good enough for
+  // byte-counter (UDS) deferment decisions.
+  std::uint64_t total = 0;
+  for (const auto& [path, chg] : dirty_) {
+    const auto shadow_it = shadow_.find(path);
+    const std::uint64_t shadow_size =
+        shadow_it == shadow_.end() ? 0 : shadow_it->second.size();
+    if (chg.remove) {
+      total += 256;  // tombstone record
+      continue;
+    }
+    const std::uint64_t local = fs_.exists(path) ? fs_.size(path) : 0;
+    total += local > shadow_size ? local - shadow_size
+                                 : shadow_size - local;
+    if (local == shadow_size && local > 0) total += 1;  // in-place edit
+  }
+  return total;
+}
+
+void sync_client::schedule_commit(sim_time at) {
+  if (commit_event_ != 0) clock_.cancel(commit_event_);
+  commit_event_ = clock_.schedule_at(at, [this] { try_commit(); });
+}
+
+void sync_client::try_commit() {
+  commit_event_ = 0;
+  if (dirty_.empty()) return;
+
+  const sim_time now = clock_.now();
+  const sim_time gate = std::max(network_busy_until_, index_busy_until_);
+  if (now < gate) {
+    // §6.2: previous transfer or indexing still running — the batch keeps
+    // accumulating (natural batching on poor networks / slow hardware).
+    schedule_commit(gate);
+    return;
+  }
+
+  auto batch = std::move(dirty_);
+  dirty_.clear();
+  ++commits_;
+  // The client engine itself needs time to finish a commit (bookkeeping,
+  // polling, server turnaround) before the next one can start — the
+  // service-specific part of §6.2's natural batching.
+  network_busy_until_ =
+      commit_batch(now, std::move(batch)) + opts_.profile.commit_processing;
+  defer_->on_commit();
+  if (has_earliest_dirty_) {
+    staleness_sec_.add((network_busy_until_ - earliest_dirty_).sec());
+    has_earliest_dirty_ = false;
+  }
+}
+
+sim_time sync_client::commit_batch(
+    sim_time start, std::map<std::string, pending_change> batch) {
+  const method_profile& mp = opts_.profile.method(opts_.method);
+  sim_time t = start;
+
+  if (mp.batched_sync && batch.size() > 1) {
+    // BDS: one exchange carries the whole batch — one batch overhead plus a
+    // small manifest entry per file.
+    std::uint64_t up_payload = 0;
+    std::uint64_t up_meta = mp.bds_batch_overhead_up;
+    std::uint64_t down_meta = mp.bds_batch_overhead_down;
+    for (const auto& [path, chg] : batch) {
+      if (chg.remove) {
+        up_meta += kBatchDeleteEntryBytes;
+        cloud_.delete_file(user_, device_, path, t);
+        shadow_.erase(path);
+        base_version_.erase(path);
+        continue;
+      }
+      const upload_plan plan = plan_and_apply_upload(path, t);
+      up_payload += plan.payload_up;
+      up_meta += plan.metadata_up + mp.bds_per_file_bytes;
+      down_meta += plan.metadata_down;
+    }
+    return do_exchange(t, up_payload, up_meta, 0, down_meta);
+  }
+
+  // Non-BDS: every file is its own sync transaction. The first transaction
+  // of a burst pays the full per-event overhead; follow-ups within the same
+  // burst ride the established session state and pay the burst overhead.
+  bool first = true;
+  for (const auto& [path, chg] : batch) {
+    const std::uint64_t oh_up = first ? mp.base_overhead_up
+                                      : mp.burst_overhead_up;
+    const std::uint64_t oh_down = first ? mp.base_overhead_down
+                                        : mp.burst_overhead_down;
+    first = false;
+    if (chg.remove) {
+      cloud_.delete_file(user_, device_, path, t);
+      shadow_.erase(path);
+      base_version_.erase(path);
+      t = do_exchange(t, 0, oh_up + kDeleteRecordBytes, 0, oh_down);
+      continue;
+    }
+    const upload_plan plan = plan_and_apply_upload(path, t);
+    t = do_exchange(t, plan.payload_up, plan.metadata_up + oh_up, 0,
+                    plan.metadata_down + oh_down);
+  }
+  return t;
+}
+
+std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
+  if (level <= 0 || content.empty()) return content.size();
+  // Real clients skip the compressor when a sample looks incompressible.
+  if (content.size() >= 4096 &&
+      estimate_compression_ratio(content, 16 * 1024) < 1.05) {
+    return content.size();
+  }
+  return lzss_compress(content, {.level = level}).size();
+}
+
+sync_client::upload_plan sync_client::plan_and_apply_upload(
+    const std::string& path, sim_time at) {
+  const method_profile& mp = opts_.profile.method(opts_.method);
+  upload_plan plan;
+
+  const byte_view content = fs_.read(path);
+  const file_manifest* man = cloud_.manifest(user_, path);
+  const bool in_cloud = man != nullptr && !man->deleted;
+  const auto shadow_it = shadow_.find(path);
+
+  // Parent-revision check: if the cloud moved past the version our local
+  // edits were based on (another device committed first), do not clobber
+  // it — divert our content to a conflicted copy, which syncs as a normal
+  // new file, and let the next poll fetch the winning version.
+  if (in_cloud) {
+    const auto base = base_version_.find(path);
+    if (base != base_version_.end() && man->version > base->second) {
+      const std::string conflict = path + " (conflicted copy)";
+      if (!fs_.exists(conflict)) {
+        fs_.create(conflict, byte_buffer(content.begin(), content.end()),
+                   at);
+      }
+      ++conflicts_;
+      return plan;  // nothing shipped for the contested path
+    }
+  }
+
+  // 1. Incremental (rsync) sync — PC clients of Dropbox/SugarSync (§4.3).
+  //    Requires the previous synced version locally (the shadow); web and
+  //    mobile clients never have one.
+  if (mp.incremental_sync && in_cloud && shadow_it != shadow_.end() &&
+      !shadow_it->second.empty()) {
+    const file_signature sig =
+        compute_signature(shadow_it->second, opts_.profile.delta_chunk_size);
+    file_delta delta = compute_delta(sig, content);
+    const byte_buffer wire = serialize_delta(delta);
+    // The delta's literal regions are compressed like any upload.
+    plan.payload_up = shipped_size(wire, mp.upload_compression_level);
+    plan.metadata_up = static_cast<std::uint64_t>(
+        static_cast<double>(plan.payload_up) * mp.per_payload_metadata);
+    cloud_.apply_file_delta(user_, device_, path, delta, at);
+    base_version_[path] = cloud_.manifest(user_, path)->version;
+    // Keep the dedup index current: the post-delta content is now stored in
+    // the cloud and future identical uploads must be able to match it.
+    if (mp.dedup_enabled &&
+        cloud_.dedup().policy().granularity != dedup_granularity::none) {
+      cloud_.dedup().commit(user_, content);
+    }
+    shadow_it->second.assign(content.begin(), content.end());
+    return plan;
+  }
+
+  // 2. Full-file upload, with dedup if this method participates (§5.2).
+  const dedup_policy& dp = cloud_.dedup().policy();
+  std::uint64_t payload = 0;
+  if (mp.dedup_enabled && dp.granularity != dedup_granularity::none) {
+    const dedup_result res = cloud_.dedup().analyze(user_, content);
+    plan.metadata_up += res.fingerprints_sent * kFingerprintWireBytes;
+    plan.metadata_down += res.fingerprints_sent * kFingerprintAnswerBytes;
+    for (const chunk_ref& c : res.new_chunks) {
+      payload += shipped_size(slice(content, c), mp.upload_compression_level);
+    }
+    cloud_.dedup().commit(user_, content);
+  } else {
+    payload = shipped_size(content, mp.upload_compression_level);
+  }
+  plan.payload_up = payload;
+  plan.metadata_up += static_cast<std::uint64_t>(
+      static_cast<double>(payload) * mp.per_payload_metadata);
+
+  cloud_.put_file(user_, device_, path,
+                  byte_buffer(content.begin(), content.end()), payload, at);
+  base_version_[path] = cloud_.manifest(user_, path)->version;
+  shadow_[path] = byte_buffer(content.begin(), content.end());
+  return plan;
+}
+
+sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
+                                  std::uint64_t up_meta,
+                                  std::uint64_t down_payload,
+                                  std::uint64_t down_meta) {
+  ++exchanges_;
+  meter_.record(direction::up, traffic_category::payload, up_payload);
+  meter_.record(direction::up, traffic_category::metadata, up_meta);
+  meter_.record(direction::down, traffic_category::payload, down_payload);
+  meter_.record(direction::down, traffic_category::metadata, down_meta);
+  meter_.record(direction::up, traffic_category::notification,
+                opts_.http.request_header_bytes);
+  meter_.record(direction::down, traffic_category::notification,
+                opts_.http.response_header_bytes);
+  return conn_.exchange(
+      at, up_payload + up_meta + opts_.http.request_header_bytes,
+      down_payload + down_meta + opts_.http.response_header_bytes);
+}
+
+void sync_client::download(const std::string& path) {
+  const method_profile& mp = opts_.profile.method(opts_.method);
+  const auto content = cloud_.file_content(user_, path);
+  if (!content) return;
+
+  const std::uint64_t payload =
+      shipped_size(*content, mp.download_compression_level);
+  const std::uint64_t down_meta =
+      mp.base_overhead_down / 4 +
+      static_cast<std::uint64_t>(static_cast<double>(payload) *
+                                 mp.per_payload_metadata);
+  const std::uint64_t up_meta = mp.base_overhead_up / 4;
+
+  const sim_time start = std::max(clock_.now(), network_busy_until_);
+  network_busy_until_ = do_exchange(start, 0, up_meta, payload, down_meta);
+
+  // Materialise the remote version locally (suppressed: our own write must
+  // not re-enter the upload pipeline) and adopt it as the synced state.
+  applying_remote_ = true;
+  if (fs_.exists(path)) {
+    fs_.write(path, byte_buffer(content->begin(), content->end()),
+              clock_.now());
+  } else {
+    fs_.create(path, byte_buffer(content->begin(), content->end()),
+               clock_.now());
+  }
+  applying_remote_ = false;
+  shadow_[path] = byte_buffer(content->begin(), content->end());
+  const file_manifest* man = cloud_.manifest(user_, path);
+  if (man != nullptr) base_version_[path] = man->version;
+}
+
+std::size_t sync_client::poll_remote_changes() {
+  const auto notes = cloud_.metadata().fetch_notifications(user_, device_);
+  // The notification poll itself is a small exchange.
+  const sim_time start = std::max(clock_.now(), network_busy_until_);
+  network_busy_until_ =
+      do_exchange(start, 0, 64, 0, 120 * std::max<std::size_t>(1, notes.size()));
+  std::size_t applied = 0;
+  for (const change_notification& note : notes) {
+    if (note.deleted) {
+      // Remote deletion: remove the local copy unless it carries unsynced
+      // edits (then the local version survives and will re-upload).
+      if (fs_.exists(note.path) && !dirty_.contains(note.path)) {
+        applying_remote_ = true;
+        fs_.remove(note.path, clock_.now());
+        applying_remote_ = false;
+      }
+      shadow_.erase(note.path);
+      base_version_.erase(note.path);
+      ++applied;
+      continue;
+    }
+    if (dirty_.contains(note.path) && fs_.exists(note.path)) {
+      // Divergent edits on both sides: the remote version wins the path,
+      // the local edits survive as a conflicted copy that syncs normally
+      // (the Dropbox behaviour).
+      const std::string conflict = note.path + " (conflicted copy)";
+      if (!fs_.exists(conflict)) {
+        const byte_view local = fs_.read(note.path);
+        fs_.create(conflict, byte_buffer(local.begin(), local.end()),
+                   clock_.now());
+      }
+      dirty_.erase(note.path);
+      ++conflicts_;
+    }
+    download(note.path);
+    ++applied;
+  }
+  return applied;
+}
+
+void sync_client::enable_periodic_poll(sim_time interval, sim_time until) {
+  const sim_time next = clock_.now() + interval;
+  if (next > until) return;
+  clock_.schedule_at(next, [this, interval, until] {
+    poll_remote_changes();
+    enable_periodic_poll(interval, until);
+  });
+}
+
+sim_time sync_client::busy_until() const {
+  return std::max(network_busy_until_, index_busy_until_);
+}
+
+}  // namespace cloudsync

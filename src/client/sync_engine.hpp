@@ -1,0 +1,148 @@
+// The sync client: watches a local sync folder, defers/batches updates, runs
+// the upload pipeline (delta sync → dedup → compression), talks to the cloud
+// over the modelled network, and meters every byte.
+//
+// Faithful to the paper's observed mechanics:
+//   §4.1/4.2/4.3 — per-event overhead, fake deletion, full-file vs IDS
+//   §5.1/5.2     — compression and dedup applied per access method
+//   §6.1         — defer policies (none / fixed / ASD)
+//   §6.2         — a pending batch commits only when (C1) the previous
+//                  commit's transfer finished and (C2) metadata computation
+//                  caught up; poor networks/hardware batch naturally.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "client/access_method.hpp"
+#include "client/defer_policy.hpp"
+#include "client/hardware.hpp"
+#include "client/service_profile.hpp"
+#include "fs/memfs.hpp"
+#include "net/http_model.hpp"
+#include "net/link.hpp"
+#include "net/sim_clock.hpp"
+#include "net/tcp_model.hpp"
+#include "net/traffic_meter.hpp"
+#include "storage/cloud.hpp"
+#include "util/stats.hpp"
+
+namespace cloudsync {
+
+struct sync_options {
+  service_profile profile;
+  access_method method = access_method::pc_client;
+  hardware_profile hardware = hardware_profile::m1();
+  link_config link = link_config::minnesota();
+  tcp_config tcp{};
+  http_config http{400, 250};
+  /// Start with an established (already-handshaken) connection, as a running
+  /// client app would have; the warm-up bytes are not metered.
+  bool warm_connection = true;
+};
+
+class sync_client {
+ public:
+  sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
+              sync_options opts);
+
+  sync_client(const sync_client&) = delete;
+  sync_client& operator=(const sync_client&) = delete;
+
+  traffic_meter& meter() { return meter_; }
+  const traffic_meter& meter() const { return meter_; }
+
+  /// Client-initiated full-file download (Table 8 "DN" experiments).
+  void download(const std::string& path);
+
+  /// Fetch pending change notifications from the cloud and download every
+  /// remotely changed file (the receive side of a multi-device setup).
+  /// Returns the number of changes applied locally.
+  std::size_t poll_remote_changes();
+
+  /// Poll for remote changes every `interval` until `until` (bounded so the
+  /// event queue always drains). Models a second device keeping itself in
+  /// sync during a collaboration session.
+  void enable_periodic_poll(sim_time interval, sim_time until);
+
+  /// Time at which the client becomes fully idle (network + indexer).
+  sim_time busy_until() const;
+
+  std::uint64_t commit_count() const { return commits_; }
+  std::uint64_t exchange_count() const { return exchanges_; }
+
+  /// Sync-delay ("staleness") statistics in seconds: for each commit, how
+  /// long the oldest batched update waited until it was safely in the cloud.
+  /// This is the user-experience cost that bounds sync deferment (§6.1's
+  /// T_max rationale: "a too large T_i will harm user experience").
+  const running_stats& staleness_sec() const { return staleness_sec_; }
+  std::uint64_t handshake_count() const { return conn_.handshakes(); }
+  bool has_pending() const { return !dirty_.empty(); }
+  /// Conflicted copies created while applying remote changes.
+  std::uint64_t conflict_count() const { return conflicts_; }
+  device_id device() const { return device_; }
+  const sync_options& options() const { return opts_; }
+
+  /// Replace the link mid-run (packet-filter experiments).
+  void set_link(link_config link) { conn_.set_link(link); }
+
+ private:
+  struct pending_change {
+    bool remove = false;
+    bool existed_in_cloud = false;  ///< at the time the change was queued
+  };
+
+  struct upload_plan {
+    std::uint64_t payload_up = 0;    ///< wire payload bytes (client → cloud)
+    std::uint64_t metadata_up = 0;   ///< fingerprints, delta framing, manifests
+    std::uint64_t metadata_down = 0; ///< dedup answers, chunk acks
+  };
+
+  void on_fs_event(const fs_event& ev);
+  std::uint64_t pending_update_estimate() const;
+  void schedule_commit(sim_time at);
+  void try_commit();
+  sim_time commit_batch(sim_time start,
+                        std::map<std::string, pending_change> batch);
+
+  /// Decide how `path`'s current content reaches the cloud and apply the
+  /// cloud-side state change. Returns the wire cost.
+  upload_plan plan_and_apply_upload(const std::string& path, sim_time at);
+
+  /// Wire-payload size of `content` under compression `level`, with a fast
+  /// path that skips compressing incompressible data (as real clients do).
+  std::uint64_t shipped_size(byte_view content, int level) const;
+
+  sim_time do_exchange(sim_time at, std::uint64_t up_payload,
+                       std::uint64_t up_meta, std::uint64_t down_payload,
+                       std::uint64_t down_meta);
+
+  sim_clock& clock_;
+  memfs& fs_;
+  cloud& cloud_;
+  user_id user_;
+  sync_options opts_;
+  traffic_meter meter_;
+  tcp_connection conn_;
+  std::unique_ptr<defer_policy> defer_;
+  device_id device_;
+
+  std::map<std::string, pending_change> dirty_;
+  std::map<std::string, byte_buffer> shadow_;  ///< last-synced content
+  std::map<std::string, std::uint64_t> base_version_;  ///< cloud version the
+                                                       ///< shadow matches
+  bool has_earliest_dirty_ = false;
+  sim_time earliest_dirty_{};  ///< arrival of the oldest pending update
+  running_stats staleness_sec_;
+  sim_time network_busy_until_{};
+  sim_time index_busy_until_{};
+  event_id commit_event_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t conflicts_ = 0;
+  bool applying_remote_ = false;  ///< suppress self-caused fs events
+};
+
+}  // namespace cloudsync

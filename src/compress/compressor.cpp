@@ -1,0 +1,23 @@
+#include "compress/compressor.hpp"
+
+#include "compress/huffman.hpp"
+
+namespace cloudsync {
+
+byte_buffer huffman_lzss_compressor::compress(byte_view input) const {
+  return huffman_encode(lzss_compress(input, {.level = level_}));
+}
+
+byte_buffer huffman_lzss_compressor::decompress(byte_view frame) const {
+  return lzss_decompress(huffman_decode(frame));
+}
+
+std::shared_ptr<const compressor> make_compressor(int level) {
+  if (level <= 0) {
+    static const auto identity = std::make_shared<identity_compressor>();
+    return identity;
+  }
+  return std::make_shared<lzss_compressor>(level);
+}
+
+}  // namespace cloudsync

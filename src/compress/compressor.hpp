@@ -1,0 +1,78 @@
+// Polymorphic compressor interface used by the sync pipeline.
+//
+// Services differ in *whether* and *how hard* they compress per access method
+// and direction (paper §5.1, Table 8); the sync engine holds a compressor per
+// (method, direction) slot.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "compress/lzss.hpp"
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+class compressor {
+ public:
+  virtual ~compressor() = default;
+
+  virtual byte_buffer compress(byte_view input) const = 0;
+  virtual byte_buffer decompress(byte_view frame) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Pass-through: models services that upload raw bytes.
+class identity_compressor final : public compressor {
+ public:
+  byte_buffer compress(byte_view input) const override {
+    return byte_buffer(input.begin(), input.end());
+  }
+  byte_buffer decompress(byte_view frame) const override {
+    return byte_buffer(frame.begin(), frame.end());
+  }
+  std::string name() const override { return "identity"; }
+};
+
+/// LZSS at a configurable level. Level maps to the paper's qualitative
+/// "low / moderate / high" compression observations.
+class lzss_compressor final : public compressor {
+ public:
+  explicit lzss_compressor(int level) : level_(level) {}
+
+  byte_buffer compress(byte_view input) const override {
+    return lzss_compress(input, {.level = level_});
+  }
+  byte_buffer decompress(byte_view frame) const override {
+    return lzss_decompress(frame);
+  }
+  std::string name() const override {
+    return "lzss-" + std::to_string(level_);
+  }
+  int level() const { return level_; }
+
+ private:
+  int level_;
+};
+
+/// Two-stage pipeline: LZSS dictionary coding followed by canonical Huffman
+/// entropy coding — the gzip-class reference point the ablation bench uses
+/// to show what a dictionary-only client compressor leaves on the table.
+class huffman_lzss_compressor final : public compressor {
+ public:
+  explicit huffman_lzss_compressor(int level) : level_(level) {}
+
+  byte_buffer compress(byte_view input) const override;
+  byte_buffer decompress(byte_view frame) const override;
+  std::string name() const override {
+    return "lzss+huffman-" + std::to_string(level_);
+  }
+
+ private:
+  int level_;
+};
+
+/// Factory: level <= 0 yields the identity compressor.
+std::shared_ptr<const compressor> make_compressor(int level);
+
+}  // namespace cloudsync

@@ -1,0 +1,29 @@
+// Canonical Huffman entropy coder over the byte alphabet, from scratch.
+//
+// Composes with LZSS into a gzip-class two-stage pipeline (dictionary +
+// entropy coding): the `huffman_lzss_compressor` in compressor.hpp. Used by
+// the ablation bench to quantify what the studied services' (dictionary-
+// only) compressors leave on the table.
+//
+// Frame layout: magic, varint payload size, 256 packed 4-bit code lengths,
+// bit stream. Code lengths are capped at 15; a canonical ordering makes the
+// table self-describing.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+/// Entropy-code `input`. Always succeeds; if coding would expand the data
+/// (uniform bytes), a stored frame is produced instead.
+byte_buffer huffman_encode(byte_view input);
+
+/// Inverse of huffman_encode. Throws std::runtime_error on malformed input.
+byte_buffer huffman_decode(byte_view frame);
+
+/// Shannon-entropy estimate of `input` in bits per byte (diagnostics).
+double byte_entropy_bits(byte_view input);
+
+}  // namespace cloudsync

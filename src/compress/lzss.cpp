@@ -1,0 +1,306 @@
+#include "compress/lzss.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "compress/varint.hpp"
+#include "util/crc32.hpp"
+
+namespace cloudsync {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'c';
+constexpr std::uint8_t kMagic1 = 'z';
+constexpr std::uint8_t kFormatStored = 0;
+constexpr std::uint8_t kFormatLzss = 1;
+
+constexpr std::size_t kWindowSize = 64 * 1024;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 255;  // length fits one byte
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+struct level_config {
+  std::size_t max_chain;  ///< How many previous positions to examine.
+  std::size_t nice_len;   ///< Stop searching once a match this long is found.
+  bool lazy;              ///< Defer one byte to look for a better match.
+  std::size_t accept_len; ///< Shortest match worth emitting (>= kMinMatch).
+                          ///< Low levels skip short matches entirely — the
+                          ///< "quite low" compression of mobile clients.
+};
+
+level_config config_for(int level) {
+  switch (std::clamp(level, 1, 9)) {
+    case 1: return {2, 16, false, 8};
+    case 2: return {4, 24, false, 7};
+    case 3: return {16, 32, false, kMinMatch};
+    case 4: return {24, 48, false, kMinMatch};
+    case 5: return {32, 64, true, kMinMatch};
+    case 6: return {64, 96, true, kMinMatch};
+    case 7: return {128, 128, true, kMinMatch};
+    case 8: return {256, 192, true, kMinMatch};
+    default: return {1024, kMaxMatch, true, kMinMatch};
+  }
+}
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Hash-chain match finder over the input.
+class match_finder {
+ public:
+  match_finder(byte_view input, const level_config& cfg)
+      : input_(input), cfg_(cfg), head_(kHashSize, kNone),
+        prev_(input.size(), kNone) {}
+
+  struct match {
+    std::size_t length = 0;
+    std::size_t distance = 0;
+  };
+
+  /// Best match at `pos` against the preceding window.
+  match find(std::size_t pos) const {
+    match best;
+    if (pos + kMinMatch > input_.size()) return best;
+    const std::size_t limit =
+        pos >= kWindowSize ? pos - kWindowSize : 0;
+    const std::size_t max_len = std::min(kMaxMatch, input_.size() - pos);
+    std::size_t cand = head_[hash4(input_.data() + pos)];
+    std::size_t chain = cfg_.max_chain;
+    while (cand != kNone && cand >= limit && chain-- > 0 &&
+           best.length < max_len) {
+      // Quick reject: check the byte just past the current best.
+      if (best.length == 0 ||
+          input_[cand + best.length] == input_[pos + best.length]) {
+        std::size_t len = 0;
+        while (len < max_len && input_[cand + len] == input_[pos + len]) {
+          ++len;
+        }
+        if (len > best.length) {
+          best.length = len;
+          best.distance = pos - cand;
+          if (len >= cfg_.nice_len) break;
+        }
+      }
+      cand = prev_[cand];
+    }
+    if (best.length < cfg_.accept_len) best = {};
+    return best;
+  }
+
+  /// Register position `pos` in the hash chains.
+  void insert(std::size_t pos) {
+    if (pos + 4 > input_.size()) return;
+    const std::uint32_t h = hash4(input_.data() + pos);
+    prev_[pos] = head_[h];
+    head_[h] = pos;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  byte_view input_;
+  const level_config& cfg_;
+  std::vector<std::size_t> head_;
+  std::vector<std::size_t> prev_;
+};
+
+/// Token emitter with one flag byte per 8 tokens (bit set = match).
+class token_writer {
+ public:
+  explicit token_writer(byte_buffer& out) : out_(out) {}
+
+  void literal(std::uint8_t b) {
+    begin_token(false);
+    out_.push_back(b);
+  }
+
+  void match(std::size_t distance, std::size_t length) {
+    begin_token(true);
+    out_.push_back(static_cast<std::uint8_t>(distance - 1));
+    out_.push_back(static_cast<std::uint8_t>((distance - 1) >> 8));
+    out_.push_back(static_cast<std::uint8_t>(length - kMinMatch));
+  }
+
+ private:
+  void begin_token(bool is_match) {
+    if (bit_ == 8) {
+      flag_pos_ = out_.size();
+      out_.push_back(0);
+      bit_ = 0;
+    }
+    if (is_match) out_[flag_pos_] |= static_cast<std::uint8_t>(1u << bit_);
+    ++bit_;
+  }
+
+  byte_buffer& out_;
+  std::size_t flag_pos_ = 0;
+  unsigned bit_ = 8;
+};
+
+byte_buffer make_stored_frame(byte_view input) {
+  byte_buffer out;
+  out.reserve(input.size() + 16);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kFormatStored);
+  put_varint(out, input.size());
+  append(out, input);
+  const std::uint32_t crc = crc32(input);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+byte_buffer lzss_compress(byte_view input, lzss_params params) {
+  if (params.level <= 0 || input.size() < kMinMatch + 4) {
+    return make_stored_frame(input);
+  }
+  const level_config cfg = config_for(params.level);
+
+  byte_buffer out;
+  out.reserve(input.size() / 2 + 32);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kFormatLzss);
+  put_varint(out, input.size());
+
+  match_finder finder(input, cfg);
+  token_writer writer(out);
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    match_finder::match cur = finder.find(pos);
+    if (cur.length >= kMinMatch) {
+      if (cfg.lazy && pos + 1 < input.size()) {
+        finder.insert(pos);
+        const match_finder::match next = finder.find(pos + 1);
+        if (next.length > cur.length + 1) {
+          // The deferred match is better: emit a literal and continue from
+          // pos+1 where the loop will rediscover `next`.
+          writer.literal(input[pos]);
+          ++pos;
+          continue;
+        }
+      } else {
+        finder.insert(pos);
+      }
+      writer.match(cur.distance, cur.length);
+      // Register the covered positions so later matches can reference them.
+      for (std::size_t i = 1; i < cur.length; ++i) finder.insert(pos + i);
+      pos += cur.length;
+    } else {
+      finder.insert(pos);
+      writer.literal(input[pos]);
+      ++pos;
+    }
+  }
+
+  const std::uint32_t crc = crc32(input);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+
+  // If the "compressed" stream expanded, fall back to a stored frame: the
+  // consumer always gets min(original, compressed) semantics, like gzip.
+  if (out.size() >= input.size() + 7 + 4) {
+    return make_stored_frame(input);
+  }
+  return out;
+}
+
+byte_buffer lzss_decompress(byte_view frame) {
+  std::size_t pos = 0;
+  auto fail = [](const char* why) -> byte_buffer {
+    throw std::runtime_error(std::string("lzss_decompress: ") + why);
+  };
+  if (frame.size() < 7 || frame[0] != kMagic0 || frame[1] != kMagic1) {
+    return fail("bad magic");
+  }
+  const std::uint8_t format = frame[2];
+  pos = 3;
+  const auto orig_size = get_varint(frame, pos);
+  if (!orig_size) return fail("truncated header");
+  if (frame.size() < pos + 4) return fail("truncated frame");
+  const std::size_t body_end = frame.size() - 4;
+
+  byte_buffer out;
+  out.reserve(*orig_size);
+
+  if (format == kFormatStored) {
+    if (body_end - pos != *orig_size) return fail("stored size mismatch");
+    out.assign(frame.begin() + static_cast<std::ptrdiff_t>(pos),
+               frame.begin() + static_cast<std::ptrdiff_t>(body_end));
+  } else if (format == kFormatLzss) {
+    std::uint8_t flags = 0;
+    unsigned bit = 8;
+    while (out.size() < *orig_size) {
+      if (bit == 8) {
+        if (pos >= body_end) return fail("truncated token stream");
+        flags = frame[pos++];
+        bit = 0;
+      }
+      if (flags & (1u << bit)) {
+        if (pos + 3 > body_end) return fail("truncated match");
+        const std::size_t distance =
+            (static_cast<std::size_t>(frame[pos]) |
+             static_cast<std::size_t>(frame[pos + 1]) << 8) + 1;
+        const std::size_t length = frame[pos + 2] + kMinMatch;
+        pos += 3;
+        if (distance > out.size()) return fail("match before start");
+        // Byte-by-byte copy: overlapping matches (distance < length) are the
+        // RLE case and must replicate.
+        std::size_t src = out.size() - distance;
+        for (std::size_t i = 0; i < length; ++i) {
+          out.push_back(out[src + i]);
+        }
+      } else {
+        if (pos >= body_end) return fail("truncated literal");
+        out.push_back(frame[pos++]);
+      }
+      ++bit;
+    }
+    if (out.size() != *orig_size) return fail("size mismatch");
+  } else {
+    return fail("unknown format");
+  }
+
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(frame[body_end + i]) << (8 * i);
+  }
+  if (crc32(out) != crc) return fail("crc mismatch");
+  return out;
+}
+
+double estimate_compression_ratio(byte_view input, std::size_t sample_budget) {
+  if (input.empty()) return 1.0;
+  if (input.size() <= sample_budget) {
+    const byte_buffer c = lzss_compress(input, {.level = 5});
+    return static_cast<double>(input.size()) /
+           static_cast<double>(std::max<std::size_t>(1, c.size()));
+  }
+  // Sample up to 8 evenly spaced windows.
+  const std::size_t window = sample_budget / 8;
+  std::size_t total_in = 0, total_out = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t off =
+        (input.size() - window) * static_cast<std::size_t>(i) / 7;
+    const byte_view chunk = input.subspan(off, window);
+    const byte_buffer c = lzss_compress(chunk, {.level = 5});
+    total_in += chunk.size();
+    total_out += c.size();
+  }
+  return static_cast<double>(total_in) /
+         static_cast<double>(std::max<std::size_t>(1, total_out));
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,36 @@
+// LZSS dictionary compressor, implemented from scratch.
+//
+// Greedy/lazy hash-chain matcher over a 64 KiB sliding window. The encoded
+// stream is flag-grouped: one control byte per 8 tokens, each token either a
+// literal byte or a (offset, length) back-reference.
+//
+// The `level` knob (0-9) trades CPU for ratio exactly like zlib's: it bounds
+// the hash-chain walk and enables lazy matching at higher levels. Level 0
+// stores the input uncompressed (used to model services that upload raw).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+struct lzss_params {
+  int level = 6;  ///< 0 = store, 1 = fastest, 9 = best ratio.
+};
+
+/// Compress `input` into a self-describing frame (magic, original size,
+/// token stream, CRC-32 trailer).
+byte_buffer lzss_compress(byte_view input, lzss_params params = {});
+
+/// Decompress a frame produced by lzss_compress.
+/// Throws std::runtime_error on malformed input or CRC mismatch.
+byte_buffer lzss_decompress(byte_view frame);
+
+/// Cheap compressibility probe: compresses up to `sample_budget` bytes of
+/// evenly spaced windows and returns the estimated ratio original/compressed
+/// (>= 1.0 means compressible).
+double estimate_compression_ratio(byte_view input,
+                                  std::size_t sample_budget = 64 * 1024);
+
+}  // namespace cloudsync

@@ -1,0 +1,25 @@
+#include "compress/varint.hpp"
+
+namespace cloudsync {
+
+void put_varint(byte_buffer& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<std::uint64_t> get_varint(byte_view data, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos < data.size() && shift < 64) {
+    const std::uint8_t b = data[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,19 @@
+// LEB128-style unsigned varint encoding, used by the LZSS frame and the
+// rsync delta serialisation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+/// Append v to out, 7 bits per byte, little-endian groups.
+void put_varint(byte_buffer& out, std::uint64_t v);
+
+/// Decode starting at `pos` within `data`; advances pos past the varint.
+/// Returns nullopt on truncated or oversized (>10 byte) input.
+std::optional<std::uint64_t> get_varint(byte_view data, std::size_t& pos);
+
+}  // namespace cloudsync

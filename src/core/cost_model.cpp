@@ -1,0 +1,34 @@
+#include "core/cost_model.hpp"
+
+namespace cloudsync {
+
+namespace {
+constexpr double kGB = 1e9;  // decimal gigabyte, as ISPs and S3 bill
+}
+
+traffic_bill price_traffic(std::uint64_t outbound_bytes,
+                           std::uint64_t inbound_bytes,
+                           std::uint64_t requests, const pricing& p) {
+  traffic_bill bill;
+  bill.outbound_usd =
+      static_cast<double>(outbound_bytes) / kGB * p.usd_per_outbound_gb;
+  bill.inbound_usd =
+      static_cast<double>(inbound_bytes) / kGB * p.usd_per_inbound_gb;
+  bill.request_usd =
+      static_cast<double>(requests) / 1e6 * p.usd_per_million_requests;
+  return bill;
+}
+
+traffic_bill price_meter(const traffic_meter& meter, std::uint64_t requests,
+                         const pricing& p) {
+  return price_traffic(meter.total(direction::down),
+                       meter.total(direction::up), requests, p);
+}
+
+double project_daily_cost(double daily_syncs, double avg_outbound_bytes,
+                          double avg_inbound_bytes, const pricing& p) {
+  return daily_syncs * (avg_outbound_bytes / kGB * p.usd_per_outbound_gb +
+                        avg_inbound_bytes / kGB * p.usd_per_inbound_gb);
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,47 @@
+// Monetary cost of sync traffic (paper §1).
+//
+// The paper estimates Dropbox's daily bill from the ISP-level trace: 1 billion
+// file updates/day × 5.18 MB average outbound traffic × $0.05/GB (Amazon S3
+// charges outbound only) ≈ $260,000/day. This module packages that arithmetic
+// so benches and examples can price any measured traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "net/traffic_meter.hpp"
+
+namespace cloudsync {
+
+struct pricing {
+  double usd_per_outbound_gb = 0.05;  ///< S3 Jan-2014 list price
+  double usd_per_inbound_gb = 0.0;    ///< S3 charges outbound only
+  double usd_per_million_requests = 0.0;  ///< optional request pricing
+
+  static pricing s3_2014() { return {}; }
+};
+
+struct traffic_bill {
+  double outbound_usd = 0;
+  double inbound_usd = 0;
+  double request_usd = 0;
+
+  double total_usd() const { return outbound_usd + inbound_usd + request_usd; }
+};
+
+/// Price raw byte counts. "Outbound" is cloud → client, i.e. what the
+/// provider pays its infrastructure for.
+traffic_bill price_traffic(std::uint64_t outbound_bytes,
+                           std::uint64_t inbound_bytes,
+                           std::uint64_t requests, const pricing& p);
+
+/// Price a client-side traffic meter: the meter's *down* direction is the
+/// provider's outbound traffic.
+traffic_bill price_meter(const traffic_meter& meter, std::uint64_t requests,
+                         const pricing& p);
+
+/// The paper's fleet-scale projection: `daily_syncs` sync operations per day
+/// at `avg_outbound_bytes` + `avg_inbound_bytes` each. Returns USD per day.
+double project_daily_cost(double daily_syncs, double avg_outbound_bytes,
+                          double avg_inbound_bytes, const pricing& p);
+
+}  // namespace cloudsync

@@ -1,0 +1,38 @@
+// Algorithm 1 from the paper: the Iterative Self Duplication Algorithm.
+//
+// Infers a service's deduplication granularity purely from observed sync
+// traffic, by uploading a fresh file f1 of B1 bytes, then f2 = f1 + f1, and
+// classifying the second upload's traffic:
+//   - Tr2 ≈ overhead only  → B divides B1 (dedup hit)
+//   - Tr2 < 2·B1, not small → B1 > B (partial hit)
+//   - Tr2 ≥ 2·B1           → B1 < B (no hit)
+//
+// Extension over the published pseudo-code: a "small" Tr2 only proves that B
+// divides B1, so after the first hit we keep bisecting downward to find the
+// minimal block size (then round to the customary power of two).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace cloudsync {
+
+struct dedup_probe_result {
+  bool full_file_dedup = false;   ///< identical re-upload was ~free
+  bool block_dedup = false;       ///< self-duplication detected a block size
+  std::size_t block_size = 0;     ///< inferred B (power of two), if block_dedup
+  int upload_rounds = 0;          ///< uploads performed by the probe
+  std::vector<std::string> log;   ///< step-by-step narration
+
+  /// Table-9 style cell: "No", "Full file", or "4 MB".
+  std::string granularity_string() const;
+};
+
+/// Probe the service described by `cfg`. With `cross_user`, the second
+/// upload of each pair is performed by a different user account.
+dedup_probe_result probe_dedup_granularity(const experiment_config& cfg,
+                                           bool cross_user);
+
+}  // namespace cloudsync

@@ -1,0 +1,166 @@
+#include "core/experiment.hpp"
+
+namespace cloudsync {
+
+namespace {
+cloud_config cloud_config_for(const experiment_config& cfg) {
+  cloud_config cc;
+  cc.dedup = cfg.profile.dedup;
+  cc.use_chunk_store = cfg.use_chunk_store;
+  cc.chunk_store_chunk_size = cfg.profile.delta_chunk_size;
+  return cc;
+}
+}  // namespace
+
+experiment_env::experiment_env(experiment_config cfg)
+    : cfg_(std::move(cfg)), cloud_(cloud_config_for(cfg_)), rng_(cfg_.seed) {
+  add_station(0);
+}
+
+station& experiment_env::add_station(user_id user) {
+  auto st = std::make_unique<station>();
+  st->user = user;
+  sync_options opts;
+  opts.profile = cfg_.profile;
+  opts.method = cfg_.method;
+  opts.hardware = cfg_.hardware;
+  opts.link = cfg_.link;
+  st->client = std::make_unique<sync_client>(clock_, st->fs, cloud_, user,
+                                             std::move(opts));
+  stations_.push_back(std::move(st));
+  return *stations_.back();
+}
+
+void experiment_env::settle() {
+  // Commits can reschedule themselves while transfers drain, so alternate
+  // between running the queue and advancing past busy periods.
+  for (int guard = 0; guard < 1000; ++guard) {
+    clock_.run_all();
+    sim_time latest = clock_.now();
+    bool pending = false;
+    for (const auto& st : stations_) {
+      latest = std::max(latest, st->client->busy_until());
+      pending = pending || st->client->has_pending();
+    }
+    clock_.advance_to(latest);
+    if (!pending && clock_.pending() == 0) return;
+  }
+}
+
+namespace {
+
+/// Create a file and settle; returns the traffic of that creation.
+std::uint64_t create_and_sync(experiment_env& env, const std::string& path,
+                              byte_buffer content) {
+  station& st = env.primary();
+  const auto snap = st.client->meter().snap();
+  st.fs.create(path, std::move(content), env.clock().now());
+  env.settle();
+  return experiment_env::traffic_since(st, snap);
+}
+
+}  // namespace
+
+std::uint64_t measure_creation_traffic(const experiment_config& cfg,
+                                       std::uint64_t z) {
+  experiment_env env(cfg);
+  return create_and_sync(env, "exp1/file.bin",
+                         make_compressed_file(env.random(), z));
+}
+
+std::uint64_t measure_batch_creation_traffic(const experiment_config& cfg,
+                                             std::size_t n,
+                                             std::uint64_t each) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+  const auto snap = st.client->meter().snap();
+  // "Move all of them into the sync folder in a batch": all created at the
+  // same instant, like a folder move.
+  for (std::size_t i = 0; i < n; ++i) {
+    st.fs.create("exp1b/f" + std::to_string(i),
+                 make_compressed_file(env.random(), each),
+                 env.clock().now());
+  }
+  env.settle();
+  return experiment_env::traffic_since(st, snap);
+}
+
+std::uint64_t measure_deletion_traffic(const experiment_config& cfg,
+                                       std::uint64_t z) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+  create_and_sync(env, "exp2/file.bin", make_compressed_file(env.random(), z));
+  const auto snap = st.client->meter().snap();
+  st.fs.remove("exp2/file.bin", env.clock().now());
+  env.settle();
+  return experiment_env::traffic_since(st, snap);
+}
+
+std::uint64_t measure_modification_traffic(const experiment_config& cfg,
+                                           std::uint64_t z) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+  create_and_sync(env, "exp3/file.bin", make_compressed_file(env.random(), z));
+  const auto snap = st.client->meter().snap();
+  modify_random_byte(st.fs, "exp3/file.bin", env.random(), env.clock().now());
+  env.settle();
+  return experiment_env::traffic_since(st, snap);
+}
+
+std::uint64_t measure_text_upload_traffic(const experiment_config& cfg,
+                                          std::uint64_t x) {
+  experiment_env env(cfg);
+  return create_and_sync(env, "exp4/text.txt",
+                         make_text_file(env.random(), x));
+}
+
+std::uint64_t measure_text_download_traffic(const experiment_config& cfg,
+                                            std::uint64_t x) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+  create_and_sync(env, "exp4/text.txt", make_text_file(env.random(), x));
+  const auto snap = st.client->meter().snap();
+  st.client->download("exp4/text.txt");
+  env.settle();
+  return experiment_env::traffic_since(st, snap);
+}
+
+append_experiment_result run_append_experiment(const experiment_config& cfg,
+                                               double append_kb,
+                                               double period_sec,
+                                               std::uint64_t total_bytes) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+  const std::string path = "exp6/doc.dat";
+  st.fs.create(path, {}, env.clock().now());
+  env.settle();
+
+  const auto snap = st.client->meter().snap();
+  const std::uint64_t commits_before = st.client->commit_count();
+
+  const auto chunk = static_cast<std::size_t>(append_kb * 1024.0);
+  std::uint64_t appended = 0;
+  std::size_t i = 0;
+  while (appended < total_bytes) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            chunk, total_bytes - appended));
+    const sim_time at =
+        sim_time::from_sec(period_sec * static_cast<double>(i + 1));
+    env.clock().schedule_at(at, [&env, &st, path, n] {
+      append_random(st.fs, path, env.random(), n, env.clock().now());
+    });
+    appended += n;
+    ++i;
+  }
+  env.settle();
+
+  append_experiment_result res;
+  res.total_traffic = experiment_env::traffic_since(st, snap);
+  res.data_update_bytes = total_bytes;
+  res.commits = st.client->commit_count() - commits_before;
+  res.tue = tue(res.total_traffic, res.data_update_bytes);
+  return res;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,123 @@
+// Experiment harness: wires clock + filesystems + cloud + sync clients into
+// one controllable environment, and packages the paper's Experiments 1-7 as
+// reusable measurement routines for the bench binaries and tests.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/sync_engine.hpp"
+#include "core/tue.hpp"
+#include "fs/file_ops.hpp"
+#include "util/rng.hpp"
+
+namespace cloudsync {
+
+struct experiment_config {
+  service_profile profile;
+  access_method method = access_method::pc_client;
+  link_config link = link_config::minnesota();
+  hardware_profile hardware = hardware_profile::m1();
+  std::uint64_t seed = 1234;
+  /// Use the Cumulus-style chunk-store cloud substrate (§4.3 footnote)
+  /// instead of whole-file objects behind the GET+PUT+DELETE mid-layer.
+  bool use_chunk_store = false;
+};
+
+/// One client machine attached to the environment: its own sync folder and
+/// sync client, belonging to a user account.
+struct station {
+  user_id user;
+  memfs fs;
+  std::unique_ptr<sync_client> client;
+};
+
+class experiment_env {
+ public:
+  explicit experiment_env(experiment_config cfg);
+
+  experiment_env(const experiment_env&) = delete;
+  experiment_env& operator=(const experiment_env&) = delete;
+
+  /// The primary station (user 0), created by the constructor.
+  station& primary() { return *stations_.front(); }
+
+  /// Attach another machine (e.g. a second user account for cross-user
+  /// dedup probing, or a second device of the same user).
+  station& add_station(user_id user);
+
+  /// Run the event loop until every pending sync completed, and make the
+  /// clock at least reach every station's busy-until point.
+  void settle();
+
+  /// Bytes of sync traffic a station accumulated since `snap`.
+  static std::uint64_t traffic_since(const station& st,
+                                     const traffic_meter::snapshot& snap) {
+    return st.client->meter().total_since(snap);
+  }
+
+  sim_clock& clock() { return clock_; }
+  cloud& the_cloud() { return cloud_; }
+  rng& random() { return rng_; }
+  const experiment_config& config() const { return cfg_; }
+
+ private:
+  experiment_config cfg_;
+  sim_clock clock_;
+  cloud cloud_;
+  rng rng_;
+  std::deque<std::unique_ptr<station>> stations_;
+};
+
+// ---------------------------------------------------------------------------
+// Packaged measurements (one per paper experiment).
+// ---------------------------------------------------------------------------
+
+/// Experiment 1: create one highly-compressed (incompressible) file of
+/// `z` bytes and return the total sync traffic.
+std::uint64_t measure_creation_traffic(const experiment_config& cfg,
+                                       std::uint64_t z);
+
+/// Experiment 1': move `n` distinct compressed files of `each` bytes into
+/// the sync folder at once; returns total traffic (Table 7).
+std::uint64_t measure_batch_creation_traffic(const experiment_config& cfg,
+                                             std::size_t n,
+                                             std::uint64_t each);
+
+/// Experiment 2: create a file of `z` bytes, let it sync, delete it; returns
+/// the traffic of the deletion alone.
+std::uint64_t measure_deletion_traffic(const experiment_config& cfg,
+                                       std::uint64_t z);
+
+/// Experiment 3: create + sync a `z`-byte compressed file, then modify one
+/// random byte; returns the traffic of syncing the modification alone.
+std::uint64_t measure_modification_traffic(const experiment_config& cfg,
+                                           std::uint64_t z);
+
+/// Experiment 4 upload half: create an `x`-byte random-English text file;
+/// returns the upload sync traffic.
+std::uint64_t measure_text_upload_traffic(const experiment_config& cfg,
+                                          std::uint64_t x);
+
+/// Experiment 4 download half: returns the traffic of downloading the same
+/// text file from the cloud.
+std::uint64_t measure_text_download_traffic(const experiment_config& cfg,
+                                            std::uint64_t x);
+
+/// Experiment 6/7: the "X KB / X sec" appending experiment. Appends
+/// `append_kb` random KB every `period_sec` until `total_bytes` have been
+/// appended, then settles. Returns the result below.
+struct append_experiment_result {
+  std::uint64_t total_traffic = 0;
+  std::uint64_t data_update_bytes = 0;
+  std::uint64_t commits = 0;
+  double tue = 0;
+};
+append_experiment_result run_append_experiment(const experiment_config& cfg,
+                                               double append_kb,
+                                               double period_sec,
+                                               std::uint64_t total_bytes);
+
+}  // namespace cloudsync

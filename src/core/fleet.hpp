@@ -1,0 +1,65 @@
+// Macro-level analysis (paper §3.1): replay the calibrated trace through
+// full sync stacks, per service, and report fleet-level traffic efficiency —
+// the "further macro-level analysis" the trace was collected to enable.
+//
+// Each trace record becomes a real file in a simulated user's sync folder:
+// created at its (time-compressed) creation instant with content matching
+// its recorded size, compressibility, and duplicate identity, then modified
+// `modify_count` times. Everything then flows through the service's actual
+// pipeline — BDS, IDS, dedup, compression, deferment — and the meters tell
+// us what the fleet would have paid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/experiment.hpp"
+#include "trace/generator.hpp"
+
+namespace cloudsync {
+
+struct fleet_config {
+  trace_params trace{};  ///< generator knobs (scale is overridden below)
+  access_method method = access_method::pc_client;
+  link_config link = link_config::minnesota();
+  hardware_profile hardware = hardware_profile::m1();
+
+  /// Cap on files replayed per service (runtime guard; the trace's relative
+  /// service proportions are preserved up to this cap).
+  std::size_t max_files_per_service = 250;
+
+  /// Files larger than this are clamped (the 2 GB trace outliers would
+  /// dominate runtime without changing the comparison).
+  std::uint64_t file_size_cap = 2 * MiB;
+
+  /// Trace timestamps are divided by this factor so months of user activity
+  /// replay in a bounded number of simulated hours.
+  double time_compression = 2000.0;
+
+  pricing price = pricing::s3_2014();
+};
+
+struct fleet_service_report {
+  std::string service;
+  std::size_t files = 0;
+  std::size_t users = 0;
+  std::uint64_t update_bytes = 0;  ///< created + modified payload
+  std::uint64_t sync_traffic = 0;
+  std::uint64_t commits = 0;
+  double mean_staleness_sec = 0;
+  traffic_bill bill;  ///< provider-side cost of this replay
+
+  double tue() const {
+    return update_bytes == 0 ? 0.0
+                             : static_cast<double>(sync_traffic) /
+                                   static_cast<double>(update_bytes);
+  }
+};
+
+/// Replay the trace against every mainstream service profile. Reports come
+/// back in the paper's service order.
+std::vector<fleet_service_report> replay_trace_fleet(
+    const fleet_config& cfg = {});
+
+}  // namespace cloudsync

@@ -1,0 +1,67 @@
+// Black-box service fingerprinting: the paper's entire measurement
+// methodology packaged as one call. Given only a sync client to drive and a
+// traffic meter to read (no access to profile internals), infer every design
+// choice the paper reverse-engineered:
+//
+//   per-event overhead      (Experiment 1, 1 B creation)
+//   sync granularity / IDS  (Experiment 3, random-byte modification)
+//   upload/download compression (Experiment 4, text vs incompressible)
+//   BDS                     (Experiment 1', batched creations)
+//   fixed sync deferment    (Experiment 6, X KB / X sec scan + refinement)
+//   dedup granularity       (Experiment 5, Algorithm 1)
+//
+// This is how the paper would approach iCloud Drive (§9's future work): no
+// documentation, only packets.
+#pragma once
+
+#include <string>
+
+#include "core/dedup_probe.hpp"
+#include "core/experiment.hpp"
+
+namespace cloudsync {
+
+struct probed_characteristics {
+  // Experiment 1: overhead.
+  std::uint64_t per_event_overhead = 0;  ///< 1 B creation traffic
+
+  // Experiment 3: sync granularity.
+  bool incremental_sync = false;
+  std::uint64_t est_delta_chunk = 0;  ///< traffic − overhead, if IDS
+
+  // Experiment 4: compression.
+  bool compresses_upload = false;
+  double est_upload_ratio = 1.0;  ///< incompressible-traffic / text-traffic
+  bool compresses_download = false;
+  double est_download_ratio = 1.0;
+
+  // Experiment 1': batched data sync.
+  bool batched_sync = false;
+  double batch_tue = 0.0;
+
+  // Experiment 6: sync deferment.
+  bool has_fixed_defer = false;
+  double est_defer_sec = 0.0;  ///< refined to the probe's step size
+
+  // Experiment 5: deduplication.
+  dedup_probe_result dedup_same_user;
+  dedup_probe_result dedup_cross_user;
+
+  /// Human-readable report card.
+  std::string summary() const;
+};
+
+struct probe_options {
+  /// Largest deferment the Experiment-6 scan looks for, in seconds.
+  double max_defer_scan_sec = 12.0;
+  /// Refinement granularity for the deferment estimate.
+  double defer_resolution_sec = 0.5;
+  /// Include the (slower) Algorithm-1 dedup probes.
+  bool probe_dedup = true;
+};
+
+/// Run the full fingerprinting suite against the service in `cfg`.
+probed_characteristics probe_service(const experiment_config& cfg,
+                                     const probe_options& options = {});
+
+}  // namespace cloudsync

@@ -1,0 +1,20 @@
+// TUE — Traffic Usage Efficiency (paper Eq. 1):
+//
+//   TUE = total data sync traffic / data update size
+//
+// where the data update size is the size of altered bits relative to the
+// cloud-stored file (compressed size when the service compresses).
+#pragma once
+
+#include <cstdint>
+
+namespace cloudsync {
+
+inline double tue(std::uint64_t sync_traffic_bytes,
+                  std::uint64_t data_update_bytes) {
+  if (data_update_bytes == 0) return 0.0;
+  return static_cast<double>(sync_traffic_bytes) /
+         static_cast<double>(data_update_bytes);
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,89 @@
+#include "dedup/dedup_engine.hpp"
+
+namespace cloudsync {
+
+std::vector<chunk_ref> dedup_engine::chunk_layout(byte_view data) const {
+  return policy_.granularity == dedup_granularity::content_defined
+             ? content_defined_chunks(data, policy_.cdc)
+             : fixed_chunks(data, policy_.block_size);
+}
+
+dedup_result dedup_engine::analyze(user_id user, byte_view data) const {
+  dedup_result res;
+  switch (policy_.granularity) {
+    case dedup_granularity::none:
+      res.new_bytes = data.size();
+      if (!data.empty()) res.new_chunks.push_back({0, data.size()});
+      return res;
+
+    case dedup_granularity::full_file: {
+      res.fingerprints_sent = 1;
+      if (!data.empty() &&
+          index_.contains(scope_for(user), fingerprint_of(data))) {
+        res.duplicate_bytes = data.size();
+        res.whole_file_duplicate = true;
+      } else {
+        res.new_bytes = data.size();
+        if (!data.empty()) res.new_chunks.push_back({0, data.size()});
+      }
+      return res;
+    }
+
+    case dedup_granularity::content_defined:
+    case dedup_granularity::fixed_block: {
+      const auto chunks =
+          policy_.granularity == dedup_granularity::content_defined
+              ? content_defined_chunks(data, policy_.cdc)
+              : fixed_chunks(data, policy_.block_size);
+      res.fingerprints_sent = chunks.size();
+      for (const chunk_ref& c : chunks) {
+        if (index_.contains(scope_for(user),
+                            fingerprint_of(slice(data, c)))) {
+          res.duplicate_bytes += c.size;
+        } else {
+          res.new_bytes += c.size;
+          res.new_chunks.push_back(c);
+        }
+      }
+      res.whole_file_duplicate = !data.empty() && res.new_bytes == 0;
+      return res;
+    }
+  }
+  return res;
+}
+
+void dedup_engine::commit(user_id user, byte_view data) {
+  if (data.empty()) return;
+  switch (policy_.granularity) {
+    case dedup_granularity::none:
+      return;
+    case dedup_granularity::full_file:
+      index_.add(scope_for(user), fingerprint_of(data));
+      return;
+    case dedup_granularity::content_defined:
+    case dedup_granularity::fixed_block:
+      for (const chunk_ref& c : chunk_layout(data)) {
+        index_.add(scope_for(user), fingerprint_of(slice(data, c)));
+      }
+      return;
+  }
+}
+
+void dedup_engine::retract(user_id user, byte_view data) {
+  if (data.empty()) return;
+  switch (policy_.granularity) {
+    case dedup_granularity::none:
+      return;
+    case dedup_granularity::full_file:
+      index_.remove(scope_for(user), fingerprint_of(data));
+      return;
+    case dedup_granularity::content_defined:
+    case dedup_granularity::fixed_block:
+      for (const chunk_ref& c : chunk_layout(data)) {
+        index_.remove(scope_for(user), fingerprint_of(slice(data, c)));
+      }
+      return;
+  }
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,28 @@
+#include "dedup/dedup_index.hpp"
+
+namespace cloudsync {
+
+bool dedup_index::contains(user_id scope, const fingerprint& fp) const {
+  const auto sit = scopes_.find(scope);
+  if (sit == scopes_.end()) return false;
+  return sit->second.contains(fp);
+}
+
+void dedup_index::add(user_id scope, const fingerprint& fp) {
+  ++scopes_[scope][fp];
+}
+
+void dedup_index::remove(user_id scope, const fingerprint& fp) {
+  const auto sit = scopes_.find(scope);
+  if (sit == scopes_.end()) return;
+  const auto it = sit->second.find(fp);
+  if (it == sit->second.end()) return;
+  if (--it->second == 0) sit->second.erase(it);
+}
+
+std::size_t dedup_index::unique_count(user_id scope) const {
+  const auto sit = scopes_.find(scope);
+  return sit == scopes_.end() ? 0 : sit->second.size();
+}
+
+}  // namespace cloudsync

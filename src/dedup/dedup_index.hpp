@@ -1,0 +1,36 @@
+// Reference-counted fingerprint index with per-user or global (cross-user)
+// scoping — the cloud-side data structure behind "has this content been
+// uploaded before?".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dedup/fingerprint.hpp"
+
+namespace cloudsync {
+
+using user_id = std::uint32_t;
+
+/// Scoped fingerprint set. Scope 0 is the global (cross-user) namespace;
+/// per-user entries live under the user's own scope.
+class dedup_index {
+ public:
+  bool contains(user_id scope, const fingerprint& fp) const;
+
+  /// Increment the reference count for fp in scope.
+  void add(user_id scope, const fingerprint& fp);
+
+  /// Decrement; erases the entry when the count reaches zero. Removing an
+  /// absent fingerprint is a no-op (delete of an unsynced file).
+  void remove(user_id scope, const fingerprint& fp);
+
+  std::size_t unique_count(user_id scope) const;
+  std::size_t total_scopes() const { return scopes_.size(); }
+
+ private:
+  std::unordered_map<user_id, std::unordered_map<fingerprint, std::uint64_t>>
+      scopes_;
+};
+
+}  // namespace cloudsync

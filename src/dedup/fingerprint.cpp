@@ -1,0 +1,16 @@
+#include "dedup/fingerprint.hpp"
+
+namespace cloudsync {
+
+std::vector<fingerprint> block_fingerprints(byte_view data,
+                                            std::size_t block_size) {
+  std::vector<fingerprint> out;
+  const auto chunks = fixed_chunks(data, block_size);
+  out.reserve(chunks.size());
+  for (const chunk_ref& c : chunks) {
+    out.push_back(fingerprint_of(slice(data, c)));
+  }
+  return out;
+}
+
+}  // namespace cloudsync

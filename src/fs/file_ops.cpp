@@ -1,0 +1,44 @@
+#include "fs/file_ops.hpp"
+
+#include <stdexcept>
+
+namespace cloudsync {
+
+byte_buffer make_compressed_file(rng& r, std::size_t z) {
+  return random_bytes(r, z);
+}
+
+byte_buffer make_text_file(rng& r, std::size_t x) {
+  return random_text(r, x);
+}
+
+std::size_t modify_random_byte(memfs& fs, const std::string& path, rng& r,
+                               sim_time now) {
+  const byte_view content = fs.read(path);
+  if (content.empty()) {
+    throw std::invalid_argument("modify_random_byte: empty file");
+  }
+  const std::size_t off = r.uniform(content.size());
+  std::uint8_t replacement;
+  do {
+    replacement = static_cast<std::uint8_t>(r.next());
+  } while (replacement == content[off]);
+  fs.patch(path, off, byte_view{&replacement, 1}, now);
+  return off;
+}
+
+void append_random(memfs& fs, const std::string& path, rng& r, std::size_t n,
+                   sim_time now) {
+  const byte_buffer data = random_bytes(r, n);
+  fs.append(path, data, now);
+}
+
+byte_buffer self_duplicate(byte_view f1) {
+  byte_buffer out;
+  out.reserve(f1.size() * 2);
+  append(out, f1);
+  append(out, f1);
+  return out;
+}
+
+}  // namespace cloudsync

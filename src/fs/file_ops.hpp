@@ -1,0 +1,32 @@
+// Controlled file-operation generators — the synthetic workloads of the
+// paper's Experiments 1-6 (§3.2 "Controlled file operations").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/memfs.hpp"
+#include "util/rng.hpp"
+
+namespace cloudsync {
+
+/// "Highly compressed file of Z bytes": incompressible random content
+/// (Experiments 1/2/3/5).
+byte_buffer make_compressed_file(rng& r, std::size_t z);
+
+/// "Text file filled with random English words" of X bytes (Experiment 4).
+byte_buffer make_text_file(rng& r, std::size_t x);
+
+/// Modify one random byte in place (Experiment 3). Guarantees the byte
+/// actually changes. Returns the modified offset.
+std::size_t modify_random_byte(memfs& fs, const std::string& path, rng& r,
+                               sim_time now);
+
+/// Append `n` random (incompressible) bytes (Experiment 6's "X KB/X sec").
+void append_random(memfs& fs, const std::string& path, rng& r, std::size_t n,
+                   sim_time now);
+
+/// Self-duplication from Algorithm 1: f2 = f1 + f1.
+byte_buffer self_duplicate(byte_view f1);
+
+}  // namespace cloudsync

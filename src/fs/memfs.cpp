@@ -1,0 +1,133 @@
+#include "fs/memfs.hpp"
+
+#include <stdexcept>
+
+namespace cloudsync {
+
+const char* to_string(fs_event::kind k) {
+  switch (k) {
+    case fs_event::kind::created: return "created";
+    case fs_event::kind::modified: return "modified";
+    case fs_event::kind::removed: return "removed";
+    case fs_event::kind::renamed: return "renamed";
+  }
+  return "?";
+}
+
+memfs::node& memfs::must_get(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::invalid_argument("memfs: no such file: " + path);
+  }
+  return it->second;
+}
+
+const memfs::node& memfs::must_get(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw std::invalid_argument("memfs: no such file: " + path);
+  }
+  return it->second;
+}
+
+void memfs::notify(const fs_event& ev) {
+  for (const observer& obs : observers_) obs(ev);
+}
+
+void memfs::create(const std::string& path, byte_buffer content,
+                   sim_time now) {
+  if (files_.contains(path)) {
+    throw std::invalid_argument("memfs: already exists: " + path);
+  }
+  node n;
+  n.content = std::move(content);
+  n.mtime = now;
+  n.version = 1;
+  const std::uint64_t sz = n.content.size();
+  files_.emplace(path, std::move(n));
+  notify({fs_event::kind::created, path, {}, now, sz});
+}
+
+void memfs::write(const std::string& path, byte_buffer content,
+                  sim_time now) {
+  node& n = must_get(path);
+  n.content = std::move(content);
+  n.mtime = now;
+  ++n.version;
+  notify({fs_event::kind::modified, path, {}, now, n.content.size()});
+}
+
+void memfs::append(const std::string& path, byte_view data, sim_time now) {
+  node& n = must_get(path);
+  cloudsync::append(n.content, data);
+  n.mtime = now;
+  ++n.version;
+  notify({fs_event::kind::modified, path, {}, now, n.content.size()});
+}
+
+void memfs::patch(const std::string& path, std::size_t offset, byte_view data,
+                  sim_time now) {
+  node& n = must_get(path);
+  if (offset + data.size() > n.content.size()) {
+    throw std::out_of_range("memfs: patch beyond end of file");
+  }
+  std::copy(data.begin(), data.end(),
+            n.content.begin() + static_cast<std::ptrdiff_t>(offset));
+  n.mtime = now;
+  ++n.version;
+  notify({fs_event::kind::modified, path, {}, now, n.content.size()});
+}
+
+void memfs::remove(const std::string& path, sim_time now) {
+  must_get(path);
+  files_.erase(path);
+  notify({fs_event::kind::removed, path, {}, now, 0});
+}
+
+void memfs::rename(const std::string& from, const std::string& to,
+                   sim_time now) {
+  if (files_.contains(to)) {
+    throw std::invalid_argument("memfs: rename target exists: " + to);
+  }
+  node n = std::move(must_get(from));
+  files_.erase(from);
+  n.mtime = now;
+  const std::uint64_t sz = n.content.size();
+  files_.emplace(to, std::move(n));
+  notify({fs_event::kind::renamed, to, from, now, sz});
+}
+
+bool memfs::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+byte_view memfs::read(const std::string& path) const {
+  return must_get(path).content;
+}
+
+std::uint64_t memfs::size(const std::string& path) const {
+  return must_get(path).content.size();
+}
+
+sim_time memfs::mtime(const std::string& path) const {
+  return must_get(path).mtime;
+}
+
+std::uint64_t memfs::version(const std::string& path) const {
+  return must_get(path).version;
+}
+
+std::vector<std::string> memfs::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+std::uint64_t memfs::total_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& [_, n] : files_) t += n.content.size();
+  return t;
+}
+
+}  // namespace cloudsync

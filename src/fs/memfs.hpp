@@ -1,0 +1,88 @@
+// In-memory model of the user's sync folder.
+//
+// Stands in for the client machine's local filesystem: every mutation is
+// observable (inotify-style) so the sync client can react, and all content
+// lives in memory so experiments are fast and deterministic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+struct fs_event {
+  enum class kind : std::uint8_t { created, modified, removed, renamed };
+  kind op = kind::created;
+  std::string path;
+  std::string old_path;  ///< renamed only
+  sim_time at{};
+  std::uint64_t size_after = 0;  ///< file size following the operation
+};
+
+const char* to_string(fs_event::kind k);
+
+class memfs {
+ public:
+  using observer = std::function<void(const fs_event&)>;
+
+  /// Register a change observer (the sync client's watcher). Multiple
+  /// observers are allowed; all receive every event.
+  void subscribe(observer obs) { observers_.push_back(std::move(obs)); }
+
+  // -- Mutations (all notify observers) --------------------------------
+
+  /// Create a new file. Throws std::invalid_argument if it already exists.
+  void create(const std::string& path, byte_buffer content, sim_time now);
+
+  /// Replace the whole content of an existing file.
+  void write(const std::string& path, byte_buffer content, sim_time now);
+
+  /// Append bytes to an existing file.
+  void append(const std::string& path, byte_view data, sim_time now);
+
+  /// Overwrite bytes starting at `offset` (must lie within the file).
+  void patch(const std::string& path, std::size_t offset, byte_view data,
+             sim_time now);
+
+  /// Delete a file. Throws std::invalid_argument if missing.
+  void remove(const std::string& path, sim_time now);
+
+  /// Rename a file (no overwrite allowed).
+  void rename(const std::string& from, const std::string& to, sim_time now);
+
+  // -- Queries -----------------------------------------------------------
+
+  bool exists(const std::string& path) const;
+  /// View of the current content. Throws if missing. The view is invalidated
+  /// by the next mutation of the same file.
+  byte_view read(const std::string& path) const;
+  std::uint64_t size(const std::string& path) const;
+  sim_time mtime(const std::string& path) const;
+  std::uint64_t version(const std::string& path) const;
+
+  std::vector<std::string> list() const;
+  std::size_t file_count() const { return files_.size(); }
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct node {
+    byte_buffer content;
+    sim_time mtime{};
+    std::uint64_t version = 0;
+  };
+
+  node& must_get(const std::string& path);
+  const node& must_get(const std::string& path) const;
+  void notify(const fs_event& ev);
+
+  std::map<std::string, node> files_;
+  std::vector<observer> observers_;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,25 @@
+#include "fs/watcher.hpp"
+
+namespace cloudsync {
+
+watcher::watcher(memfs& fs) {
+  // The watcher must outlive the filesystem it subscribes to, or at least
+  // never be destroyed while events can still fire — same lifetime contract
+  // as any memfs observer.
+  fs.subscribe([this](const fs_event& ev) {
+    queue_.push_back(ev);
+    ++observed_;
+  });
+}
+
+std::vector<fs_event> watcher::drain() {
+  std::vector<fs_event> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+const fs_event* watcher::peek() const {
+  return queue_.empty() ? nullptr : &queue_.front();
+}
+
+}  // namespace cloudsync

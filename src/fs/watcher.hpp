@@ -1,0 +1,40 @@
+// Queued filesystem watcher: an inotify-style consumer interface over
+// memfs's push notifications, for components that want to poll a batch of
+// events on their own schedule (the sync engine subscribes directly; tools
+// and tests often prefer a drainable queue).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fs/memfs.hpp"
+
+namespace cloudsync {
+
+class watcher {
+ public:
+  /// Starts watching immediately. Events raised before construction are not
+  /// seen (same contract as inotify).
+  explicit watcher(memfs& fs);
+
+  /// Events accumulated since the last drain, oldest first.
+  std::vector<fs_event> drain();
+
+  /// Next pending event without consuming it; nullptr if none.
+  const fs_event* peek() const;
+
+  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Drop everything accumulated so far.
+  void clear() { queue_.clear(); }
+
+  /// Total events observed over the watcher's lifetime (drained or not).
+  std::uint64_t total_observed() const { return observed_; }
+
+ private:
+  std::deque<fs_event> queue_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace cloudsync

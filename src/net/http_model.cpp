@@ -1,0 +1,19 @@
+#include "net/http_model.hpp"
+
+namespace cloudsync {
+
+sim_time http_exchange(tcp_connection& conn, const http_config& http,
+                       traffic_meter& meter, sim_time now,
+                       traffic_category cat, std::uint64_t up_body,
+                       std::uint64_t down_body) {
+  meter.record(direction::up, traffic_category::notification,
+               http.request_header_bytes);
+  meter.record(direction::down, traffic_category::notification,
+               http.response_header_bytes);
+  if (up_body > 0) meter.record(direction::up, cat, up_body);
+  if (down_body > 0) meter.record(direction::down, cat, down_body);
+  return conn.exchange(now, http.request_header_bytes + up_body,
+                       http.response_header_bytes + down_body);
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,28 @@
+// HTTP(S) application framing model.
+//
+// Commercial sync protocols ride on HTTPS; each logical operation costs a
+// request/response header pair on top of its body. These bytes are part of
+// the paper's "overhead traffic".
+#pragma once
+
+#include <cstdint>
+
+#include "net/tcp_model.hpp"
+#include "net/traffic_meter.hpp"
+
+namespace cloudsync {
+
+struct http_config {
+  std::uint64_t request_header_bytes = 700;   ///< method, path, auth, cookies
+  std::uint64_t response_header_bytes = 450;  ///< status, etags, json wrapper
+};
+
+/// One HTTPS request/response on a persistent connection: records header
+/// bytes as notification-category app traffic plus body bytes under `cat`,
+/// and returns the completion time from the TCP model.
+sim_time http_exchange(tcp_connection& conn, const http_config& http,
+                       traffic_meter& meter, sim_time now,
+                       traffic_category cat, std::uint64_t up_body,
+                       std::uint64_t down_body);
+
+}  // namespace cloudsync

@@ -1,0 +1,29 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace cloudsync {
+
+link_config link_config::minnesota() {
+  return {mbps_to_bytes_per_sec(20.0), mbps_to_bytes_per_sec(20.0),
+          sim_time::from_msec(50), 0.0};
+}
+
+link_config link_config::beijing() {
+  // A trans-Pacific consumer path in 2014: thin, far, and mildly lossy.
+  return {mbps_to_bytes_per_sec(1.6), mbps_to_bytes_per_sec(4.0),
+          sim_time::from_msec(300), 0.005};
+}
+
+link_config packet_filter::apply(link_config base) const {
+  if (max_bandwidth_bytes_per_sec > 0) {
+    base.up_bytes_per_sec =
+        std::min(base.up_bytes_per_sec, max_bandwidth_bytes_per_sec);
+    base.down_bytes_per_sec =
+        std::min(base.down_bytes_per_sec, max_bandwidth_bytes_per_sec);
+  }
+  base.rtt += added_delay;
+  return base;
+}
+
+}  // namespace cloudsync

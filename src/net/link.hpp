@@ -1,0 +1,35 @@
+// Access-link model between a client and the cloud.
+//
+// The paper's two vantage points map directly:
+//   MN — ~20 Mbps up, RTT 42-77 ms (close to the cloud)
+//   BJ — ~1.6 Mbps up, RTT 200-480 ms (remote)
+#pragma once
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace cloudsync {
+
+struct link_config {
+  double up_bytes_per_sec = mbps_to_bytes_per_sec(20.0);
+  double down_bytes_per_sec = mbps_to_bytes_per_sec(20.0);
+  sim_time rtt = sim_time::from_msec(50);
+  /// Segment loss probability (retransmissions cost wire bytes and time).
+  double loss_rate = 0.0;
+
+  /// The paper's MN vantage point (M1-M4): ~20 Mbps, RTT ≈ 50 ms.
+  static link_config minnesota();
+  /// The paper's BJ vantage point (B1-B4): ~1.6 Mbps, RTT ≈ 300 ms.
+  static link_config beijing();
+};
+
+/// Netfilter/Iptables-style packet filter from §3.2: clamps bandwidth and
+/// adds latency in both directions. Returns the effective link.
+struct packet_filter {
+  double max_bandwidth_bytes_per_sec = 0;  ///< 0 = unlimited
+  sim_time added_delay{};
+
+  link_config apply(link_config base) const;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,55 @@
+#include "net/sim_clock.hpp"
+
+namespace cloudsync {
+
+event_id sim_clock::schedule_at(sim_time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const event_id id = next_id_++;
+  queue_.push({at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool sim_clock::cancel(event_id id) {
+  // Lazy deletion: erase from the live set; the queue entry is skipped on pop.
+  return live_.erase(id) > 0;
+}
+
+bool sim_clock::run_one() {
+  while (!queue_.empty()) {
+    entry e = std::move(const_cast<entry&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(e.id) == 0) continue;  // was cancelled
+    now_ = e.at;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void sim_clock::run_until(sim_time t) {
+  while (!queue_.empty()) {
+    if (!live_.contains(queue_.top().id)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > t) break;
+    entry e = std::move(const_cast<entry&>(queue_.top()));
+    queue_.pop();
+    live_.erase(e.id);
+    now_ = e.at;
+    e.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void sim_clock::run_all(std::size_t max_events) {
+  while (max_events-- > 0 && run_one()) {
+  }
+}
+
+void sim_clock::advance_to(sim_time t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace cloudsync

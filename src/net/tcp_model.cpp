@@ -1,0 +1,123 @@
+#include "net/tcp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudsync {
+
+transfer_cost one_way_cost(std::uint64_t app_bytes, double bytes_per_sec,
+                           sim_time rtt, const tcp_config& cfg,
+                           int cwnd_segments, double loss_rate) {
+  transfer_cost cost;
+  if (app_bytes == 0) return cost;
+  loss_rate = std::clamp(loss_rate, 0.0, 0.5);
+
+  // TLS record framing inflates the application stream first.
+  const std::uint64_t records =
+      (app_bytes + cfg.tls_record_size - 1) / cfg.tls_record_size;
+  const std::uint64_t stream_bytes =
+      app_bytes + records * cfg.tls_record_overhead;
+
+  const std::uint64_t segments = (stream_bytes + cfg.mss - 1) / cfg.mss;
+  cost.fwd_wire = stream_bytes + segments * cfg.header_bytes;
+  cost.rev_wire = ((segments + cfg.ack_every - 1) / cfg.ack_every) *
+                  cfg.header_bytes;
+
+  // Slow start: each round sends cwnd segments and takes
+  // max(RTT, serialisation time of the round); cwnd doubles up to the
+  // bandwidth-delay product.
+  const double bdp_segments =
+      std::max(1.0, bytes_per_sec * rtt.sec() /
+                        static_cast<double>(cfg.mss + cfg.header_bytes));
+  const auto max_cwnd =
+      static_cast<std::uint64_t>(std::ceil(bdp_segments));
+  std::uint64_t cwnd = std::max(1, cwnd_segments);
+  std::uint64_t sent = 0;
+  double seconds = 0.0;
+  const double seg_wire = static_cast<double>(cfg.mss + cfg.header_bytes);
+  while (sent < segments) {
+    const std::uint64_t burst = std::min(cwnd, segments - sent);
+    const double tx = static_cast<double>(burst) * seg_wire / bytes_per_sec;
+    if (cwnd >= max_cwnd) {
+      // Pipe is full: remaining bytes flow at line rate.
+      const std::uint64_t rest = segments - sent;
+      seconds += static_cast<double>(rest) * seg_wire / bytes_per_sec;
+      sent = segments;
+      break;
+    }
+    seconds += std::max(rtt.sec(), tx);
+    sent += burst;
+    cwnd = std::min<std::uint64_t>(cwnd * 2, max_cwnd);
+  }
+  if (loss_rate > 0.0) {
+    // Expected retransmissions: each lost segment is sent again (and may be
+    // lost again) — a factor of p/(1-p) extra segments on the wire, plus
+    // dup-ACKs, plus roughly one recovery round trip per loss event.
+    const double retx =
+        static_cast<double>(segments) * loss_rate / (1.0 - loss_rate);
+    cost.fwd_wire += static_cast<std::uint64_t>(
+        retx * static_cast<double>(cfg.mss + cfg.header_bytes));
+    cost.rev_wire += static_cast<std::uint64_t>(
+        retx * 3.0 * static_cast<double>(cfg.header_bytes));  // dup-ACKs
+    seconds += retx * rtt.sec();
+    seconds /= 1.0 - loss_rate;  // goodput reduction
+  }
+
+  // One propagation leg for the tail to arrive.
+  cost.duration = sim_time::from_sec(seconds) + rtt * 0.5;
+  return cost;
+}
+
+bool tcp_connection::needs_handshake(sim_time now) const {
+  return !ever_used_ || now - last_activity_ > cfg_.idle_timeout;
+}
+
+sim_time tcp_connection::exchange(sim_time now, std::uint64_t up_app,
+                                  std::uint64_t down_app) {
+  sim_time t = now;
+
+  if (needs_handshake(now)) {
+    ++handshakes_;
+    // TCP three-way handshake: 1 RTT before data can flow; SYN/SYN-ACK/ACK.
+    meter_->record(direction::up, traffic_category::transport,
+                   2 * cfg_.header_bytes);
+    meter_->record(direction::down, traffic_category::transport,
+                   cfg_.header_bytes);
+    // TLS 1.2-style handshake: ~2 RTT, hello + certificate exchange.
+    meter_->record(direction::up, traffic_category::transport,
+                   cfg_.tls_client_bytes);
+    meter_->record(direction::down, traffic_category::transport,
+                   cfg_.tls_server_bytes);
+    t += link_.rtt * 3.0;
+    cwnd_ = cfg_.initial_window;
+  }
+
+  const transfer_cost up = one_way_cost(up_app, link_.up_bytes_per_sec,
+                                        link_.rtt, cfg_, cwnd_,
+                                        link_.loss_rate);
+  const transfer_cost down = one_way_cost(down_app, link_.down_bytes_per_sec,
+                                          link_.rtt, cfg_, cwnd_,
+                                          link_.loss_rate);
+
+  meter_->record(direction::up, traffic_category::transport,
+                 up.fwd_wire - up_app);
+  meter_->record(direction::down, traffic_category::transport, up.rev_wire);
+  meter_->record(direction::down, traffic_category::transport,
+                 down.fwd_wire - down_app);
+  meter_->record(direction::up, traffic_category::transport, down.rev_wire);
+
+  t += up.duration + down.duration;
+  // Request/response turnaround: the response cannot start before the
+  // request arrives; one extra half-RTT covers the server turnaround.
+  if (up_app > 0 && down_app > 0) t += link_.rtt * 0.5;
+
+  // A warm connection keeps a grown window (bounded by the BDP inside
+  // one_way_cost on the next call).
+  cwnd_ = std::max(cwnd_, cfg_.initial_window * 4);
+
+  ever_used_ = true;
+  last_activity_ = t;
+  return t;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,79 @@
+// Analytic TCP/TLS flow model.
+//
+// The simulation does not move packets; it computes, for each application
+// exchange, (a) the wire bytes both ways — segmentation headers, ACK stream,
+// handshakes — which the traffic meter records as `transport`, and (b) the
+// completion time under slow start and the link's bandwidth/RTT. Completion
+// times drive the §6.2 batching conditions, so latency/bandwidth shape TUE.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.hpp"
+#include "net/traffic_meter.hpp"
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+struct tcp_config {
+  std::size_t mss = 1460;            ///< TCP payload per segment
+  std::size_t header_bytes = 40;     ///< IP + TCP header per segment
+  std::size_t ack_every = 2;         ///< delayed-ACK: one ACK per 2 segments
+  int initial_window = 10;           ///< IW10 (RFC 6928), segments
+  std::size_t tls_client_bytes = 1800;   ///< ClientHello + key exchange
+  std::size_t tls_server_bytes = 4200;   ///< ServerHello + certificate chain
+  std::size_t tls_record_overhead = 29;  ///< per ~16 KB TLS record
+  std::size_t tls_record_size = 16 * 1024;
+  sim_time idle_timeout = sim_time::from_sec(30);  ///< keep-alive window
+};
+
+/// Wire accounting + timing for one one-way transfer of `app_bytes`.
+struct transfer_cost {
+  std::uint64_t fwd_wire = 0;  ///< bytes in the data direction
+  std::uint64_t rev_wire = 0;  ///< ACK bytes in the reverse direction
+  sim_time duration{};
+};
+
+/// Cost of moving `app_bytes` one way over `cfg`/`link` given slow start
+/// starting from `cwnd_segments`. `loss_rate` is the per-segment drop
+/// probability: lost segments are retransmitted (extra wire bytes) and the
+/// flow pays recovery round trips. Pure function — no state.
+transfer_cost one_way_cost(std::uint64_t app_bytes, double bytes_per_sec,
+                           sim_time rtt, const tcp_config& cfg,
+                           int cwnd_segments, double loss_rate = 0.0);
+
+/// A persistent client↔cloud connection. Charges handshake costs only when
+/// the connection is fresh or has idled out, mirroring real clients that
+/// keep a notification/sync channel alive.
+class tcp_connection {
+ public:
+  tcp_connection(link_config link, tcp_config cfg, traffic_meter& meter)
+      : link_(link), cfg_(cfg), meter_(&meter) {}
+
+  /// Perform a request/response exchange starting at `now`.
+  /// `up_app` / `down_app` are application bytes (payload + app metadata —
+  /// the caller records those itself); this method records only transport
+  /// bytes. Returns the completion time.
+  sim_time exchange(sim_time now, std::uint64_t up_app, std::uint64_t down_app);
+
+  /// Replace the link (packet-filter changes mid-experiment).
+  void set_link(link_config link) { link_ = link; }
+  const link_config& link() const { return link_; }
+  const tcp_config& config() const { return cfg_; }
+
+  /// Number of handshakes performed so far (observability for tests).
+  std::uint64_t handshakes() const { return handshakes_; }
+
+ private:
+  bool needs_handshake(sim_time now) const;
+
+  link_config link_;
+  tcp_config cfg_;
+  traffic_meter* meter_;
+  bool ever_used_ = false;
+  sim_time last_activity_{};
+  std::uint64_t handshakes_ = 0;
+  int cwnd_ = 0;  ///< current congestion window (segments), persists while warm
+};
+
+}  // namespace cloudsync

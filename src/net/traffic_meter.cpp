@@ -1,0 +1,81 @@
+#include "net/traffic_meter.hpp"
+
+#include "util/text_table.hpp"
+#include "util/units.hpp"
+
+namespace cloudsync {
+
+const char* to_string(traffic_category c) {
+  switch (c) {
+    case traffic_category::payload: return "payload";
+    case traffic_category::metadata: return "metadata";
+    case traffic_category::transport: return "transport";
+    case traffic_category::notification: return "notification";
+    case traffic_category::kCount: break;
+  }
+  return "?";
+}
+
+void traffic_meter::record(direction dir, traffic_category cat,
+                           std::uint64_t bytes) {
+  counters_[idx(dir, cat)] += bytes;
+}
+
+std::uint64_t traffic_meter::total() const {
+  std::uint64_t t = 0;
+  for (const auto c : counters_) t += c;
+  return t;
+}
+
+std::uint64_t traffic_meter::total(direction dir) const {
+  std::uint64_t t = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(traffic_category::kCount);
+       ++c) {
+    t += counters_[idx(dir, static_cast<traffic_category>(c))];
+  }
+  return t;
+}
+
+std::uint64_t traffic_meter::by_category(traffic_category cat) const {
+  return counters_[idx(direction::up, cat)] +
+         counters_[idx(direction::down, cat)];
+}
+
+std::uint64_t traffic_meter::get(direction dir, traffic_category cat) const {
+  return counters_[idx(dir, cat)];
+}
+
+std::uint64_t traffic_meter::overhead() const {
+  return total() - by_category(traffic_category::payload);
+}
+
+void traffic_meter::reset() { counters_.fill(0); }
+
+traffic_meter::snapshot traffic_meter::snap() const { return {counters_}; }
+
+std::uint64_t traffic_meter::total_since(const snapshot& since) const {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    t += counters_[i] - since.counters[i];
+  }
+  return t;
+}
+
+std::string traffic_meter::summary() const {
+  text_table table;
+  table.header({"category", "up", "down", "total"});
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(traffic_category::kCount); ++c) {
+    const auto cat = static_cast<traffic_category>(c);
+    table.row({to_string(cat),
+               format_bytes(static_cast<double>(get(direction::up, cat))),
+               format_bytes(static_cast<double>(get(direction::down, cat))),
+               format_bytes(static_cast<double>(by_category(cat)))});
+  }
+  table.row({"TOTAL", format_bytes(static_cast<double>(total(direction::up))),
+             format_bytes(static_cast<double>(total(direction::down))),
+             format_bytes(static_cast<double>(total()))});
+  return table.str();
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,152 @@
+#include "storage/chunk_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chunking/fixed_chunker.hpp"
+
+namespace cloudsync {
+
+chunk_backend::chunk_backend(object_store& store, std::size_t chunk_size)
+    : store_(store), chunk_size_(chunk_size) {
+  if (chunk_size_ == 0) {
+    throw std::invalid_argument("chunk_backend: chunk_size must be > 0");
+  }
+}
+
+std::string chunk_backend::store_chunk(byte_view data) {
+  const std::string key = "chunk/" + std::to_string(next_chunk_id_++);
+  store_.put(key, byte_buffer(data.begin(), data.end()));
+  return key;
+}
+
+void chunk_backend::ref_extents(const chunk_manifest& m) {
+  for (const chunk_extent& e : m.extents) ++refs_[e.object_key];
+}
+
+void chunk_backend::put_full(const std::string& manifest_key,
+                             byte_view content) {
+  chunk_manifest m;
+  m.logical_size = content.size();
+  for (const chunk_ref& c : fixed_chunks(content, chunk_size_)) {
+    m.extents.push_back({store_chunk(slice(content, c)), 0, c.size});
+  }
+  ref_extents(m);
+  manifests_[manifest_key] = std::move(m);
+}
+
+void chunk_backend::append_old_range(chunk_manifest& out,
+                                     const chunk_manifest& old,
+                                     std::uint64_t offset,
+                                     std::uint64_t length) {
+  // Walk the old extents and emit sub-extents covering [offset, offset+len).
+  std::uint64_t pos = 0;
+  for (const chunk_extent& e : old.extents) {
+    if (length == 0) break;
+    const std::uint64_t ext_end = pos + e.length;
+    if (ext_end > offset) {
+      const std::uint64_t skip = offset > pos ? offset - pos : 0;
+      const std::uint64_t take = std::min(e.length - skip, length);
+      // Merge with a preceding extent over the same object when contiguous.
+      if (!out.extents.empty()) {
+        chunk_extent& last = out.extents.back();
+        if (last.object_key == e.object_key &&
+            last.offset + last.length == e.offset + skip) {
+          last.length += take;
+          offset += take;
+          length -= take;
+          pos = ext_end;
+          continue;
+        }
+      }
+      out.extents.push_back({e.object_key, e.offset + skip, take});
+      offset += take;
+      length -= take;
+    }
+    pos = ext_end;
+  }
+  if (length != 0) {
+    throw std::runtime_error("chunk_backend: copy range beyond old file");
+  }
+}
+
+void chunk_backend::apply_delta(const std::string& old_key,
+                                const std::string& new_key,
+                                const file_delta& delta) {
+  const auto it = manifests_.find(old_key);
+  if (it == manifests_.end()) {
+    throw std::runtime_error("chunk_backend: unknown manifest " + old_key);
+  }
+  const chunk_manifest& old = it->second;
+  const std::uint64_t bs = delta.block_size;
+
+  chunk_manifest next;
+  next.logical_size = delta.new_file_size;
+  for (const delta_op& op : delta.ops) {
+    if (op.op == delta_op::kind::copy) {
+      const std::uint64_t start = op.block_index * bs;
+      const std::uint64_t end = std::min<std::uint64_t>(
+          old.logical_size, (op.block_index + op.block_count) * bs);
+      if (start > end) {
+        throw std::runtime_error("chunk_backend: copy past end of old file");
+      }
+      append_old_range(next, old, start, end - start);
+    } else {
+      // Fresh bytes: split into chunk-sized objects.
+      for (const chunk_ref& c : fixed_chunks(op.bytes, chunk_size_)) {
+        next.extents.push_back(
+            {store_chunk(slice(op.bytes, c)), 0, c.size});
+      }
+    }
+  }
+
+  std::uint64_t assembled = 0;
+  for (const chunk_extent& e : next.extents) assembled += e.length;
+  if (assembled != next.logical_size) {
+    throw std::runtime_error("chunk_backend: manifest size mismatch");
+  }
+
+  ref_extents(next);
+  manifests_[new_key] = std::move(next);
+}
+
+byte_buffer chunk_backend::materialize(const std::string& manifest_key) const {
+  const auto it = manifests_.find(manifest_key);
+  if (it == manifests_.end()) {
+    throw std::runtime_error("chunk_backend: unknown manifest " +
+                             manifest_key);
+  }
+  byte_buffer out;
+  out.reserve(it->second.logical_size);
+  for (const chunk_extent& e : it->second.extents) {
+    const auto chunk = store_.get(e.object_key);
+    if (!chunk || e.offset + e.length > chunk->size()) {
+      throw std::runtime_error("chunk_backend: missing or short chunk " +
+                               e.object_key);
+    }
+    append(out, chunk->subspan(e.offset, e.length));
+  }
+  return out;
+}
+
+void chunk_backend::release(const std::string& manifest_key) {
+  const auto it = manifests_.find(manifest_key);
+  if (it == manifests_.end()) return;
+  for (const chunk_extent& e : it->second.extents) {
+    const auto rit = refs_.find(e.object_key);
+    if (rit == refs_.end()) continue;
+    if (--rit->second == 0) {
+      store_.remove(e.object_key);
+      refs_.erase(rit);
+    }
+  }
+  manifests_.erase(it);
+}
+
+const chunk_manifest* chunk_backend::find(
+    const std::string& manifest_key) const {
+  const auto it = manifests_.find(manifest_key);
+  return it == manifests_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cloudsync

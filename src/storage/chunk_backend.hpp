@@ -1,0 +1,76 @@
+// Chunk-store backend: the alternative IDS substrate from the paper's §4.3
+// footnote (Cumulus-style) — every file is a manifest of extents over
+// immutable, reference-counted chunk objects. A MODIFY then PUTs only the
+// new chunks and rewrites the manifest, instead of GET+PUT+DELETE on a
+// whole-file object.
+//
+// This is what makes the §7 "logical interfaces of the storage
+// infrastructure" tradeoff measurable: compare object_store backend op/byte
+// counts under the two IDS substrates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/rsync.hpp"
+#include "storage/object_store.hpp"
+
+namespace cloudsync {
+
+struct chunk_extent {
+  std::string object_key;  ///< backing chunk object
+  std::uint64_t offset = 0;  ///< range within that object
+  std::uint64_t length = 0;
+};
+
+struct chunk_manifest {
+  std::vector<chunk_extent> extents;
+  std::uint64_t logical_size = 0;
+};
+
+class chunk_backend {
+ public:
+  /// `chunk_size` is the split granularity for fresh content. Chunks are
+  /// stored in (and counted against) the given object store.
+  chunk_backend(object_store& store, std::size_t chunk_size);
+
+  /// Store `content` under a new manifest, split into fixed-size chunks.
+  void put_full(const std::string& manifest_key, byte_view content);
+
+  /// Create `new_key`'s manifest by applying an rsync delta against
+  /// `old_key`'s: copy ops become extent references into the old version's
+  /// chunks (no data movement), literal ops become fresh chunk objects.
+  /// Throws std::runtime_error if old_key is unknown or the delta is
+  /// inconsistent with it.
+  void apply_delta(const std::string& old_key, const std::string& new_key,
+                   const file_delta& delta);
+
+  /// Reassemble the full content of a manifest (charges backend reads).
+  byte_buffer materialize(const std::string& manifest_key) const;
+
+  /// Drop a manifest; chunks reaching zero references are deleted from the
+  /// object store. Unknown keys are a no-op.
+  void release(const std::string& manifest_key);
+
+  const chunk_manifest* find(const std::string& manifest_key) const;
+
+  std::size_t chunk_size() const { return chunk_size_; }
+  /// Number of live (referenced) chunk objects.
+  std::size_t live_chunks() const { return refs_.size(); }
+
+ private:
+  std::string store_chunk(byte_view data);
+  void append_old_range(chunk_manifest& out, const chunk_manifest& old,
+                        std::uint64_t offset, std::uint64_t length);
+  void ref_extents(const chunk_manifest& m);
+
+  object_store& store_;
+  std::size_t chunk_size_;
+  std::unordered_map<std::string, chunk_manifest> manifests_;
+  std::unordered_map<std::string, std::uint64_t> refs_;
+  std::uint64_t next_chunk_id_ = 0;
+};
+
+}  // namespace cloudsync

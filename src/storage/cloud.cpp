@@ -1,0 +1,98 @@
+#include "storage/cloud.hpp"
+
+#include <stdexcept>
+
+namespace cloudsync {
+
+cloud::cloud(cloud_config cfg) : dedup_(cfg.dedup) {
+  if (cfg.use_chunk_store) {
+    chunks_ =
+        std::make_unique<chunk_backend>(store_, cfg.chunk_store_chunk_size);
+  }
+}
+
+std::string cloud::object_key(user_id user, const std::string& path,
+                              std::uint64_t version) const {
+  return "u" + std::to_string(user) + "/" + path + "/v" +
+         std::to_string(version);
+}
+
+void cloud::put_file(user_id user, device_id source, const std::string& path,
+                     byte_buffer content, std::uint64_t stored_size,
+                     sim_time now) {
+  const file_manifest* old = meta_.lookup(user, path);
+  const std::uint64_t version = old ? old->version + 1 : 1;
+
+  file_manifest man;
+  man.object_key = object_key(user, path, version);
+  man.logical_size = content.size();
+  man.stored_size = stored_size;
+  man.version = version;
+  man.modified_at = now;
+
+  if (chunks_) {
+    chunks_->put_full(man.object_key, content);
+    if (old && !old->deleted) chunks_->release(old->object_key);
+  } else {
+    // RESTful update: PUT new version, DELETE superseded object.
+    store_.put(man.object_key, std::move(content));
+    if (old && !old->deleted) store_.remove(old->object_key);
+  }
+
+  meta_.commit(user, source, path, std::move(man));
+}
+
+void cloud::apply_file_delta(user_id user, device_id source,
+                             const std::string& path, const file_delta& delta,
+                             sim_time now) {
+  const file_manifest* old = meta_.lookup(user, path);
+  if (old == nullptr || old->deleted) {
+    throw std::runtime_error("cloud: delta for unknown file: " + path);
+  }
+
+  file_manifest man;
+  man.version = old->version + 1;
+  man.object_key = object_key(user, path, man.version);
+  man.logical_size = delta.new_file_size;
+  man.stored_size = delta.literal_bytes();
+  man.modified_at = now;
+
+  if (chunks_) {
+    // Chunk substrate: new chunks + manifest rewrite; no whole-file GET.
+    chunks_->apply_delta(old->object_key, man.object_key, delta);
+    chunks_->release(old->object_key);
+  } else {
+    // Mid-layer transformation of MODIFY: GET + patch + PUT + DELETE.
+    const auto old_content = store_.get(old->object_key);
+    if (!old_content) {
+      throw std::runtime_error("cloud: backing object missing: " + path);
+    }
+    byte_buffer next = apply_delta(*old_content, delta);
+    store_.put(man.object_key, std::move(next));
+    store_.remove(old->object_key);
+  }
+
+  meta_.commit(user, source, path, std::move(man));
+}
+
+bool cloud::delete_file(user_id user, device_id source,
+                        const std::string& path, sim_time now) {
+  const file_manifest* man = meta_.lookup(user, path);
+  if (man == nullptr || man->deleted) return false;
+  // Attribute change only: the object remains for rollback (§4.2).
+  return meta_.mark_deleted(user, source, path, now);
+}
+
+std::optional<byte_buffer> cloud::file_content(user_id user,
+                                               const std::string& path) const {
+  const file_manifest* man = meta_.lookup(user, path);
+  if (man == nullptr || man->deleted) return std::nullopt;
+  if (chunks_) {
+    return chunks_->materialize(man->object_key);
+  }
+  const auto view = store_.get(man->object_key);
+  if (!view) return std::nullopt;
+  return byte_buffer(view->begin(), view->end());
+}
+
+}  // namespace cloudsync

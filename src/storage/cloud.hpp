@@ -1,0 +1,83 @@
+// The cloud: RESTful object store + metadata service + dedup index behind
+// one façade, with two selectable IDS substrates (paper §4.3 / §7):
+//
+//   whole-object (default) — files are single objects; a MODIFY goes through
+//     the mid-layer as GET + patch + PUT + DELETE (what Dropbox does on S3).
+//   chunk store  — Cumulus-style manifests over reference-counted chunk
+//     objects; a MODIFY PUTs only the new chunks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chunking/rsync.hpp"
+#include "dedup/dedup_engine.hpp"
+#include "storage/chunk_backend.hpp"
+#include "storage/metadata_service.hpp"
+#include "storage/object_store.hpp"
+
+namespace cloudsync {
+
+struct cloud_config {
+  dedup_policy dedup = dedup_policy::disabled();
+  /// Select the Cumulus-style chunk-store substrate instead of whole-file
+  /// objects. Note: the chunk store garbage-collects superseded versions
+  /// (reference counting), while the whole-object store retains full version
+  /// history for rollback.
+  bool use_chunk_store = false;
+  std::size_t chunk_store_chunk_size = 512 * 1024;
+};
+
+class cloud {
+ public:
+  explicit cloud(cloud_config cfg = {});
+
+  /// Register a client device for notification fan-out.
+  device_id attach_device(user_id user) { return meta_.register_device(user); }
+
+  /// Full-file commit: replaces (or creates) `path` with `content`.
+  /// `stored_size` is the representation size the client shipped (compressed
+  /// payload or deduplicated remainder) — kept for accounting.
+  void put_file(user_id user, device_id source, const std::string& path,
+                byte_buffer content, std::uint64_t stored_size, sim_time now);
+
+  /// IDS commit. Whole-object substrate: GET the old object, patch, PUT the
+  /// new version, DELETE the old one. Chunk substrate: PUT new chunks and
+  /// rewrite the manifest. Throws if the file does not exist in the cloud.
+  void apply_file_delta(user_id user, device_id source,
+                        const std::string& path, const file_delta& delta,
+                        sim_time now);
+
+  /// Fake deletion (attribute flip; content retained). Returns false if the
+  /// path is unknown or already deleted.
+  bool delete_file(user_id user, device_id source, const std::string& path,
+                   sim_time now);
+
+  /// Canonical (uncompressed) content of the current version, if live.
+  std::optional<byte_buffer> file_content(user_id user,
+                                          const std::string& path) const;
+
+  const file_manifest* manifest(user_id user, const std::string& path) const {
+    return meta_.lookup(user, path);
+  }
+
+  dedup_engine& dedup() { return dedup_; }
+  const dedup_engine& dedup() const { return dedup_; }
+  metadata_service& metadata() { return meta_; }
+  const object_store& store() const { return store_; }
+  object_store& store() { return store_; }
+  bool uses_chunk_store() const { return chunks_ != nullptr; }
+  const chunk_backend* chunk_store() const { return chunks_.get(); }
+
+ private:
+  std::string object_key(user_id user, const std::string& path,
+                         std::uint64_t version) const;
+
+  object_store store_;
+  metadata_service meta_;
+  dedup_engine dedup_;
+  std::unique_ptr<chunk_backend> chunks_;  ///< null = whole-object substrate
+};
+
+}  // namespace cloudsync

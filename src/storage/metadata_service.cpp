@@ -1,0 +1,80 @@
+#include "storage/metadata_service.hpp"
+
+namespace cloudsync {
+
+device_id metadata_service::register_device(user_id user) {
+  const device_id dev = next_device_++;
+  users_[user].device_queues[dev];  // materialise the queue
+  return dev;
+}
+
+void metadata_service::fan_out(user_state& st, device_id source,
+                               const change_notification& note) {
+  for (auto& [dev, queue] : st.device_queues) {
+    if (dev != source) queue.push_back(note);
+  }
+}
+
+void metadata_service::commit(user_id user, device_id source,
+                              const std::string& path,
+                              file_manifest manifest) {
+  user_state& st = users_[user];
+  const change_notification note{path, manifest.version, manifest.deleted,
+                                 manifest.modified_at};
+  st.manifests[path] = std::move(manifest);
+  fan_out(st, source, note);
+}
+
+bool metadata_service::mark_deleted(user_id user, device_id source,
+                                    const std::string& path, sim_time at) {
+  const auto uit = users_.find(user);
+  if (uit == users_.end()) return false;
+  const auto mit = uit->second.manifests.find(path);
+  if (mit == uit->second.manifests.end() || mit->second.deleted) return false;
+  mit->second.deleted = true;
+  mit->second.modified_at = at;
+  ++mit->second.version;
+  fan_out(uit->second, source,
+          {path, mit->second.version, true, at});
+  return true;
+}
+
+const file_manifest* metadata_service::lookup(user_id user,
+                                              const std::string& path) const {
+  const auto uit = users_.find(user);
+  if (uit == users_.end()) return nullptr;
+  const auto mit = uit->second.manifests.find(path);
+  return mit == uit->second.manifests.end() ? nullptr : &mit->second;
+}
+
+std::vector<change_notification> metadata_service::fetch_notifications(
+    user_id user, device_id dev) {
+  std::vector<change_notification> out;
+  const auto uit = users_.find(user);
+  if (uit == users_.end()) return out;
+  const auto qit = uit->second.device_queues.find(dev);
+  if (qit == uit->second.device_queues.end()) return out;
+  out.assign(qit->second.begin(), qit->second.end());
+  qit->second.clear();
+  return out;
+}
+
+std::size_t metadata_service::pending_notifications(user_id user,
+                                                    device_id dev) const {
+  const auto uit = users_.find(user);
+  if (uit == users_.end()) return 0;
+  const auto qit = uit->second.device_queues.find(dev);
+  return qit == uit->second.device_queues.end() ? 0 : qit->second.size();
+}
+
+std::vector<std::string> metadata_service::list(user_id user) const {
+  std::vector<std::string> out;
+  const auto uit = users_.find(user);
+  if (uit == users_.end()) return out;
+  for (const auto& [path, man] : uit->second.manifests) {
+    if (!man.deleted) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace cloudsync

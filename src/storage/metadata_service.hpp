@@ -1,0 +1,74 @@
+// Cloud-side file metadata: the per-user namespace mapping sync-folder paths
+// to stored objects, with version history, fake deletion, and change
+// notifications to the user's other devices.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dedup/dedup_index.hpp"  // for user_id
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+using device_id = std::uint32_t;
+
+struct file_manifest {
+  std::string object_key;       ///< backing object in the object store
+  std::uint64_t logical_size = 0;  ///< uncompressed file size
+  std::uint64_t stored_size = 0;   ///< representation size actually stored
+  std::uint64_t version = 0;
+  sim_time modified_at{};
+  bool deleted = false;  ///< fake deletion flag (attributes change only)
+};
+
+struct change_notification {
+  std::string path;
+  std::uint64_t version = 0;
+  bool deleted = false;
+  sim_time at{};
+};
+
+class metadata_service {
+ public:
+  /// Register a device for a user; returns its notification queue id.
+  device_id register_device(user_id user);
+
+  /// Record a new version of `path`. Fans out a notification to every other
+  /// device of the same user.
+  void commit(user_id user, device_id source, const std::string& path,
+              file_manifest manifest);
+
+  /// Mark deleted (attribute change only — content retained).
+  /// Returns false if the path is unknown or already deleted.
+  bool mark_deleted(user_id user, device_id source, const std::string& path,
+                    sim_time at);
+
+  const file_manifest* lookup(user_id user, const std::string& path) const;
+
+  /// Drain pending notifications for a device.
+  std::vector<change_notification> fetch_notifications(user_id user,
+                                                       device_id dev);
+  std::size_t pending_notifications(user_id user, device_id dev) const;
+
+  /// Live (non-deleted) paths for a user.
+  std::vector<std::string> list(user_id user) const;
+
+ private:
+  struct user_state {
+    std::map<std::string, file_manifest> manifests;
+    std::map<device_id, std::deque<change_notification>> device_queues;
+  };
+
+  void fan_out(user_state& st, device_id source,
+               const change_notification& note);
+
+  std::map<user_id, user_state> users_;
+  device_id next_device_ = 1;
+};
+
+}  // namespace cloudsync

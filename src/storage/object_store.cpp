@@ -1,0 +1,88 @@
+#include "storage/object_store.hpp"
+
+namespace cloudsync {
+
+void object_store::put(const std::string& key, byte_buffer data) {
+  ++stats_.puts;
+  stats_.bytes_written += data.size();
+  record& rec = objects_[key];
+  rec.versions.push_back(std::move(data));
+  rec.deleted = false;
+}
+
+std::optional<byte_view> object_store::get(const std::string& key) const {
+  ++stats_.gets;
+  const auto it = objects_.find(key);
+  if (it == objects_.end() || it->second.deleted ||
+      it->second.versions.empty()) {
+    return std::nullopt;
+  }
+  const byte_buffer& latest = it->second.versions.back();
+  stats_.bytes_read += latest.size();
+  return byte_view{latest};
+}
+
+bool object_store::head(const std::string& key) const {
+  ++stats_.heads;
+  const auto it = objects_.find(key);
+  return it != objects_.end() && !it->second.deleted;
+}
+
+bool object_store::remove(const std::string& key) {
+  ++stats_.deletes;
+  const auto it = objects_.find(key);
+  if (it == objects_.end() || it->second.deleted) return false;
+  it->second.deleted = true;
+  return true;
+}
+
+std::vector<std::string> object_store::list(const std::string& prefix) const {
+  ++stats_.lists;
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (!it->second.deleted) out.push_back(it->first);
+  }
+  return out;
+}
+
+std::size_t object_store::version_count(const std::string& key) const {
+  const auto it = objects_.find(key);
+  return it == objects_.end() ? 0 : it->second.versions.size();
+}
+
+std::optional<byte_view> object_store::get_version(const std::string& key,
+                                                   std::size_t version) const {
+  const auto it = objects_.find(key);
+  if (it == objects_.end() || version >= it->second.versions.size()) {
+    return std::nullopt;
+  }
+  return byte_view{it->second.versions[version]};
+}
+
+bool object_store::undelete(const std::string& key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end() || !it->second.deleted) return false;
+  it->second.deleted = false;
+  return true;
+}
+
+std::uint64_t object_store::live_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& [_, rec] : objects_) {
+    if (!rec.deleted && !rec.versions.empty()) {
+      t += rec.versions.back().size();
+    }
+  }
+  return t;
+}
+
+std::uint64_t object_store::retained_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& [_, rec] : objects_) {
+    for (const byte_buffer& v : rec.versions) t += v.size();
+  }
+  return t;
+}
+
+}  // namespace cloudsync

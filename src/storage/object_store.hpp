@@ -1,0 +1,80 @@
+// RESTful object store: the cloud-side substrate (paper §4.3's "Amazon S3 /
+// Azure / Swift" layer). Deliberately supports only full-object operations —
+// PUT, GET, DELETE, HEAD, LIST — which is exactly the constraint that makes
+// incremental sync require a mid-layer.
+//
+// DELETE is a "fake deletion" (paper §4.2): the object is tombstoned and its
+// versions retained for rollback, so deletions cost only metadata.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+/// Counters for backend operations — the cloud-internal cost of the IDS
+/// mid-layer (§7's tradeoff discussion).
+struct backend_op_stats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t heads = 0;
+  std::uint64_t lists = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+
+  std::uint64_t total_ops() const {
+    return puts + gets + deletes + heads + lists;
+  }
+};
+
+class object_store {
+ public:
+  /// Store a new version under `key` (un-deletes a tombstoned key).
+  void put(const std::string& key, byte_buffer data);
+
+  /// Latest live version, or nullopt if absent/tombstoned.
+  std::optional<byte_view> get(const std::string& key) const;
+
+  /// True if the key exists and is live.
+  bool head(const std::string& key) const;
+
+  /// Tombstone the key. Content is retained for version rollback.
+  /// Returns false if the key was absent or already deleted.
+  bool remove(const std::string& key);
+
+  /// All live keys with the given prefix.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Version history (live or not). Index 0 is the oldest.
+  std::size_t version_count(const std::string& key) const;
+  std::optional<byte_view> get_version(const std::string& key,
+                                       std::size_t version) const;
+
+  /// Restore a tombstoned key to its latest retained version.
+  bool undelete(const std::string& key);
+
+  /// Bytes of live (latest, non-tombstoned) objects.
+  std::uint64_t live_bytes() const;
+  /// Bytes including retained history and tombstoned content.
+  std::uint64_t retained_bytes() const;
+
+  const backend_op_stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct record {
+    std::vector<byte_buffer> versions;
+    bool deleted = false;
+  };
+
+  std::map<std::string, record> objects_;
+  mutable backend_op_stats stats_;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,178 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cloudsync {
+
+trace_summary summarize(const trace_dataset& ds) {
+  trace_summary s;
+  s.file_count = ds.files.size();
+  if (ds.files.empty()) return s;
+
+  std::vector<double> sizes, csizes;
+  sizes.reserve(ds.files.size());
+  csizes.reserve(ds.files.size());
+  std::size_t small = 0, csmall = 0, modified = 0, compressible = 0;
+  for (const trace_file_record& f : ds.files) {
+    sizes.push_back(static_cast<double>(f.original_size));
+    csizes.push_back(static_cast<double>(f.compressed_size));
+    s.total_original += f.original_size;
+    s.total_compressed += f.compressed_size;
+    if (f.is_small()) ++small;
+    if (f.compressed_size < 100 * 1024) ++csmall;
+    if (f.modify_count > 0) ++modified;
+    if (f.effectively_compressible()) ++compressible;
+  }
+  const auto n = static_cast<double>(ds.files.size());
+  empirical_cdf size_cdf(sizes), comp_cdf(csizes);
+  s.median_size = size_cdf.median();
+  s.mean_size = static_cast<double>(s.total_original) / n;
+  s.max_size = size_cdf.quantile(1.0);
+  s.median_compressed = comp_cdf.median();
+  s.fraction_small = static_cast<double>(small) / n;
+  s.fraction_small_compressed = static_cast<double>(csmall) / n;
+  s.fraction_modified = static_cast<double>(modified) / n;
+  s.fraction_effectively_compressible = static_cast<double>(compressible) / n;
+  s.overall_compression_ratio =
+      static_cast<double>(s.total_original) /
+      static_cast<double>(std::max<std::uint64_t>(1, s.total_compressed));
+  s.traffic_saving = 1.0 - 1.0 / s.overall_compression_ratio;
+  return s;
+}
+
+empirical_cdf original_size_cdf(const trace_dataset& ds) {
+  std::vector<double> sizes;
+  sizes.reserve(ds.files.size());
+  for (const trace_file_record& f : ds.files) {
+    sizes.push_back(static_cast<double>(f.original_size));
+  }
+  return empirical_cdf(std::move(sizes));
+}
+
+empirical_cdf compressed_size_cdf(const trace_dataset& ds) {
+  std::vector<double> sizes;
+  sizes.reserve(ds.files.size());
+  for (const trace_file_record& f : ds.files) {
+    sizes.push_back(static_cast<double>(f.compressed_size));
+  }
+  return empirical_cdf(std::move(sizes));
+}
+
+double batchable_small_fraction(const trace_dataset& ds, double window_sec) {
+  // Group small-file creation times per user, sort, and look for a
+  // neighbour within the window.
+  std::map<std::uint32_t, std::vector<double>> per_user;
+  for (const trace_file_record& f : ds.files) {
+    if (f.is_small()) per_user[f.user].push_back(f.creation_time);
+  }
+  std::size_t total = 0, batchable = 0;
+  for (auto& [user, times] : per_user) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      ++total;
+      const bool near_prev =
+          i > 0 && times[i] - times[i - 1] <= window_sec;
+      const bool near_next =
+          i + 1 < times.size() && times[i + 1] - times[i] <= window_sec;
+      if (near_prev || near_next) ++batchable;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(batchable) /
+                          static_cast<double>(total);
+}
+
+double full_file_duplicate_fraction(const trace_dataset& ds) {
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t total = 0, unique = 0;
+  for (const trace_file_record& f : ds.files) {
+    total += f.original_size;
+    if (seen.insert(f.full_md5.prefix64()).second) {
+      unique += f.original_size;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(total - unique) /
+                          static_cast<double>(total);
+}
+
+namespace {
+
+/// Shared machinery: ratio of total bytes to first-occurrence bytes, where
+/// occurrences are (scope, identity) pairs.
+class dedup_counter {
+ public:
+  void add(std::uint64_t scope, std::uint64_t identity, std::uint64_t bytes) {
+    total_ += bytes;
+    // Combine scope and identity; scope is small, identity is uniform.
+    const std::uint64_t key = identity ^ (scope * 0x9e3779b97f4a7c15ull);
+    if (seen_.insert(key).second) unique_ += bytes;
+  }
+  double ratio() const {
+    return unique_ == 0 ? 1.0
+                        : static_cast<double>(total_) /
+                              static_cast<double>(unique_);
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t total_ = 0;
+  std::uint64_t unique_ = 0;
+};
+
+}  // namespace
+
+double dedup_ratio_full_file(const trace_dataset& ds, bool cross_user) {
+  dedup_counter counter;
+  for (const trace_file_record& f : ds.files) {
+    counter.add(cross_user ? 0 : f.user + 1, f.full_md5.prefix64(),
+                f.original_size);
+  }
+  return counter.ratio();
+}
+
+double frequent_modification_user_fraction(const trace_dataset& ds,
+                                           double overhead_bytes,
+                                           double per_mod_payload_bytes,
+                                           double share) {
+  struct user_traffic {
+    double creation = 0;
+    double modification = 0;
+  };
+  std::map<std::uint32_t, user_traffic> users;
+  for (const trace_file_record& f : ds.files) {
+    user_traffic& u = users[f.user];
+    u.creation += overhead_bytes + static_cast<double>(f.original_size);
+    u.modification += static_cast<double>(f.modify_count) *
+                      (overhead_bytes + per_mod_payload_bytes);
+  }
+  if (users.empty()) return 0.0;
+  std::size_t over = 0;
+  for (const auto& [id, u] : users) {
+    const double total = u.creation + u.modification;
+    if (total > 0 && u.modification / total > share) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(users.size());
+}
+
+double dedup_ratio_blocks(const trace_dataset& ds,
+                          std::size_t granularity_index, bool cross_user) {
+  const std::uint64_t bs = trace_block_sizes.at(granularity_index);
+  dedup_counter counter;
+  for (const trace_file_record& f : ds.files) {
+    const auto& ids = f.block_ids[granularity_index];
+    const std::uint64_t scope = cross_user ? 0 : f.user + 1;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::uint64_t len =
+          i + 1 < ids.size() ? bs : f.original_size - bs * i;
+      counter.add(scope, ids[i], len);
+    }
+  }
+  return counter.ratio();
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,62 @@
+// Trace analytics reproducing the paper's §4/§5 dataset claims and the
+// Fig 2 / Fig 5 curves.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace_record.hpp"
+#include "util/stats.hpp"
+
+namespace cloudsync {
+
+struct trace_summary {
+  std::size_t file_count = 0;
+  std::uint64_t total_original = 0;
+  std::uint64_t total_compressed = 0;
+  double median_size = 0;
+  double mean_size = 0;
+  double max_size = 0;
+  double median_compressed = 0;
+  double fraction_small = 0;             ///< < 100 KB by original size (77 %)
+  double fraction_small_compressed = 0;  ///< < 100 KB by compressed size (81 %)
+  double fraction_modified = 0;          ///< modified at least once (84 %)
+  double fraction_effectively_compressible = 0;  ///< ratio < 0.9 (52 %)
+  double overall_compression_ratio = 0;  ///< total_orig / total_comp (≈1.31)
+  double traffic_saving = 0;             ///< 1 − 1/ratio (≈24 %)
+};
+
+trace_summary summarize(const trace_dataset& ds);
+
+/// CDFs over per-file sizes (Fig 2).
+empirical_cdf original_size_cdf(const trace_dataset& ds);
+empirical_cdf compressed_size_cdf(const trace_dataset& ds);
+
+/// Fraction of *small* files that have at least one other small file created
+/// by the same user within `window_sec` — the paper's "can be created in
+/// batches" (≈ 66 %), the BDS opportunity.
+double batchable_small_fraction(const trace_dataset& ds,
+                                double window_sec = 30.0);
+
+/// Full-file duplicate bytes / total bytes (≈ 18.8 %, cross-user).
+double full_file_duplicate_fraction(const trace_dataset& ds);
+
+/// Dedup ratio = bytes before dedup / bytes after (Fig 5; ≥ 1).
+/// `cross_user` = one global fingerprint namespace vs per-user namespaces.
+double dedup_ratio_full_file(const trace_dataset& ds, bool cross_user);
+
+/// Block-level variant at trace_block_sizes[granularity_index].
+double dedup_ratio_blocks(const trace_dataset& ds,
+                          std::size_t granularity_index, bool cross_user);
+
+/// §6's traffic-overuse prevalence (the paper cites: for 8.5 % of Dropbox
+/// users, >10 % of sync traffic comes from frequent modifications). Using a
+/// simple per-event traffic model — creations cost `overhead + size`,
+/// modifications cost `overhead + per_mod_payload` — returns the fraction
+/// of users whose modification traffic exceeds `share` of their total.
+/// The defaults reflect an IDS client whose deferment batches most edits
+/// (amortised ~8 KB overhead + ~4 KB shipped delta per recorded edit).
+double frequent_modification_user_fraction(
+    const trace_dataset& ds, double overhead_bytes = 8.0 * 1024,
+    double per_mod_payload_bytes = 4.0 * 1024, double share = 0.10);
+
+}  // namespace cloudsync

@@ -1,0 +1,260 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "compress/varint.hpp"
+#include "util/md5.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace cloudsync {
+
+namespace {
+
+// Table 2 of the paper: users and files per service.
+struct service_quota {
+  const char* name;
+  std::uint32_t users;
+  std::uint64_t files;
+};
+constexpr service_quota kQuotas[] = {
+    {"Google Drive", 33, 32677}, {"OneDrive", 24, 17903},
+    {"Dropbox", 55, 106493},     {"Box", 13, 19995},
+    {"Ubuntu One", 13, 27281},   {"SugarSync", 15, 18283}};
+
+/// A file's content is a concatenation of deterministic segments; a segment
+/// is an infinite pseudo-random stream identified by its seed, of which the
+/// layout uses a prefix.
+struct segment {
+  std::uint64_t seed;
+  std::uint64_t len;
+};
+using layout = std::vector<segment>;
+
+std::uint64_t layout_size(const layout& l) {
+  std::uint64_t s = 0;
+  for (const segment& seg : l) s += seg.len;
+  return s;
+}
+
+/// Identity of the byte range [off, off+len) of the file: the md5 of the
+/// covering (seed, in-segment offset, length) tuples. Equal tuples ⇔ equal
+/// bytes, because segment streams are deterministic in (seed, position).
+md5_digest range_identity(const layout& l, std::uint64_t off,
+                          std::uint64_t len) {
+  md5_hasher h;
+  byte_buffer enc;
+  std::uint64_t seg_start = 0;
+  for (const segment& seg : l) {
+    const std::uint64_t seg_end = seg_start + seg.len;
+    if (seg_end > off && seg_start < off + len) {
+      const std::uint64_t lo = std::max(off, seg_start);
+      const std::uint64_t hi = std::min(off + len, seg_end);
+      enc.clear();
+      put_varint(enc, seg.seed);
+      put_varint(enc, lo - seg_start);
+      put_varint(enc, hi - lo);
+      h.update(enc);
+    }
+    seg_start = seg_end;
+    if (seg_start >= off + len) break;
+  }
+  return h.finish();
+}
+
+void fill_block_ids(trace_file_record& rec, const layout& l) {
+  const std::uint64_t size = rec.original_size;
+  for (std::size_t g = 0; g < trace_block_sizes.size(); ++g) {
+    const std::uint64_t bs = trace_block_sizes[g];
+    auto& ids = rec.block_ids[g];
+    ids.clear();
+    for (std::uint64_t off = 0; off < size; off += bs) {
+      const std::uint64_t len = std::min(bs, size - off);
+      ids.push_back(range_identity(l, off, len).prefix64());
+    }
+  }
+  rec.full_md5 = range_identity(l, 0, size);
+}
+
+std::uint64_t draw_size(rng& r, const trace_params& p) {
+  const double s = r.lognormal(p.size_mu, p.size_sigma);
+  return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(s), 1,
+                                   2ull * GiB);
+}
+
+double draw_compression_ratio(rng& r, const trace_params& p,
+                              std::uint64_t size) {
+  // Three content classes. Huge files dominate the byte total, so their
+  // ratio must be stable (media/disk-image mixes compress mildly but
+  // consistently); small/medium files carry the count-level statistics.
+  if (size >= 8 * MiB) {
+    return std::max(1.12, r.lognormal(p.ratio_mu_large, 0.08));
+  }
+  const bool small = size < 100 * KiB;
+  const double pc = small ? p.p_compressible_small : p.p_compressible_large;
+  if (!r.chance(pc)) {
+    // Already-compressed content: ratio barely above 1.
+    return 1.0 + r.uniform_real() * 0.05;
+  }
+  const double mu = small ? p.ratio_mu_small : p.ratio_mu_small * 0.75;
+  // Effectively compressible must mean ratio > 1/0.9 ≈ 1.11.
+  return std::max(1.12, r.lognormal(mu, p.ratio_sigma));
+}
+
+std::uint32_t draw_modify_count(rng& r, const trace_params& p) {
+  if (!r.chance(p.p_modified)) return 0;
+  std::uint32_t n = 1;
+  while (n < 64 && r.chance(1.0 - p.modify_geometric_p)) ++n;
+  return n;
+}
+
+std::uint32_t draw_burst_size(rng& r, const trace_params& p) {
+  if (r.chance(p.p_singleton_session)) return 1;
+  // Multi-file sessions: head-heavy, mean ≈ 4.
+  const std::uint32_t n =
+      2 + static_cast<std::uint32_t>(r.zipf(p.max_burst - 1, 1.3));
+  return std::min(n, p.max_burst);
+}
+
+}  // namespace
+
+trace_dataset generate_trace(const trace_params& params) {
+  rng r(params.seed);
+  trace_dataset ds;
+
+  std::uint64_t total_files = 0;
+  for (const service_quota& q : kQuotas) {
+    total_files += static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(q.files) * params.scale));
+  }
+  ds.files.reserve(total_files);
+
+  // History of files available as duplicate sources (across all
+  // users/services — cross-user duplication pervasively exists, §5.2).
+  struct hist_entry {
+    layout l;
+    std::uint64_t compressed_size;
+  };
+  std::deque<hist_entry> history;
+  constexpr std::size_t kHistoryCap = 20000;
+  std::uint64_t next_seed = 1;
+  std::uint32_t user_base = 0;
+
+  // Byte-weighted duplicate control: file sizes are heavy-tailed, so a fixed
+  // per-file duplication probability makes the duplicate-byte fraction wildly
+  // unstable. Instead we duplicate whenever the running fraction is below the
+  // target (p_full_duplicate ≈ 18.8 %), and fill the deficit with as *few*
+  // files as possible: among sampled candidates that fit the budget, take the
+  // largest, so duplication barely distorts the file-count distribution.
+  std::uint64_t total_bytes = 0;
+  std::uint64_t dup_bytes = 0;
+  auto pick_duplicate_source = [&](rng& rr) -> const hist_entry* {
+    if (history.empty()) return nullptr;
+    const double target = params.p_full_duplicate;
+    const auto deficit = static_cast<std::int64_t>(
+        target * static_cast<double>(total_bytes) -
+        static_cast<double>(dup_bytes));
+    // Act only on a sizeable deficit so duplicates are few and large rather
+    // than a steady drizzle of mid-size copies that would distort the
+    // file-count distribution.
+    if (deficit < static_cast<std::int64_t>(1 * MiB)) return nullptr;
+    const auto budget = static_cast<std::uint64_t>(deficit) * 6 / 5;
+    const hist_entry* best = nullptr;
+    std::uint64_t best_size = 0;
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      const hist_entry& cand = history[rr.uniform(history.size())];
+      const std::uint64_t sz = layout_size(cand.l);
+      if (sz <= budget && sz >= best_size) {
+        best = &cand;
+        best_size = sz;
+      }
+    }
+    // Don't waste a duplication slot on a file that barely dents the deficit.
+    if (best_size * 8 < static_cast<std::uint64_t>(deficit)) return nullptr;
+    return best;
+  };
+
+  for (const service_quota& q : kQuotas) {
+    const auto want = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(q.files) * params.scale));
+    // Spread this service's files over its users via creation sessions.
+    std::vector<double> user_clock(q.users, 0.0);
+    std::uint64_t made = 0;
+    std::uint64_t serial = 0;
+    while (made < want) {
+      const auto u = static_cast<std::uint32_t>(r.uniform(q.users));
+      user_clock[u] += r.exponential(1.0 / params.mean_session_gap_sec);
+      const std::uint32_t burst =
+          std::min<std::uint64_t>(draw_burst_size(r, params), want - made);
+      for (std::uint32_t b = 0; b < burst; ++b) {
+        trace_file_record rec;
+        rec.user = user_base + u;
+        rec.service = q.name;
+        rec.file_name = std::string(q.name) + "/u" + std::to_string(u) +
+                        "/f" + std::to_string(serial++);
+        rec.creation_time = user_clock[u] + b * 2.0;  // seconds apart
+
+        layout l;
+        bool is_duplicate = false;
+        std::uint64_t inherited_compressed = 0;
+        if (const hist_entry* src = pick_duplicate_source(r)) {
+          // Exact copy of an earlier file (possibly another user's).
+          // Identical content compresses identically, so the compressed
+          // size is inherited, not re-drawn.
+          l = src->l;
+          inherited_compressed = src->compressed_size;
+          is_duplicate = true;
+        } else if (!history.empty() &&
+                   r.chance(params.p_partial_duplicate)) {
+          // Edited copy: shared prefix + fresh tail.
+          const layout& base = history[r.uniform(history.size())].l;
+          const std::uint64_t base_size = layout_size(base);
+          const std::uint64_t keep =
+              std::max<std::uint64_t>(1, base_size / 2 + r.uniform(base_size / 2 + 1));
+          std::uint64_t acc = 0;
+          for (const segment& seg : base) {
+            if (acc >= keep) break;
+            const std::uint64_t take = std::min(seg.len, keep - acc);
+            l.push_back({seg.seed, take});
+            acc += take;
+          }
+          const std::uint64_t tail = std::max<std::uint64_t>(
+              1, draw_size(r, params) / 4);
+          l.push_back({next_seed++, tail});
+        } else {
+          l.push_back({next_seed++, draw_size(r, params)});
+        }
+
+        rec.original_size = layout_size(l);
+        total_bytes += rec.original_size;
+        if (is_duplicate) {
+          dup_bytes += rec.original_size;
+          rec.compressed_size = inherited_compressed;
+        } else {
+          const double ratio =
+              draw_compression_ratio(r, params, rec.original_size);
+          rec.compressed_size = std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(
+                     static_cast<double>(rec.original_size) / ratio));
+        }
+        rec.modify_count = draw_modify_count(r, params);
+        rec.last_modified =
+            rec.creation_time +
+            (rec.modify_count > 0 ? r.exponential(1.0 / (24 * 3600.0)) : 0.0);
+
+        fill_block_ids(rec, l);
+
+        if (history.size() >= kHistoryCap) history.pop_front();
+        history.push_back({std::move(l), rec.compressed_size});
+        ds.files.push_back(std::move(rec));
+        ++made;
+      }
+    }
+    user_base += q.users;
+  }
+  return ds;
+}
+
+}  // namespace cloudsync

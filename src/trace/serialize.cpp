@@ -1,0 +1,83 @@
+#include "trace/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+namespace {
+constexpr const char* kHeader =
+    "user,service,file_name,original_size,compressed_size,creation_time,"
+    "last_modified,modify_count,full_md5";
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+}  // namespace
+
+std::string trace_csv_header() { return kHeader; }
+
+void write_trace_csv(const trace_dataset& ds, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const trace_file_record& f : ds.files) {
+    out << f.user << ',' << f.service << ',' << f.file_name << ','
+        << f.original_size << ',' << f.compressed_size << ','
+        << f.creation_time << ',' << f.last_modified << ',' << f.modify_count
+        << ',' << f.full_md5.hex() << '\n';
+  }
+}
+
+trace_dataset read_trace_csv(std::istream& in) {
+  trace_dataset ds;
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("read_trace_csv: bad header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    if (cells.size() != 9) {
+      throw std::runtime_error("read_trace_csv: bad row: " + line);
+    }
+    trace_file_record f;
+    try {
+      f.user = static_cast<std::uint32_t>(std::stoul(cells[0]));
+      f.service = cells[1];
+      f.file_name = cells[2];
+      f.original_size = std::stoull(cells[3]);
+      f.compressed_size = std::stoull(cells[4]);
+      f.creation_time = std::stod(cells[5]);
+      f.last_modified = std::stod(cells[6]);
+      f.modify_count = static_cast<std::uint32_t>(std::stoul(cells[7]));
+      const byte_buffer md5_bytes = from_hex(cells[8]);
+      if (md5_bytes.size() != f.full_md5.bytes.size()) {
+        throw std::runtime_error("bad md5 length");
+      }
+      std::copy(md5_bytes.begin(), md5_bytes.end(), f.full_md5.bytes.begin());
+    } catch (const std::runtime_error&) {
+      throw std::runtime_error("read_trace_csv: bad row: " + line);
+    } catch (const std::exception&) {  // stoul/stod/from_hex failures
+      throw std::runtime_error("read_trace_csv: bad row: " + line);
+    }
+    ds.files.push_back(std::move(f));
+  }
+  return ds;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,23 @@
+// CSV persistence for trace datasets (block identities are derived data and
+// are not persisted; regenerate them via generate_trace for dedup studies).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_record.hpp"
+
+namespace cloudsync {
+
+/// Header line written by write_csv.
+std::string trace_csv_header();
+
+/// Write one row per file: user, service, name, sizes, times, modify count,
+/// full-file md5.
+void write_trace_csv(const trace_dataset& ds, std::ostream& out);
+
+/// Parse a CSV produced by write_trace_csv. Throws std::runtime_error on a
+/// malformed header or row.
+trace_dataset read_trace_csv(std::istream& in);
+
+}  // namespace cloudsync

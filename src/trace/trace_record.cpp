@@ -1,0 +1,17 @@
+#include "trace/trace_record.hpp"
+
+namespace cloudsync {
+
+std::uint64_t trace_dataset::total_original_bytes() const {
+  std::uint64_t t = 0;
+  for (const trace_file_record& f : files) t += f.original_size;
+  return t;
+}
+
+std::uint64_t trace_dataset::total_compressed_bytes() const {
+  std::uint64_t t = 0;
+  for (const trace_file_record& f : files) t += f.compressed_size;
+  return t;
+}
+
+}  // namespace cloudsync

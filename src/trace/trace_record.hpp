@@ -1,0 +1,62 @@
+// Trace schema following the paper's Table 3: per-file attributes including
+// full-file MD5 and block-level hashes at 128 KB … 16 MB granularities.
+//
+// Content is never materialised: each file is a *layout* of deterministic
+// content segments, and block identities are derived from the layout. Two
+// blocks have equal identity iff their covering segment bytes are equal,
+// which is exactly what dedup needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/digest.hpp"
+
+namespace cloudsync {
+
+/// The eight block granularities recorded in the trace (Table 3).
+inline constexpr std::array<std::uint64_t, 8> trace_block_sizes = {
+    128ull * 1024,       256ull * 1024,       512ull * 1024,
+    1024ull * 1024,      2048ull * 1024,      4096ull * 1024,
+    8192ull * 1024,      16384ull * 1024};
+
+struct trace_file_record {
+  std::uint32_t user = 0;        ///< user index within the trace
+  std::string service;           ///< which of the six services tracks it
+  std::string file_name;
+  std::uint64_t original_size = 0;
+  std::uint64_t compressed_size = 0;  ///< highest-level compression (Table 3)
+  double creation_time = 0;           ///< seconds from trace start
+  double last_modified = 0;
+  std::uint32_t modify_count = 0;     ///< 0 = never modified after creation
+  md5_digest full_md5;                ///< full-file content identity
+
+  /// Block identities per granularity in trace_block_sizes order. 64-bit
+  /// prefixes of the block MD5s — collision-safe at trace scale, 8x smaller.
+  std::array<std::vector<std::uint64_t>, 8> block_ids;
+
+  bool is_small() const { return original_size < 100 * 1024; }
+  double compression_ratio() const {
+    return compressed_size == 0
+               ? 1.0
+               : static_cast<double>(original_size) /
+                     static_cast<double>(compressed_size);
+  }
+  /// The paper's "effectively compressed": compressed/original < 90 %.
+  bool effectively_compressible() const {
+    return original_size > 0 &&
+           static_cast<double>(compressed_size) <
+               0.9 * static_cast<double>(original_size);
+  }
+};
+
+struct trace_dataset {
+  std::vector<trace_file_record> files;
+
+  std::uint64_t total_original_bytes() const;
+  std::uint64_t total_compressed_bytes() const;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,26 @@
+#include "util/adler32.hpp"
+
+#include <cassert>
+
+namespace cloudsync {
+
+std::uint32_t weak_checksum(byte_view block) {
+  std::uint32_t a = 0, b = 0;
+  for (std::uint8_t byte : block) {
+    a += byte;
+    b += a;
+  }
+  return (b << 16) | (a & 0xffffu);
+}
+
+void rolling_checksum::reset(byte_view data) {
+  assert(data.size() == window_);
+  a_ = 0;
+  b_ = 0;
+  for (std::uint8_t byte : data) {
+    a_ += byte;
+    b_ += a_;
+  }
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,45 @@
+// Basic byte-buffer aliases and helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudsync {
+
+/// Owned, contiguous run of raw bytes. The unit of all payload handling.
+using byte_buffer = std::vector<std::uint8_t>;
+
+/// Non-owning view over bytes.
+using byte_view = std::span<const std::uint8_t>;
+
+/// View the raw bytes of a string without copying.
+inline byte_view as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a string's bytes into an owned buffer.
+inline byte_buffer to_buffer(std::string_view s) {
+  return byte_buffer(s.begin(), s.end());
+}
+
+/// Copy a byte view into a std::string (useful for test assertions).
+inline std::string to_string(byte_view b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Append `src` to `dst`.
+inline void append(byte_buffer& dst, byte_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Lowercase hex encoding of arbitrary bytes.
+std::string to_hex(byte_view data);
+
+/// Inverse of to_hex. Throws std::invalid_argument on malformed input.
+byte_buffer from_hex(std::string_view hex);
+
+}  // namespace cloudsync

@@ -1,0 +1,35 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace cloudsync {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xedb88320u;  // reflected 0x04C11DB7
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(byte_view data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace cloudsync

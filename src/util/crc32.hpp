@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//
+// Used for cheap frame integrity checks on serialised deltas and trace files.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+/// Continue a CRC-32 computation. Start with seed = 0.
+std::uint32_t crc32(byte_view data, std::uint32_t seed = 0);
+
+}  // namespace cloudsync

@@ -1,0 +1,47 @@
+// Fixed-size digest value type shared by all hash implementations.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+/// Value type for an N-byte message digest (MD5 = 16, SHA-1 = 20, SHA-256 = 32).
+template <std::size_t N>
+struct digest {
+  std::array<std::uint8_t, N> bytes{};
+
+  auto operator<=>(const digest&) const = default;
+
+  std::string hex() const { return to_hex(byte_view{bytes.data(), N}); }
+
+  /// Cheap 64-bit key for hash maps: digests are uniformly distributed, so
+  /// the first 8 bytes are already a good hash.
+  std::uint64_t prefix64() const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8 && i < N; ++i) {
+      v = v << 8 | bytes[i];
+    }
+    return v;
+  }
+};
+
+using md5_digest = digest<16>;
+using sha1_digest = digest<20>;
+using sha256_digest = digest<32>;
+
+}  // namespace cloudsync
+
+namespace std {
+template <size_t N>
+struct hash<cloudsync::digest<N>> {
+  size_t operator()(const cloudsync::digest<N>& d) const noexcept {
+    return static_cast<size_t>(d.prefix64());
+  }
+};
+}  // namespace std

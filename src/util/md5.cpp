@@ -1,0 +1,146 @@
+#include "util/md5.hpp"
+
+#include <cstring>
+
+namespace cloudsync {
+
+namespace {
+
+constexpr std::uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                                    0x10325476u};
+
+// Per-round left-rotate amounts.
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|), precomputed per RFC 1321.
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+inline std::uint32_t rotl(std::uint32_t v, int s) {
+  return v << s | v >> (32 - s);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+md5_hasher::md5_hasher() { std::memcpy(state_, kInit, sizeof(state_)); }
+
+void md5_hasher::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load_le32(block + 4 * i);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+md5_hasher& md5_hasher::update(byte_view data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+
+  if (off < data.size()) {
+    std::memcpy(buffer_, data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+  return *this;
+}
+
+md5_digest md5_hasher::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  // Pad: 0x80, zeros, then the 64-bit little-endian bit length.
+  const std::uint8_t pad_byte = 0x80;
+  update(byte_view{&pad_byte, 1});
+  static constexpr std::uint8_t zeros[64] = {};
+  while (buffer_len_ != 56) {
+    const std::size_t need = buffer_len_ < 56 ? 56 - buffer_len_
+                                              : 64 - buffer_len_ + 56;
+    update(byte_view{zeros, std::min<std::size_t>(need, 64 - buffer_len_)});
+  }
+  std::uint8_t len_bytes[8];
+  store_le32(len_bytes, static_cast<std::uint32_t>(bit_len));
+  store_le32(len_bytes + 4, static_cast<std::uint32_t>(bit_len >> 32));
+  // Bypass update(): total_len_ must not include padding, and update would
+  // also re-count it. Direct buffer fill keeps the arithmetic exact.
+  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+  process_block(buffer_);
+
+  md5_digest out;
+  for (int i = 0; i < 4; ++i) store_le32(out.bytes.data() + 4 * i, state_[i]);
+  return out;
+}
+
+md5_digest md5(byte_view data) { return md5_hasher{}.update(data).finish(); }
+
+}  // namespace cloudsync

@@ -1,0 +1,62 @@
+// Deterministic PRNG and the synthetic-data distributions used throughout.
+//
+// Everything in this library must be reproducible bit-for-bit, so we ship our
+// own xoshiro256** generator rather than relying on implementation-defined
+// std::random distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda.
+  double exponential(double lambda);
+
+  /// Zipf-like rank selection over `n` items with exponent `s` (rejection-free
+  /// inverse-CDF on the harmonic approximation; fine for workload skew).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// `n` independent uniform bytes — incompressible payload.
+byte_buffer random_bytes(rng& r, std::size_t n);
+
+/// `n` bytes of space-separated pseudo-English words — compressible payload,
+/// mirroring the paper's "text file filled with random English words".
+byte_buffer random_text(rng& r, std::size_t n);
+
+/// Text that compresses to roughly `target_ratio` (= original/compressed) by
+/// mixing random bytes with repeated phrases. target_ratio >= 1.
+byte_buffer synthetic_payload(rng& r, std::size_t n, double target_ratio);
+
+}  // namespace cloudsync

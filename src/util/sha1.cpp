@@ -1,0 +1,129 @@
+#include "util/sha1.hpp"
+
+#include <cstring>
+
+namespace cloudsync {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t v, int s) {
+  return v << s | v >> (32 - s);
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+sha1_hasher::sha1_hasher() {
+  state_[0] = 0x67452301u;
+  state_[1] = 0xefcdab89u;
+  state_[2] = 0x98badcfeu;
+  state_[3] = 0x10325476u;
+  state_[4] = 0xc3d2e1f0u;
+}
+
+void sha1_hasher::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+sha1_hasher& sha1_hasher::update(byte_view data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+
+  if (off < data.size()) {
+    std::memcpy(buffer_, data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+  return *this;
+}
+
+sha1_digest sha1_hasher::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+
+  const std::uint8_t pad_byte = 0x80;
+  update(byte_view{&pad_byte, 1});
+  static constexpr std::uint8_t zeros[64] = {};
+  while (buffer_len_ != 56) {
+    const std::size_t need = buffer_len_ < 56 ? 56 - buffer_len_
+                                              : 64 - buffer_len_;
+    update(byte_view{zeros, need});
+  }
+  // Big-endian 64-bit bit count.
+  std::uint8_t len_bytes[8];
+  store_be32(len_bytes, static_cast<std::uint32_t>(bit_len >> 32));
+  store_be32(len_bytes + 4, static_cast<std::uint32_t>(bit_len));
+  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+  process_block(buffer_);
+
+  sha1_digest out;
+  for (int i = 0; i < 5; ++i) store_be32(out.bytes.data() + 4 * i, state_[i]);
+  return out;
+}
+
+sha1_digest sha1(byte_view data) { return sha1_hasher{}.update(data).finish(); }
+
+}  // namespace cloudsync

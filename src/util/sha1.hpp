@@ -1,0 +1,34 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// Content fingerprinting only (dedup indexes, object ETags) — never a
+// security boundary in this library.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/digest.hpp"
+
+namespace cloudsync {
+
+/// Incremental SHA-1 hasher; same usage contract as md5_hasher.
+class sha1_hasher {
+ public:
+  sha1_hasher();
+
+  sha1_hasher& update(byte_view data);
+  sha1_digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[5];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+sha1_digest sha1(byte_view data);
+
+}  // namespace cloudsync

@@ -1,0 +1,19 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace cloudsync {
+
+std::string sim_time::str() const {
+  char buf[48];
+  if (us_ < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(us_));
+  } else if (us_ < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", msec());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", sec());
+  }
+  return buf;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,52 @@
+// Virtual time used by the discrete-event simulation.
+//
+// All simulation time is integral microseconds in a strong type so it can
+// never be confused with byte counts or wall-clock time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace cloudsync {
+
+/// A point or span on the virtual clock, in microseconds.
+class sim_time {
+ public:
+  constexpr sim_time() = default;
+
+  static constexpr sim_time from_usec(std::int64_t us) { return sim_time{us}; }
+  static constexpr sim_time from_msec(double ms) {
+    return sim_time{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  static constexpr sim_time from_sec(double s) {
+    return sim_time{static_cast<std::int64_t>(s * 1'000'000.0)};
+  }
+  static constexpr sim_time max() {
+    return sim_time{INT64_MAX};
+  }
+
+  constexpr std::int64_t usec() const { return us_; }
+  constexpr double msec() const { return static_cast<double>(us_) / 1000.0; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const sim_time&) const = default;
+
+  constexpr sim_time operator+(sim_time o) const { return sim_time{us_ + o.us_}; }
+  constexpr sim_time operator-(sim_time o) const { return sim_time{us_ - o.us_}; }
+  constexpr sim_time& operator+=(sim_time o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr sim_time operator*(double k) const {
+    return sim_time{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+
+  std::string str() const;
+
+ private:
+  constexpr explicit sim_time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudsync {
+
+void running_stats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+empirical_cdf::empirical_cdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double empirical_cdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double empirical_cdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double idx = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf::points(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || max_points == 0) return out;
+  const std::size_t step = std::max<std::size_t>(1, sorted_.size() / max_points);
+  for (std::size_t i = 0; i < sorted_.size(); i += step) {
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                     static_cast<double>(sorted_.size()));
+  }
+  if (out.back().first != sorted_.back()) {
+    out.emplace_back(sorted_.back(), 1.0);
+  }
+  return out;
+}
+
+}  // namespace cloudsync

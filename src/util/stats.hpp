@@ -1,0 +1,52 @@
+// Summary statistics and empirical CDFs for trace analytics and bench output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudsync {
+
+/// Streaming summary: count / mean / min / max / variance (Welford).
+class running_stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a collected sample.
+class empirical_cdf {
+ public:
+  explicit empirical_cdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double at(double x) const;
+
+  /// Inverse CDF; q in [0, 1].
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Evenly spaced (value, cumulative-fraction) points for plotting, at most
+  /// `max_points` of them.
+  std::vector<std::pair<double, double>> points(std::size_t max_points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,63 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cloudsync {
+
+void text_table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  rows_.clear();
+}
+
+void text_table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::str() const {
+  // Compute column widths over header + all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](std::string& out, const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      out += cell;
+      if (i + 1 < cols) {
+        out.append(width[i] - cell.size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(out, header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i) total += width[i] + (i + 1 < cols ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace cloudsync

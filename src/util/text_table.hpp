@@ -1,0 +1,31 @@
+// Minimal aligned text-table printer used by the bench reporters to render
+// paper-style tables on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cloudsync {
+
+class text_table {
+ public:
+  /// Set the header row. Clears any previous contents.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row (may be ragged; short rows are padded).
+  void row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a separator under the header.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cloudsync

@@ -1,0 +1,25 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace cloudsync {
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  std::size_t idx = 0;
+  while (bytes >= 1024.0 && idx + 1 < suffix.size()) {
+    bytes /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", bytes, suffix[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffix[idx]);
+  }
+  return buf;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,28 @@
+// Byte-size literals and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cloudsync {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * GiB; }
+}  // namespace literals
+
+/// "12.5 MB"-style rendering used by the bench reporters (power-of-two units,
+/// matching how the paper tabulates traffic).
+std::string format_bytes(double bytes);
+
+/// Megabits/second to bytes/second.
+constexpr double mbps_to_bytes_per_sec(double mbps) {
+  return mbps * 1'000'000.0 / 8.0;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,64 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace cloudsync {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const byte_buffer data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abcdefff");
+  EXPECT_EQ(from_hex("0001abcdefff"), data);
+}
+
+TEST(Bytes, HexAcceptsUppercase) {
+  EXPECT_EQ(from_hex("ABCDEF"), from_hex("abcdef"));
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, StringConversions) {
+  const std::string s = "hello";
+  const byte_buffer b = to_buffer(s);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(byte_view{b}), s);
+}
+
+TEST(Bytes, AppendConcatenates) {
+  byte_buffer a = to_buffer("foo");
+  append(a, as_bytes("bar"));
+  EXPECT_EQ(to_string(byte_view{a}), "foobar");
+}
+
+TEST(Units, Literals) {
+  using namespace literals;
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.50 MB");
+}
+
+TEST(Units, MbpsConversion) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(8.0), 1'000'000.0);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,107 @@
+// End-to-end convergence property: after ANY sequence of local file
+// operations, once the engine settles, the cloud's view of every file equals
+// the local sync folder — for every service, every access method, and both
+// cloud substrates. This is the invariant that makes traffic optimisations
+// safe: whatever the pipeline ships (deltas, dedup'd chunks, compressed
+// payloads), state must converge.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace cloudsync {
+namespace {
+
+struct convergence_case {
+  std::string service;
+  access_method method;
+  bool chunk_store;
+  std::uint64_t seed;
+};
+
+void PrintTo(const convergence_case& c, std::ostream* os) {
+  *os << c.service << "/" << to_string(c.method)
+      << (c.chunk_store ? "/chunks" : "/objects") << "/seed" << c.seed;
+}
+
+class Convergence : public ::testing::TestWithParam<convergence_case> {};
+
+TEST_P(Convergence, CloudMatchesLocalAfterRandomOps) {
+  const convergence_case& param = GetParam();
+  experiment_config cfg{*find_service(param.service)};
+  cfg.method = param.method;
+  cfg.seed = param.seed;
+  cfg.use_chunk_store = param.chunk_store;
+  experiment_env env(cfg);
+  station& st = env.primary();
+  rng& r = env.random();
+
+  std::vector<std::string> paths;
+  int created = 0;
+
+  for (int step = 0; step < 60; ++step) {
+    // Random inter-operation gap: sometimes rapid-fire, sometimes idle.
+    const double gap = r.chance(0.3) ? r.uniform_real() * 0.5
+                                     : r.uniform_real() * 20.0;
+    env.clock().advance_to(env.clock().now() + sim_time::from_sec(gap));
+    const sim_time now = env.clock().now();
+
+    const std::uint64_t action = r.uniform(10);
+    if (paths.empty() || action < 3) {
+      const std::string path = "f" + std::to_string(created++);
+      const std::size_t size = 1 + static_cast<std::size_t>(
+                                       r.uniform(64 * 1024));
+      st.fs.create(path,
+                   r.chance(0.5) ? make_compressed_file(r, size)
+                                 : make_text_file(r, size),
+                   now);
+      paths.push_back(path);
+    } else if (action < 6) {
+      const std::string& path = paths[r.uniform(paths.size())];
+      append_random(st.fs, path, r, 1 + r.uniform(8 * 1024), now);
+    } else if (action < 8) {
+      const std::string& path = paths[r.uniform(paths.size())];
+      if (st.fs.size(path) > 0) modify_random_byte(st.fs, path, r, now);
+    } else if (action == 8) {
+      const std::size_t idx = r.uniform(paths.size());
+      st.fs.remove(paths[idx], now);
+      paths.erase(paths.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const std::size_t idx = r.uniform(paths.size());
+      const std::string to = "r" + std::to_string(created++);
+      st.fs.rename(paths[idx], to, now);
+      paths[idx] = to;
+    }
+  }
+  env.settle();
+
+  // Every live local file exists in the cloud with identical content.
+  for (const std::string& path : st.fs.list()) {
+    const auto cloud_content = env.the_cloud().file_content(0, path);
+    ASSERT_TRUE(cloud_content.has_value()) << path;
+    EXPECT_EQ(to_string(*cloud_content), to_string(st.fs.read(path))) << path;
+  }
+  // And nothing extra is live in the cloud.
+  EXPECT_EQ(env.the_cloud().metadata().list(0).size(), st.fs.list().size());
+}
+
+std::vector<convergence_case> make_cases() {
+  std::vector<convergence_case> cases;
+  std::uint64_t seed = 1000;
+  for (const char* svc :
+       {"Google Drive", "OneDrive", "Dropbox", "Box", "Ubuntu One",
+        "SugarSync"}) {
+    for (access_method m : all_access_methods) {
+      cases.push_back({svc, m, false, seed++});
+    }
+  }
+  // Chunk-store substrate for the IDS-capable services.
+  cases.push_back({"Dropbox", access_method::pc_client, true, seed++});
+  cases.push_back({"SugarSync", access_method::pc_client, true, seed++});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, Convergence,
+                         ::testing::ValuesIn(make_cases()));
+
+}  // namespace
+}  // namespace cloudsync

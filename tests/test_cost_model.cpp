@@ -1,0 +1,52 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+TEST(CostModel, S3PricesOutboundOnly) {
+  const pricing p = pricing::s3_2014();
+  const traffic_bill bill = price_traffic(2'000'000'000, 5'000'000'000, 0, p);
+  EXPECT_NEAR(bill.outbound_usd, 0.10, 1e-9);  // 2 GB * $0.05
+  EXPECT_DOUBLE_EQ(bill.inbound_usd, 0.0);
+  EXPECT_NEAR(bill.total_usd(), 0.10, 1e-9);
+}
+
+TEST(CostModel, RequestPricing) {
+  pricing p;
+  p.usd_per_million_requests = 5.0;
+  const traffic_bill bill = price_traffic(0, 0, 2'000'000, p);
+  EXPECT_NEAR(bill.request_usd, 10.0, 1e-9);
+}
+
+TEST(CostModel, PaperDailyProjection) {
+  // §1: 1 billion file syncs/day x 5.18 MB outbound x $0.05/GB ≈ $260,000.
+  const double usd = project_daily_cost(1e9, 5.18e6, 2.8e6,
+                                        pricing::s3_2014());
+  EXPECT_NEAR(usd, 259'000.0, 5'000.0);
+}
+
+TEST(CostModel, MeterPricing) {
+  traffic_meter m;
+  m.record(direction::down, traffic_category::payload, 1'000'000'000);
+  m.record(direction::up, traffic_category::payload, 500'000'000);
+  const traffic_bill bill = price_meter(m, 0, pricing::s3_2014());
+  EXPECT_NEAR(bill.outbound_usd, 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(bill.inbound_usd, 0.0);
+}
+
+TEST(CostModel, InboundPricingWhenConfigured) {
+  pricing p;
+  p.usd_per_inbound_gb = 0.02;
+  const traffic_bill bill = price_traffic(0, 10'000'000'000, 0, p);
+  EXPECT_NEAR(bill.inbound_usd, 0.20, 1e-9);
+}
+
+TEST(CostModel, ZeroTrafficIsFree) {
+  EXPECT_DOUBLE_EQ(
+      price_traffic(0, 0, 0, pricing::s3_2014()).total_usd(), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudsync

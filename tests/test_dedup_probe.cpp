@@ -1,0 +1,70 @@
+// Algorithm 1 (iterative self duplication) must recover Table 9.
+#include <gtest/gtest.h>
+
+#include "core/dedup_probe.hpp"
+
+namespace cloudsync {
+namespace {
+
+experiment_config cfg_for(service_profile p) {
+  return experiment_config{std::move(p)};
+}
+
+TEST(DedupProbe, DropboxSameUserFindsFourMb) {
+  const auto res = probe_dedup_granularity(cfg_for(dropbox()), false);
+  EXPECT_TRUE(res.full_file_dedup);  // block dedup implies full-file
+  ASSERT_TRUE(res.block_dedup);
+  EXPECT_EQ(res.block_size, 4 * MiB);
+  EXPECT_EQ(res.granularity_string(), "4.00 MB");
+}
+
+TEST(DedupProbe, DropboxCrossUserFindsNothing) {
+  const auto res = probe_dedup_granularity(cfg_for(dropbox()), true);
+  EXPECT_FALSE(res.full_file_dedup);
+  EXPECT_FALSE(res.block_dedup);
+  EXPECT_EQ(res.granularity_string(), "No");
+}
+
+TEST(DedupProbe, UbuntuOneFullFileBothScopes) {
+  for (bool cross : {false, true}) {
+    const auto res = probe_dedup_granularity(cfg_for(ubuntu_one()), cross);
+    EXPECT_TRUE(res.full_file_dedup) << "cross=" << cross;
+    EXPECT_FALSE(res.block_dedup) << "cross=" << cross;
+    EXPECT_EQ(res.granularity_string(), "Full file");
+  }
+}
+
+TEST(DedupProbe, NoDedupServices) {
+  for (const char* name : {"Google Drive", "Box"}) {
+    const auto res =
+        probe_dedup_granularity(cfg_for(*find_service(name)), false);
+    EXPECT_FALSE(res.full_file_dedup) << name;
+    EXPECT_FALSE(res.block_dedup) << name;
+    EXPECT_EQ(res.granularity_string(), "No") << name;
+  }
+}
+
+TEST(DedupProbe, WebMethodNeverSeesDedup) {
+  // Table 9 note: web-based synchronisation does not apply dedup, even for
+  // Dropbox.
+  experiment_config cfg = cfg_for(dropbox());
+  cfg.method = access_method::web_browser;
+  const auto res = probe_dedup_granularity(cfg, false);
+  EXPECT_FALSE(res.block_dedup);
+  EXPECT_FALSE(res.full_file_dedup);
+}
+
+TEST(DedupProbe, ProbeLogsItsSteps) {
+  const auto res = probe_dedup_granularity(cfg_for(ubuntu_one()), false);
+  EXPECT_FALSE(res.log.empty());
+  EXPECT_GT(res.upload_rounds, 1);
+}
+
+TEST(DedupProbe, ConvergesInLogarithmicRounds) {
+  const auto res = probe_dedup_granularity(cfg_for(dropbox()), false);
+  // O(log B) as the paper claims: a handful of self-duplication rounds.
+  EXPECT_LE(res.upload_rounds, 2 + 2 * 18);
+}
+
+}  // namespace
+}  // namespace cloudsync

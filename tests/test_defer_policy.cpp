@@ -1,0 +1,164 @@
+// Defer policies: fixed debounce, the ASD recurrence (paper Eq. 2), and the
+// UDS-style byte counter the paper contrasts against in §6.1.
+#include <gtest/gtest.h>
+
+#include "client/defer_policy.hpp"
+
+namespace cloudsync {
+namespace {
+
+sim_time at(double sec) { return sim_time::from_sec(sec); }
+
+TEST(NoDefer, FiresImmediately) {
+  no_defer p;
+  EXPECT_EQ(p.next_fire(at(5), 0), at(5));
+  EXPECT_EQ(p.name(), "none");
+}
+
+TEST(FixedDefer, DebouncesFromLatestUpdate) {
+  fixed_defer p(at(4.2));
+  EXPECT_EQ(p.next_fire(at(10), 0), at(14.2));
+  EXPECT_EQ(p.next_fire(at(12), 0), at(16.2));  // pushed out by the update
+  EXPECT_EQ(p.deferment(), at(4.2));
+}
+
+TEST(FixedDefer, Name) {
+  fixed_defer p(at(10.5));
+  EXPECT_EQ(p.name(), "fixed (10.5 s)");
+}
+
+TEST(AdaptiveDefer, ConvergesToInterUpdateGap) {
+  // With a steady gap Δ, Eq. 2 has fixed point T* = Δ + 2ε.
+  adaptive_defer::params prm;
+  prm.epsilon = at(0.5);
+  prm.t_max = at(60);
+  prm.t_initial = at(1);
+  adaptive_defer p(prm);
+
+  const double gap = 7.0;
+  sim_time t{};
+  for (int i = 0; i < 40; ++i) {
+    t += at(gap);
+    p.next_fire(t, 0);
+  }
+  EXPECT_NEAR(p.current_deferment().sec(), gap + 2 * prm.epsilon.sec(), 0.05);
+}
+
+TEST(AdaptiveDefer, FixedPointExceedsGap) {
+  // The defining ASD property: T_i ends up slightly longer than Δt, so
+  // steady modification streams always batch.
+  adaptive_defer p;
+  sim_time t{};
+  for (int i = 0; i < 40; ++i) {
+    t += at(3.0);
+    p.next_fire(t, 0);
+  }
+  EXPECT_GT(p.current_deferment().sec(), 3.0);
+  EXPECT_LT(p.current_deferment().sec(), 3.0 + 2.5);
+}
+
+TEST(AdaptiveDefer, CappedByTmax) {
+  adaptive_defer::params prm;
+  prm.t_max = at(5);
+  adaptive_defer p(prm);
+  sim_time t{};
+  for (int i = 0; i < 10; ++i) {
+    t += at(100.0);  // huge gaps
+    p.next_fire(t, 0);
+  }
+  EXPECT_LE(p.current_deferment(), at(5));
+}
+
+TEST(AdaptiveDefer, AdaptsDownAfterBurst) {
+  adaptive_defer p;
+  sim_time t{};
+  // Slow phase.
+  for (int i = 0; i < 20; ++i) {
+    t += at(10.0);
+    p.next_fire(t, 0);
+  }
+  const sim_time slow = p.current_deferment();
+  // Fast phase.
+  for (int i = 0; i < 20; ++i) {
+    t += at(1.0);
+    p.next_fire(t, 0);
+  }
+  EXPECT_LT(p.current_deferment(), slow);
+  EXPECT_GT(p.current_deferment().sec(), 1.0);
+}
+
+TEST(AdaptiveDefer, ResetRestoresInitialState) {
+  adaptive_defer::params prm;
+  prm.t_initial = at(2);
+  adaptive_defer p(prm);
+  sim_time t{};
+  for (int i = 0; i < 5; ++i) {
+    t += at(9);
+    p.next_fire(t, 0);
+  }
+  p.reset();
+  EXPECT_EQ(p.current_deferment(), at(2));
+}
+
+TEST(AdaptiveDefer, FireTimeIsUpdatePlusDeferment) {
+  adaptive_defer p;
+  const sim_time fire = p.next_fire(at(100), 0);
+  EXPECT_EQ(fire, at(100) + p.current_deferment());
+}
+
+TEST(ByteCounterDefer, FiresImmediatelyAtThreshold) {
+  byte_counter_defer::params prm;
+  prm.threshold_bytes = 1000;
+  prm.max_wait = at(30);
+  byte_counter_defer p(prm);
+  EXPECT_EQ(p.next_fire(at(1), 2000), at(1));
+}
+
+TEST(ByteCounterDefer, WaitsBelowThreshold) {
+  byte_counter_defer::params prm;
+  prm.threshold_bytes = 1000;
+  prm.max_wait = at(30);
+  byte_counter_defer p(prm);
+  EXPECT_EQ(p.next_fire(at(1), 10), at(31));
+  // The deadline anchors to the first pending update, not the latest.
+  EXPECT_EQ(p.next_fire(at(5), 20), at(31));
+}
+
+TEST(ByteCounterDefer, ThresholdClosesWindow) {
+  byte_counter_defer::params prm;
+  prm.threshold_bytes = 1000;
+  prm.max_wait = at(30);
+  byte_counter_defer p(prm);
+  p.next_fire(at(1), 10);
+  EXPECT_EQ(p.next_fire(at(2), 1500), at(2));  // crossed: fire now
+  // Next update opens a fresh window anchored at its own time.
+  EXPECT_EQ(p.next_fire(at(10), 5), at(40));
+}
+
+TEST(ByteCounterDefer, OnCommitClosesWindow) {
+  byte_counter_defer::params prm;
+  prm.threshold_bytes = 1000;
+  prm.max_wait = at(30);
+  byte_counter_defer p(prm);
+  p.next_fire(at(1), 10);
+  p.on_commit();  // engine committed at the deadline
+  EXPECT_EQ(p.next_fire(at(50), 10), at(80));  // fresh anchor
+}
+
+TEST(ByteCounterDefer, ResetClearsWindow) {
+  byte_counter_defer p;
+  p.next_fire(at(1), 10);
+  p.reset();
+  EXPECT_EQ(p.next_fire(at(9), 10),
+            at(9) + byte_counter_defer::params{}.max_wait);
+}
+
+TEST(DeferConfig, InstantiatesCorrectPolicies) {
+  EXPECT_EQ(defer_config::none().instantiate()->name(), "none");
+  EXPECT_EQ(defer_config::fixed(at(6)).instantiate()->name(), "fixed (6.0 s)");
+  EXPECT_EQ(defer_config::asd().instantiate()->name(), "adaptive (ASD)");
+  EXPECT_EQ(defer_config::uds().instantiate()->name(), "byte counter (UDS)");
+}
+
+}  // namespace
+}  // namespace cloudsync

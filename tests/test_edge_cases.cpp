@@ -1,0 +1,197 @@
+// Edge cases and less-travelled paths across modules.
+#include <gtest/gtest.h>
+
+#include "compress/lzss.hpp"
+#include "core/experiment.hpp"
+#include "net/http_model.hpp"
+#include "util/md5.hpp"
+
+namespace cloudsync {
+namespace {
+
+// --- hash edge vectors -------------------------------------------------------
+
+TEST(Md5Edge, MillionAs) {
+  // The classic long-message vector: one million 'a' characters.
+  md5_hasher h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(h.finish().hex(), "7707d6ae4e027c70eea2a935c2296f21");
+}
+
+TEST(Md5Edge, ExactBlockMultiples) {
+  // 64 and 128 bytes exercise the padding-overflow path.
+  const std::string b64(64, 'x');
+  const std::string b128(128, 'x');
+  EXPECT_NE(md5(as_bytes(b64)), md5(as_bytes(b128)));
+  // Incremental at exactly block size equals one-shot.
+  md5_hasher h;
+  h.update(as_bytes(b64));
+  h.update(as_bytes(b64));
+  EXPECT_EQ(h.finish(), md5(as_bytes(b128)));
+}
+
+// --- LZSS long-range matches --------------------------------------------------
+
+TEST(LzssEdge, MatchAtMaximumWindowDistance) {
+  // A repeated 64-byte motif separated by ~64 KB of noise: the second copy
+  // sits near the encoder's maximum back-reference distance.
+  rng r(1);
+  byte_buffer data;
+  const byte_buffer motif = random_bytes(r, 64);
+  append(data, motif);
+  const byte_buffer gap = random_bytes(r, 65'400);
+  append(data, gap);
+  append(data, motif);
+  const byte_buffer frame = lzss_compress(data, {.level = 9});
+  EXPECT_EQ(lzss_decompress(frame), data);
+}
+
+TEST(LzssEdge, MotifBeyondWindowIsNotMatched) {
+  // Past 64 KB the dictionary can't reach back; output stays ~incompressible
+  // but must still round-trip.
+  rng r(2);
+  byte_buffer data;
+  const byte_buffer motif = random_bytes(r, 64);
+  append(data, motif);
+  const byte_buffer gap = random_bytes(r, 70'000);
+  append(data, gap);
+  append(data, motif);
+  const byte_buffer frame = lzss_compress(data, {.level = 9});
+  EXPECT_EQ(lzss_decompress(frame), data);
+  EXPECT_GT(frame.size(), data.size() * 95 / 100);
+}
+
+// --- rsync degenerate block sizes ----------------------------------------------
+
+TEST(RsyncEdge, BlockSizeOne) {
+  rng r(3);
+  const byte_buffer old_data = random_bytes(r, 300);
+  byte_buffer new_data = old_data;
+  new_data[150] ^= 1;
+  const file_signature sig = compute_signature(old_data, 1);
+  const file_delta delta = compute_delta(sig, new_data);
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+  // With 1-byte blocks only the changed byte is literal... but 1-byte weak
+  // checksums collide freely, so we only require correctness, not tightness.
+}
+
+TEST(RsyncEdge, BlockLargerThanFile) {
+  rng r(4);
+  const byte_buffer old_data = random_bytes(r, 100);
+  const file_signature sig = compute_signature(old_data, 4096);
+  EXPECT_EQ(sig.blocks.size(), 1u);
+  // Unchanged short file: matched as the tail block.
+  const file_delta same = compute_delta(sig, old_data);
+  EXPECT_EQ(same.literal_bytes(), 0u);
+  // Changed short file: shipped literally.
+  byte_buffer changed = old_data;
+  changed[0] ^= 1;
+  const file_delta diff = compute_delta(sig, changed);
+  EXPECT_EQ(diff.literal_bytes(), changed.size());
+  EXPECT_EQ(apply_delta(old_data, diff), changed);
+}
+
+// --- engine odds and ends -------------------------------------------------------
+
+TEST(EngineEdge, DownloadOfUnknownPathIsNoOp) {
+  experiment_env env(experiment_config{box()});
+  station& st = env.primary();
+  const auto snap = st.client->meter().snap();
+  st.client->download("does/not/exist");
+  env.settle();
+  EXPECT_EQ(experiment_env::traffic_since(st, snap), 0u);
+}
+
+TEST(EngineEdge, PollWithNoChangesCostsOnlyThePoll) {
+  experiment_env env(experiment_config{box()});
+  station& st = env.primary();
+  const auto snap = st.client->meter().snap();
+  EXPECT_EQ(st.client->poll_remote_changes(), 0u);
+  env.settle();
+  const std::uint64_t traffic = experiment_env::traffic_since(st, snap);
+  EXPECT_GT(traffic, 0u);
+  EXPECT_LT(traffic, 4096u);
+}
+
+TEST(EngineEdge, EmptyFileSyncs) {
+  experiment_env env(experiment_config{google_drive()});
+  station& st = env.primary();
+  st.fs.create("empty.txt", {}, env.clock().now());
+  env.settle();
+  const auto content = env.the_cloud().file_content(0, "empty.txt");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_TRUE(content->empty());
+}
+
+TEST(EngineEdge, ReCreateAfterDeleteMakesNewVersionChain) {
+  experiment_env env(experiment_config{box()});
+  station& st = env.primary();
+  st.fs.create("f", to_buffer("one"), env.clock().now());
+  env.settle();
+  st.fs.remove("f", env.clock().now());
+  env.settle();
+  st.fs.create("f", to_buffer("two"), env.clock().now());
+  env.settle();
+  EXPECT_EQ(to_string(*env.the_cloud().file_content(0, "f")), "two");
+  EXPECT_GT(env.the_cloud().manifest(0, "f")->version, 1u);
+}
+
+TEST(EngineEdge, StalenessTracksDeferment) {
+  // OneDrive's 10.5 s defer must show up in the staleness statistic.
+  experiment_env env(experiment_config{onedrive()});
+  station& st = env.primary();
+  env.clock().schedule_at(sim_time::from_sec(5), [&] {
+    st.fs.create("doc", to_buffer("x"), env.clock().now());
+  });
+  env.settle();
+  ASSERT_EQ(st.client->staleness_sec().count(), 1u);
+  EXPECT_GE(st.client->staleness_sec().mean(), 10.0);
+  EXPECT_LT(st.client->staleness_sec().mean(), 14.0);
+}
+
+TEST(EngineEdge, NoDeferStalenessIsTransferBound) {
+  experiment_env env(experiment_config{dropbox()});
+  station& st = env.primary();
+  env.clock().schedule_at(sim_time::from_sec(5), [&] {
+    st.fs.create("doc", to_buffer("x"), env.clock().now());
+  });
+  env.settle();
+  ASSERT_EQ(st.client->staleness_sec().count(), 1u);
+  EXPECT_LT(st.client->staleness_sec().mean(), 2.0);
+}
+
+// --- http model ---------------------------------------------------------------
+
+TEST(HttpEdge, ZeroBodiesStillCostHeaders) {
+  traffic_meter meter;
+  tcp_connection conn(link_config::minnesota(), {}, meter);
+  conn.exchange(sim_time{}, 1, 1);
+  meter.reset();
+  http_exchange(conn, {700, 450}, meter, sim_time::from_sec(1),
+                traffic_category::payload, 0, 0);
+  EXPECT_EQ(meter.by_category(traffic_category::payload), 0u);
+  EXPECT_EQ(meter.by_category(traffic_category::notification), 1150u);
+}
+
+// --- metadata service deletion notifications ------------------------------------
+
+TEST(MetadataEdge, SecondDeviceSeesDeletion) {
+  experiment_env env(experiment_config{box()});
+  station& a = env.primary();
+  station& b = env.add_station(0);
+  a.fs.create("shared", to_buffer("v"), env.clock().now());
+  env.settle();
+  b.client->poll_remote_changes();
+  env.settle();
+
+  a.fs.remove("shared", env.clock().now());
+  env.settle();
+  const auto notes = env.the_cloud().metadata().fetch_notifications(
+      0, b.client->device());
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_TRUE(notes[0].deleted);
+}
+
+}  // namespace
+}  // namespace cloudsync

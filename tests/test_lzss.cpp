@@ -1,0 +1,152 @@
+// LZSS compressor: round-trip properties, ratio expectations, frame
+// robustness against corruption.
+#include <gtest/gtest.h>
+
+#include "compress/compressor.hpp"
+#include "compress/lzss.hpp"
+#include "util/rng.hpp"
+
+namespace cloudsync {
+namespace {
+
+class LzssLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzssLevels, RoundTripText) {
+  rng r(1);
+  const byte_buffer original = random_text(r, 50'000);
+  const byte_buffer frame =
+      lzss_compress(original, {.level = GetParam()});
+  EXPECT_EQ(lzss_decompress(frame), original);
+}
+
+TEST_P(LzssLevels, RoundTripRandom) {
+  rng r(2);
+  const byte_buffer original = random_bytes(r, 20'000);
+  const byte_buffer frame =
+      lzss_compress(original, {.level = GetParam()});
+  EXPECT_EQ(lzss_decompress(frame), original);
+  // Random data must not expand beyond the stored-frame overhead.
+  EXPECT_LE(frame.size(), original.size() + 16);
+}
+
+TEST_P(LzssLevels, RoundTripRepetitive) {
+  byte_buffer original;
+  for (int i = 0; i < 5000; ++i) original.push_back("abcab"[i % 5]);
+  const byte_buffer frame =
+      lzss_compress(original, {.level = GetParam()});
+  EXPECT_EQ(lzss_decompress(frame), original);
+  if (GetParam() >= 1) {
+    EXPECT_LT(frame.size(), original.size() / 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LzssLevels,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+TEST(Lzss, EmptyInput) {
+  const byte_buffer frame = lzss_compress({});
+  EXPECT_TRUE(lzss_decompress(frame).empty());
+}
+
+TEST(Lzss, TinyInputs) {
+  for (std::size_t n : {1, 2, 3, 4, 5, 8}) {
+    rng r(n);
+    const byte_buffer original = random_bytes(r, n);
+    EXPECT_EQ(lzss_decompress(lzss_compress(original)), original) << n;
+  }
+}
+
+TEST(Lzss, HigherLevelCompressesTextAtLeastAsWell) {
+  rng r(3);
+  const byte_buffer text = random_text(r, 200'000);
+  const std::size_t low = lzss_compress(text, {.level = 1}).size();
+  const std::size_t high = lzss_compress(text, {.level = 9}).size();
+  EXPECT_LE(high, low);
+  // English-word text should compress well at high level (~2x or better).
+  EXPECT_LT(high, text.size() * 6 / 10);
+}
+
+TEST(Lzss, TextCompressionRatioMatchesPaperExpectation) {
+  // The paper's 10 MB random-English text compressed to ~4.5 MB with WinZip;
+  // our LZSS at level 9 should land in the same regime (ratio >= 2).
+  rng r(4);
+  const byte_buffer text = random_text(r, 1'000'000);
+  const std::size_t c = lzss_compress(text, {.level = 9}).size();
+  EXPECT_LT(c, text.size() / 2);
+}
+
+TEST(Lzss, OverlappingMatchRle) {
+  // A run of a single byte exercises distance < length copies.
+  byte_buffer original(10'000, std::uint8_t{'x'});
+  const byte_buffer frame = lzss_compress(original, {.level = 5});
+  EXPECT_LT(frame.size(), 200u);
+  EXPECT_EQ(lzss_decompress(frame), original);
+}
+
+TEST(Lzss, CorruptMagicThrows) {
+  byte_buffer frame = lzss_compress(to_buffer("hello world hello world"));
+  frame[0] ^= 0xff;
+  EXPECT_THROW(lzss_decompress(frame), std::runtime_error);
+}
+
+TEST(Lzss, CorruptBodyThrowsCrc) {
+  rng r(5);
+  byte_buffer frame = lzss_compress(random_text(r, 5'000), {.level = 6});
+  frame[frame.size() / 2] ^= 0x01;
+  EXPECT_THROW(lzss_decompress(frame), std::runtime_error);
+}
+
+TEST(Lzss, TruncatedFrameThrows) {
+  rng r(6);
+  byte_buffer frame = lzss_compress(random_text(r, 5'000), {.level = 6});
+  frame.resize(frame.size() / 2);
+  EXPECT_THROW(lzss_decompress(frame), std::runtime_error);
+}
+
+TEST(Lzss, GarbageThrows) {
+  EXPECT_THROW(lzss_decompress(to_buffer("not a frame at all")),
+               std::runtime_error);
+  EXPECT_THROW(lzss_decompress({}), std::runtime_error);
+}
+
+TEST(EstimateCompressionRatio, DiscriminatesContent) {
+  rng r(7);
+  const byte_buffer text = random_text(r, 300'000);
+  const byte_buffer noise = random_bytes(r, 300'000);
+  EXPECT_GT(estimate_compression_ratio(text), 1.3);
+  EXPECT_LT(estimate_compression_ratio(noise), 1.05);
+}
+
+TEST(EstimateCompressionRatio, EmptyIsOne) {
+  EXPECT_DOUBLE_EQ(estimate_compression_ratio({}), 1.0);
+}
+
+TEST(CompressorInterface, IdentityPassesThrough) {
+  identity_compressor c;
+  const byte_buffer data = to_buffer("payload");
+  EXPECT_EQ(c.compress(data), data);
+  EXPECT_EQ(c.decompress(data), data);
+  EXPECT_EQ(c.name(), "identity");
+}
+
+TEST(CompressorInterface, FactoryLevels) {
+  EXPECT_EQ(make_compressor(0)->name(), "identity");
+  EXPECT_EQ(make_compressor(-3)->name(), "identity");
+  EXPECT_EQ(make_compressor(6)->name(), "lzss-6");
+  rng r(8);
+  const byte_buffer text = random_text(r, 10'000);
+  const auto c = make_compressor(6);
+  EXPECT_EQ(c->decompress(c->compress(text)), text);
+}
+
+TEST(SyntheticPayloadCompression, TracksTargetRatio) {
+  rng r(9);
+  const byte_buffer p = synthetic_payload(r, 200'000, 2.0);
+  const double ratio = static_cast<double>(p.size()) /
+                       static_cast<double>(lzss_compress(p, {.level = 6}).size());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,175 @@
+#include "fs/memfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fs/file_ops.hpp"
+#include "util/rng.hpp"
+
+namespace cloudsync {
+namespace {
+
+sim_time at(double sec) { return sim_time::from_sec(sec); }
+
+TEST(Memfs, CreateReadDelete) {
+  memfs fs;
+  fs.create("a.txt", to_buffer("hello"), at(1));
+  EXPECT_TRUE(fs.exists("a.txt"));
+  EXPECT_EQ(to_string(fs.read("a.txt")), "hello");
+  EXPECT_EQ(fs.size("a.txt"), 5u);
+  EXPECT_EQ(fs.mtime("a.txt"), at(1));
+  EXPECT_EQ(fs.version("a.txt"), 1u);
+  fs.remove("a.txt", at(2));
+  EXPECT_FALSE(fs.exists("a.txt"));
+}
+
+TEST(Memfs, CreateDuplicateThrows) {
+  memfs fs;
+  fs.create("a", {}, at(1));
+  EXPECT_THROW(fs.create("a", {}, at(2)), std::invalid_argument);
+}
+
+TEST(Memfs, MissingFileThrows) {
+  memfs fs;
+  EXPECT_THROW(fs.read("nope"), std::invalid_argument);
+  EXPECT_THROW(fs.remove("nope", at(1)), std::invalid_argument);
+  EXPECT_THROW(fs.append("nope", as_bytes("x"), at(1)),
+               std::invalid_argument);
+}
+
+TEST(Memfs, WriteReplacesAndBumpsVersion) {
+  memfs fs;
+  fs.create("a", to_buffer("one"), at(1));
+  fs.write("a", to_buffer("twotwo"), at(2));
+  EXPECT_EQ(to_string(fs.read("a")), "twotwo");
+  EXPECT_EQ(fs.version("a"), 2u);
+  EXPECT_EQ(fs.mtime("a"), at(2));
+}
+
+TEST(Memfs, AppendGrows) {
+  memfs fs;
+  fs.create("a", to_buffer("ab"), at(1));
+  fs.append("a", as_bytes("cd"), at(2));
+  EXPECT_EQ(to_string(fs.read("a")), "abcd");
+}
+
+TEST(Memfs, PatchInPlace) {
+  memfs fs;
+  fs.create("a", to_buffer("abcdef"), at(1));
+  fs.patch("a", 2, as_bytes("XY"), at(2));
+  EXPECT_EQ(to_string(fs.read("a")), "abXYef");
+}
+
+TEST(Memfs, PatchBeyondEndThrows) {
+  memfs fs;
+  fs.create("a", to_buffer("abc"), at(1));
+  EXPECT_THROW(fs.patch("a", 2, as_bytes("toolong"), at(2)),
+               std::out_of_range);
+}
+
+TEST(Memfs, Rename) {
+  memfs fs;
+  fs.create("old", to_buffer("data"), at(1));
+  fs.rename("old", "new", at(2));
+  EXPECT_FALSE(fs.exists("old"));
+  EXPECT_EQ(to_string(fs.read("new")), "data");
+}
+
+TEST(Memfs, RenameOntoExistingThrows) {
+  memfs fs;
+  fs.create("a", {}, at(1));
+  fs.create("b", {}, at(1));
+  EXPECT_THROW(fs.rename("a", "b", at(2)), std::invalid_argument);
+}
+
+TEST(Memfs, ListAndTotals) {
+  memfs fs;
+  fs.create("b", to_buffer("22"), at(1));
+  fs.create("a", to_buffer("1"), at(1));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(fs.file_count(), 2u);
+  EXPECT_EQ(fs.total_bytes(), 3u);
+}
+
+TEST(Memfs, ObserverSeesAllEvents) {
+  memfs fs;
+  std::vector<fs_event> events;
+  fs.subscribe([&](const fs_event& e) { events.push_back(e); });
+
+  fs.create("a", to_buffer("x"), at(1));
+  fs.append("a", as_bytes("y"), at(2));
+  fs.patch("a", 0, as_bytes("z"), at(3));
+  fs.rename("a", "b", at(4));
+  fs.remove("b", at(5));
+
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].op, fs_event::kind::created);
+  EXPECT_EQ(events[0].size_after, 1u);
+  EXPECT_EQ(events[1].op, fs_event::kind::modified);
+  EXPECT_EQ(events[1].size_after, 2u);
+  EXPECT_EQ(events[2].op, fs_event::kind::modified);
+  EXPECT_EQ(events[3].op, fs_event::kind::renamed);
+  EXPECT_EQ(events[3].path, "b");
+  EXPECT_EQ(events[3].old_path, "a");
+  EXPECT_EQ(events[4].op, fs_event::kind::removed);
+  EXPECT_EQ(events[4].size_after, 0u);
+}
+
+TEST(Memfs, MultipleObservers) {
+  memfs fs;
+  int count1 = 0, count2 = 0;
+  fs.subscribe([&](const fs_event&) { ++count1; });
+  fs.subscribe([&](const fs_event&) { ++count2; });
+  fs.create("a", {}, at(1));
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+TEST(FsEventKind, Names) {
+  EXPECT_STREQ(to_string(fs_event::kind::created), "created");
+  EXPECT_STREQ(to_string(fs_event::kind::removed), "removed");
+}
+
+TEST(FileOps, MakeCompressedFileIsIncompressibleSize) {
+  rng r(1);
+  EXPECT_EQ(make_compressed_file(r, 1000).size(), 1000u);
+  EXPECT_EQ(make_text_file(r, 1000).size(), 1000u);
+}
+
+TEST(FileOps, ModifyRandomByteActuallyChanges) {
+  memfs fs;
+  rng r(2);
+  fs.create("f", make_compressed_file(r, 100), at(1));
+  const byte_buffer before(fs.read("f").begin(), fs.read("f").end());
+  const std::size_t off = modify_random_byte(fs, "f", r, at(2));
+  const byte_view after = fs.read("f");
+  EXPECT_NE(after[off], before[off]);
+  // Exactly one byte differs.
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) diffs += after[i] != before[i];
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(FileOps, ModifyEmptyFileThrows) {
+  memfs fs;
+  rng r(3);
+  fs.create("f", {}, at(1));
+  EXPECT_THROW(modify_random_byte(fs, "f", r, at(2)), std::invalid_argument);
+}
+
+TEST(FileOps, AppendRandom) {
+  memfs fs;
+  rng r(4);
+  fs.create("f", {}, at(1));
+  append_random(fs, "f", r, 1024, at(2));
+  append_random(fs, "f", r, 1024, at(3));
+  EXPECT_EQ(fs.size("f"), 2048u);
+}
+
+TEST(FileOps, SelfDuplicate) {
+  const byte_buffer f1 = to_buffer("abc");
+  const byte_buffer f2 = self_duplicate(f1);
+  EXPECT_EQ(to_string(byte_view{f2}), "abcabc");
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,154 @@
+// Metadata service + cloud façade, including the IDS mid-layer.
+#include <gtest/gtest.h>
+
+#include "chunking/rsync.hpp"
+#include "storage/cloud.hpp"
+#include "util/rng.hpp"
+
+namespace cloudsync {
+namespace {
+
+sim_time at(double sec) { return sim_time::from_sec(sec); }
+
+TEST(MetadataService, CommitAndLookup) {
+  metadata_service meta;
+  const device_id dev = meta.register_device(1);
+  meta.commit(1, dev, "a.txt", {"obj1", 100, 80, 1, at(1), false});
+  const file_manifest* man = meta.lookup(1, "a.txt");
+  ASSERT_NE(man, nullptr);
+  EXPECT_EQ(man->object_key, "obj1");
+  EXPECT_EQ(man->logical_size, 100u);
+  EXPECT_EQ(meta.lookup(2, "a.txt"), nullptr);
+  EXPECT_EQ(meta.lookup(1, "other"), nullptr);
+}
+
+TEST(MetadataService, NotificationsFanOutToOtherDevices) {
+  metadata_service meta;
+  const device_id d1 = meta.register_device(1);
+  const device_id d2 = meta.register_device(1);
+  const device_id d3 = meta.register_device(2);  // different user
+
+  meta.commit(1, d1, "a", {"obj", 10, 10, 1, at(1), false});
+  EXPECT_EQ(meta.pending_notifications(1, d1), 0u);  // source excluded
+  EXPECT_EQ(meta.pending_notifications(1, d2), 1u);
+  EXPECT_EQ(meta.pending_notifications(2, d3), 0u);  // other user untouched
+
+  const auto notes = meta.fetch_notifications(1, d2);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].path, "a");
+  EXPECT_FALSE(notes[0].deleted);
+  EXPECT_EQ(meta.pending_notifications(1, d2), 0u);  // drained
+}
+
+TEST(MetadataService, MarkDeleted) {
+  metadata_service meta;
+  const device_id d1 = meta.register_device(1);
+  const device_id d2 = meta.register_device(1);
+  meta.commit(1, d1, "a", {"obj", 10, 10, 1, at(1), false});
+  meta.fetch_notifications(1, d2);
+
+  EXPECT_TRUE(meta.mark_deleted(1, d1, "a", at(2)));
+  EXPECT_FALSE(meta.mark_deleted(1, d1, "a", at(3)));  // already deleted
+  EXPECT_FALSE(meta.mark_deleted(1, d1, "zz", at(3)));
+  const auto notes = meta.fetch_notifications(1, d2);
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_TRUE(notes[0].deleted);
+  EXPECT_TRUE(meta.list(1).empty());
+}
+
+TEST(MetadataService, ListSkipsDeleted) {
+  metadata_service meta;
+  const device_id d = meta.register_device(1);
+  meta.commit(1, d, "a", {"o1", 1, 1, 1, at(1), false});
+  meta.commit(1, d, "b", {"o2", 1, 1, 1, at(1), false});
+  meta.mark_deleted(1, d, "a", at(2));
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"b"}));
+}
+
+TEST(Cloud, PutAndContent) {
+  cloud cl;
+  const device_id dev = cl.attach_device(1);
+  cl.put_file(1, dev, "f", to_buffer("hello"), 5, at(1));
+  const auto content = cl.file_content(1, "f");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(to_string(*content), "hello");
+  const file_manifest* man = cl.manifest(1, "f");
+  ASSERT_NE(man, nullptr);
+  EXPECT_EQ(man->version, 1u);
+  EXPECT_EQ(man->logical_size, 5u);
+}
+
+TEST(Cloud, PutNewVersionSupersedes) {
+  cloud cl;
+  const device_id dev = cl.attach_device(1);
+  cl.put_file(1, dev, "f", to_buffer("v1"), 2, at(1));
+  cl.put_file(1, dev, "f", to_buffer("v2!"), 3, at(2));
+  EXPECT_EQ(to_string(*cl.file_content(1, "f")), "v2!");
+  EXPECT_EQ(cl.manifest(1, "f")->version, 2u);
+  // RESTful update pattern: the old object was DELETEd.
+  EXPECT_GE(cl.store().stats().deletes, 1u);
+}
+
+TEST(Cloud, FakeDeletionKeepsObject) {
+  cloud cl;
+  const device_id dev = cl.attach_device(1);
+  cl.put_file(1, dev, "f", to_buffer("data"), 4, at(1));
+  const std::string key = cl.manifest(1, "f")->object_key;
+  EXPECT_TRUE(cl.delete_file(1, dev, "f", at(2)));
+  EXPECT_FALSE(cl.file_content(1, "f").has_value());
+  // Content retained in the store (version rollback support).
+  EXPECT_EQ(cl.store().version_count(key), 1u);
+  EXPECT_FALSE(cl.delete_file(1, dev, "f", at(3)));
+}
+
+TEST(Cloud, ApplyDeltaThroughMidLayer) {
+  cloud cl;
+  const device_id dev = cl.attach_device(1);
+  rng r(1);
+  byte_buffer v1 = random_bytes(r, 50'000);
+  cl.put_file(1, dev, "f", v1, v1.size(), at(1));
+
+  byte_buffer v2 = v1;
+  v2[25'000] ^= 0xff;
+  const file_signature sig = compute_signature(v1, 10 * 1024);
+  const file_delta delta = compute_delta(sig, v2);
+
+  const auto puts_before = cl.store().stats().puts;
+  const auto gets_before = cl.store().stats().gets;
+  const auto dels_before = cl.store().stats().deletes;
+  cl.apply_file_delta(1, dev, "f", delta, at(2));
+
+  // MODIFY was transformed into GET + PUT + DELETE (§4.3).
+  EXPECT_EQ(cl.store().stats().gets, gets_before + 1);
+  EXPECT_EQ(cl.store().stats().puts, puts_before + 1);
+  EXPECT_EQ(cl.store().stats().deletes, dels_before + 1);
+
+  EXPECT_EQ(to_string(*cl.file_content(1, "f")), to_string(v2));
+  EXPECT_EQ(cl.manifest(1, "f")->version, 2u);
+  EXPECT_EQ(cl.manifest(1, "f")->stored_size, delta.literal_bytes());
+}
+
+TEST(Cloud, ApplyDeltaToUnknownFileThrows) {
+  cloud cl;
+  const device_id dev = cl.attach_device(1);
+  file_delta delta;
+  delta.block_size = 1024;
+  EXPECT_THROW(cl.apply_file_delta(1, dev, "ghost", delta, at(1)),
+               std::runtime_error);
+}
+
+TEST(Cloud, UsersAreIsolated) {
+  cloud cl;
+  const device_id d1 = cl.attach_device(1);
+  cl.put_file(1, d1, "f", to_buffer("mine"), 4, at(1));
+  EXPECT_FALSE(cl.file_content(2, "f").has_value());
+}
+
+TEST(Cloud, DedupEngineWiredFromConfig) {
+  cloud cl(cloud_config{{dedup_granularity::full_file, 4096, true}});
+  EXPECT_EQ(cl.dedup().policy().granularity, dedup_granularity::full_file);
+  EXPECT_TRUE(cl.dedup().policy().cross_user);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,108 @@
+#include "storage/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+TEST(ObjectStore, PutGet) {
+  object_store store;
+  store.put("k", to_buffer("value"));
+  const auto v = store.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(*v), "value");
+  EXPECT_TRUE(store.head("k"));
+}
+
+TEST(ObjectStore, GetMissing) {
+  object_store store;
+  EXPECT_FALSE(store.get("missing").has_value());
+  EXPECT_FALSE(store.head("missing"));
+}
+
+TEST(ObjectStore, FakeDeletionRetainsContent) {
+  object_store store;
+  store.put("k", to_buffer("v1"));
+  EXPECT_TRUE(store.remove("k"));
+  EXPECT_FALSE(store.get("k").has_value());
+  EXPECT_FALSE(store.head("k"));
+  // Content is retained for rollback.
+  EXPECT_EQ(store.version_count("k"), 1u);
+  EXPECT_TRUE(store.undelete("k"));
+  EXPECT_EQ(to_string(*store.get("k")), "v1");
+}
+
+TEST(ObjectStore, DoubleDeleteReturnsFalse) {
+  object_store store;
+  store.put("k", to_buffer("v"));
+  EXPECT_TRUE(store.remove("k"));
+  EXPECT_FALSE(store.remove("k"));
+  EXPECT_FALSE(store.remove("unknown"));
+}
+
+TEST(ObjectStore, VersionHistory) {
+  object_store store;
+  store.put("k", to_buffer("v1"));
+  store.put("k", to_buffer("v2"));
+  store.put("k", to_buffer("v3"));
+  EXPECT_EQ(store.version_count("k"), 3u);
+  EXPECT_EQ(to_string(*store.get_version("k", 0)), "v1");
+  EXPECT_EQ(to_string(*store.get_version("k", 2)), "v3");
+  EXPECT_FALSE(store.get_version("k", 3).has_value());
+  EXPECT_EQ(to_string(*store.get("k")), "v3");
+}
+
+TEST(ObjectStore, PutAfterDeleteRevives) {
+  object_store store;
+  store.put("k", to_buffer("v1"));
+  store.remove("k");
+  store.put("k", to_buffer("v2"));
+  EXPECT_TRUE(store.head("k"));
+  EXPECT_EQ(to_string(*store.get("k")), "v2");
+  EXPECT_EQ(store.version_count("k"), 2u);
+}
+
+TEST(ObjectStore, ListByPrefix) {
+  object_store store;
+  store.put("u1/a", {});
+  store.put("u1/b", {});
+  store.put("u2/c", {});
+  store.remove("u1/b");
+  EXPECT_EQ(store.list("u1/"), (std::vector<std::string>{"u1/a"}));
+  EXPECT_EQ(store.list("").size(), 2u);
+  EXPECT_TRUE(store.list("zz/").empty());
+}
+
+TEST(ObjectStore, ByteAccounting) {
+  object_store store;
+  store.put("a", byte_buffer(100, 1));
+  store.put("a", byte_buffer(150, 2));
+  store.put("b", byte_buffer(50, 3));
+  store.remove("b");
+  EXPECT_EQ(store.live_bytes(), 150u);
+  EXPECT_EQ(store.retained_bytes(), 300u);
+}
+
+TEST(ObjectStore, BackendOpStats) {
+  object_store store;
+  store.put("a", byte_buffer(10, 0));
+  store.get("a");
+  store.get("missing");
+  store.head("a");
+  store.remove("a");
+  store.list("");
+  const backend_op_stats& s = store.stats();
+  EXPECT_EQ(s.puts, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.heads, 1u);
+  EXPECT_EQ(s.deletes, 1u);
+  EXPECT_EQ(s.lists, 1u);
+  EXPECT_EQ(s.bytes_written, 10u);
+  EXPECT_EQ(s.bytes_read, 10u);  // the missing get read nothing
+  EXPECT_EQ(s.total_ops(), 6u);
+  store.reset_stats();
+  EXPECT_EQ(store.stats().total_ops(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudsync

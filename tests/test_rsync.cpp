@@ -1,0 +1,240 @@
+// The rsync algorithm: signatures, delta computation, patching, wire format.
+#include <gtest/gtest.h>
+
+#include "chunking/rsync.hpp"
+#include "util/rng.hpp"
+
+namespace cloudsync {
+namespace {
+
+byte_buffer patch_roundtrip(byte_view old_data, byte_view new_data,
+                            std::size_t block) {
+  const file_signature sig = compute_signature(old_data, block);
+  const file_delta delta = compute_delta(sig, new_data);
+  return apply_delta(old_data, delta);
+}
+
+TEST(Rsync, SignatureShape) {
+  rng r(1);
+  const byte_buffer data = random_bytes(r, 10'240);
+  const file_signature sig = compute_signature(data, 1024);
+  EXPECT_EQ(sig.blocks.size(), 10u);
+  EXPECT_EQ(sig.file_size, 10'240u);
+  EXPECT_EQ(sig.block_size, 1024u);
+  EXPECT_EQ(sig.wire_size(), 16 + 10 * 20);
+}
+
+TEST(Rsync, SignatureShortTail) {
+  rng r(2);
+  const byte_buffer data = random_bytes(r, 2500);
+  const file_signature sig = compute_signature(data, 1024);
+  EXPECT_EQ(sig.blocks.size(), 3u);
+}
+
+TEST(Rsync, IdenticalFilesAllCopies) {
+  rng r(3);
+  const byte_buffer data = random_bytes(r, 50'000);
+  const file_signature sig = compute_signature(data, 1024);
+  const file_delta delta = compute_delta(sig, data);
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+  EXPECT_EQ(apply_delta(data, delta), data);
+  // Consecutive copies merge into a single run.
+  EXPECT_EQ(delta.ops.size(), 1u);
+}
+
+TEST(Rsync, SingleByteChangeShipsOneBlock) {
+  rng r(4);
+  byte_buffer old_data = random_bytes(r, 100 * 1024);
+  byte_buffer new_data = old_data;
+  new_data[50'000] ^= 0xff;
+
+  const file_signature sig = compute_signature(old_data, 10 * 1024);
+  const file_delta delta = compute_delta(sig, new_data);
+  // Exactly one 10 KB block of literals, the rest copied — the paper's
+  // estimate C ≈ 10 KB for Dropbox's flat modification traffic.
+  EXPECT_EQ(delta.literal_bytes(), 10 * 1024u);
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+}
+
+TEST(Rsync, PrependShiftsAreResynchronised) {
+  rng r(5);
+  const byte_buffer old_data = random_bytes(r, 64 * 1024);
+  byte_buffer new_data = random_bytes(r, 100);  // insertion at front
+  append(new_data, old_data);
+
+  const file_signature sig = compute_signature(old_data, 4096);
+  const file_delta delta = compute_delta(sig, new_data);
+  // The rolling match must recover alignment after the insertion: literals
+  // stay near the insertion size, not the file size.
+  EXPECT_LT(delta.literal_bytes(), 5000u);
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+}
+
+TEST(Rsync, AppendShipsOnlyTail) {
+  rng r(6);
+  const byte_buffer old_data = random_bytes(r, 40'960);
+  byte_buffer new_data = old_data;
+  const byte_buffer tail = random_bytes(r, 2048);
+  append(new_data, tail);
+
+  const file_signature sig = compute_signature(old_data, 4096);
+  const file_delta delta = compute_delta(sig, new_data);
+  EXPECT_EQ(delta.literal_bytes(), 2048u);
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+}
+
+TEST(Rsync, CompletelyDifferentFilesAreAllLiterals) {
+  rng r(7);
+  const byte_buffer old_data = random_bytes(r, 20'000);
+  const byte_buffer new_data = random_bytes(r, 21'000);
+  const file_signature sig = compute_signature(old_data, 2048);
+  const file_delta delta = compute_delta(sig, new_data);
+  EXPECT_EQ(delta.literal_bytes(), new_data.size());
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+}
+
+TEST(Rsync, EmptyOldFile) {
+  rng r(8);
+  const byte_buffer new_data = random_bytes(r, 5000);
+  const file_signature sig = compute_signature({}, 1024);
+  const file_delta delta = compute_delta(sig, new_data);
+  EXPECT_EQ(delta.literal_bytes(), 5000u);
+  EXPECT_EQ(apply_delta({}, delta), new_data);
+}
+
+TEST(Rsync, EmptyNewFile) {
+  rng r(9);
+  const byte_buffer old_data = random_bytes(r, 5000);
+  const file_signature sig = compute_signature(old_data, 1024);
+  const file_delta delta = compute_delta(sig, {});
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+  EXPECT_TRUE(apply_delta(old_data, delta).empty());
+}
+
+TEST(Rsync, ShortTailBlockMatches) {
+  rng r(10);
+  byte_buffer old_data = random_bytes(r, 10'000);  // tail of 10000-8192=1808
+  byte_buffer new_data = old_data;
+  new_data[0] ^= 1;  // change only the first block
+
+  const file_signature sig = compute_signature(old_data, 8192);
+  const file_delta delta = compute_delta(sig, new_data);
+  // First 8192 shipped; final 1808-byte tail block matched by identity.
+  EXPECT_EQ(delta.literal_bytes(), 8192u);
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+}
+
+TEST(Rsync, TruncationProducesValidDelta) {
+  rng r(11);
+  const byte_buffer old_data = random_bytes(r, 30'000);
+  const byte_buffer new_data(old_data.begin(), old_data.begin() + 12'288);
+  const file_signature sig = compute_signature(old_data, 4096);
+  const file_delta delta = compute_delta(sig, new_data);
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+  EXPECT_EQ(apply_delta(old_data, delta), new_data);
+}
+
+class RsyncRandomEdits : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsyncRandomEdits, RoundTripsUnderRandomEdits) {
+  rng r(100 + GetParam());
+  byte_buffer old_data = random_bytes(r, 60'000);
+  byte_buffer new_data = old_data;
+  // A handful of scattered edits: overwrite, insert, erase.
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t pos = r.uniform(new_data.size());
+    switch (r.uniform(3)) {
+      case 0:
+        new_data[pos] ^= 0x5a;
+        break;
+      case 1: {
+        const byte_buffer ins = random_bytes(r, 1 + r.uniform(300));
+        new_data.insert(new_data.begin() + static_cast<std::ptrdiff_t>(pos),
+                        ins.begin(), ins.end());
+        break;
+      }
+      default:
+        new_data.erase(
+            new_data.begin() + static_cast<std::ptrdiff_t>(pos),
+            new_data.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(new_data.size(), pos + 200)));
+        break;
+    }
+  }
+  EXPECT_EQ(patch_roundtrip(old_data, new_data, GetParam() % 2 ? 2048 : 700),
+            new_data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsyncRandomEdits,
+                         ::testing::Range<std::size_t>(0, 12));
+
+TEST(RsyncWire, SerializeParseRoundTrip) {
+  rng r(12);
+  const byte_buffer old_data = random_bytes(r, 30'000);
+  byte_buffer new_data = old_data;
+  new_data[15'000] ^= 0xff;
+  const file_signature sig = compute_signature(old_data, 4096);
+  const file_delta delta = compute_delta(sig, new_data);
+
+  const byte_buffer wire = serialize_delta(delta);
+  const file_delta parsed = parse_delta(wire);
+  EXPECT_EQ(parsed.block_size, delta.block_size);
+  EXPECT_EQ(parsed.new_file_size, delta.new_file_size);
+  ASSERT_EQ(parsed.ops.size(), delta.ops.size());
+  EXPECT_EQ(apply_delta(old_data, parsed), new_data);
+}
+
+TEST(RsyncWire, CorruptionDetected) {
+  rng r(13);
+  const byte_buffer old_data = random_bytes(r, 10'000);
+  const file_signature sig = compute_signature(old_data, 1024);
+  const file_delta delta = compute_delta(sig, old_data);
+  byte_buffer wire = serialize_delta(delta);
+  wire[wire.size() / 2] ^= 1;
+  EXPECT_THROW(parse_delta(wire), std::runtime_error);
+}
+
+TEST(RsyncWire, TruncationDetected) {
+  EXPECT_THROW(parse_delta(to_buffer("dl")), std::runtime_error);
+  EXPECT_THROW(parse_delta({}), std::runtime_error);
+}
+
+TEST(RsyncWire, WireIsCompactForSmallDeltas) {
+  rng r(14);
+  const byte_buffer old_data = random_bytes(r, 1024 * 1024);
+  byte_buffer new_data = old_data;
+  new_data[500'000] ^= 1;
+  const file_signature sig = compute_signature(old_data, 10 * 1024);
+  const byte_buffer wire = serialize_delta(compute_delta(sig, new_data));
+  // One literal block plus copy runs: ~10 KB, never the megabyte.
+  EXPECT_LT(wire.size(), 12 * 1024u);
+}
+
+TEST(ApplyDelta, OutOfRangeBlockThrows) {
+  file_delta delta;
+  delta.block_size = 1024;
+  delta.new_file_size = 1024;
+  delta.ops.push_back({delta_op::kind::copy, 5, 1, {}});
+  rng r(15);
+  const byte_buffer old_data = random_bytes(r, 2048);
+  EXPECT_THROW(apply_delta(old_data, delta), std::runtime_error);
+}
+
+TEST(ApplyDelta, SizeMismatchThrows) {
+  file_delta delta;
+  delta.block_size = 1024;
+  delta.new_file_size = 9999;  // lies about the size
+  delta.ops.push_back({delta_op::kind::literal, 0, 0, to_buffer("abc")});
+  EXPECT_THROW(apply_delta({}, delta), std::runtime_error);
+}
+
+TEST(FileDelta, CopiedBytesAccounting) {
+  rng r(16);
+  const byte_buffer old_data = random_bytes(r, 2500);  // 2 full + 452 tail
+  const file_signature sig = compute_signature(old_data, 1024);
+  const file_delta delta = compute_delta(sig, old_data);
+  EXPECT_EQ(delta.copied_bytes(old_data.size()), old_data.size());
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,100 @@
+// The fingerprinting suite must recover every service's ground truth from
+// traffic alone.
+#include <gtest/gtest.h>
+
+#include "core/service_probe.hpp"
+
+namespace cloudsync {
+namespace {
+
+probed_characteristics probe(const char* name, bool with_dedup = false) {
+  experiment_config cfg{*find_service(name)};
+  probe_options opts;
+  opts.probe_dedup = with_dedup;
+  return probe_service(cfg, opts);
+}
+
+TEST(ServiceProbe, GoogleDrive) {
+  const auto p = probe("Google Drive");
+  EXPECT_FALSE(p.incremental_sync);
+  EXPECT_FALSE(p.compresses_upload);
+  EXPECT_FALSE(p.compresses_download);
+  EXPECT_FALSE(p.batched_sync);
+  ASSERT_TRUE(p.has_fixed_defer);
+  EXPECT_NEAR(p.est_defer_sec, 4.2, 0.6);
+  EXPECT_NEAR(static_cast<double>(p.per_event_overhead), 9e3, 3e3);
+}
+
+TEST(ServiceProbe, OneDrive) {
+  const auto p = probe("OneDrive");
+  EXPECT_FALSE(p.incremental_sync);
+  EXPECT_FALSE(p.batched_sync);
+  ASSERT_TRUE(p.has_fixed_defer);
+  EXPECT_NEAR(p.est_defer_sec, 10.5, 1.0);
+}
+
+TEST(ServiceProbe, Dropbox) {
+  const auto p = probe("Dropbox", /*with_dedup=*/true);
+  EXPECT_TRUE(p.incremental_sync);
+  // Paper's estimate: C ≈ 10 KB (we measure chunk + framing).
+  EXPECT_GT(p.est_delta_chunk, 5 * KiB);
+  EXPECT_LT(p.est_delta_chunk, 30 * KiB);
+  EXPECT_TRUE(p.compresses_upload);
+  EXPECT_TRUE(p.compresses_download);
+  EXPECT_TRUE(p.batched_sync);
+  EXPECT_FALSE(p.has_fixed_defer);
+  EXPECT_TRUE(p.dedup_same_user.block_dedup);
+  EXPECT_EQ(p.dedup_same_user.block_size, 4 * MiB);
+  EXPECT_FALSE(p.dedup_cross_user.block_dedup);
+  EXPECT_FALSE(p.dedup_cross_user.full_file_dedup);
+}
+
+TEST(ServiceProbe, Box) {
+  const auto p = probe("Box");
+  EXPECT_FALSE(p.incremental_sync);
+  EXPECT_FALSE(p.compresses_upload);
+  EXPECT_FALSE(p.batched_sync);
+  EXPECT_FALSE(p.has_fixed_defer);  // throttled, but not a debounce defer
+}
+
+TEST(ServiceProbe, UbuntuOne) {
+  const auto p = probe("Ubuntu One", /*with_dedup=*/true);
+  EXPECT_FALSE(p.incremental_sync);
+  EXPECT_TRUE(p.compresses_upload);
+  EXPECT_TRUE(p.batched_sync);
+  EXPECT_FALSE(p.has_fixed_defer);
+  EXPECT_TRUE(p.dedup_same_user.full_file_dedup);
+  EXPECT_FALSE(p.dedup_same_user.block_dedup);
+  EXPECT_TRUE(p.dedup_cross_user.full_file_dedup);
+}
+
+TEST(ServiceProbe, SugarSync) {
+  const auto p = probe("SugarSync");
+  EXPECT_TRUE(p.incremental_sync);
+  EXPECT_GT(p.est_delta_chunk, 64 * KiB);  // coarser than Dropbox
+  EXPECT_FALSE(p.compresses_upload);
+  ASSERT_TRUE(p.has_fixed_defer);
+  EXPECT_NEAR(p.est_defer_sec, 6.0, 0.8);
+}
+
+TEST(ServiceProbe, MobileMethodChangesFingerprint) {
+  experiment_config cfg{dropbox()};
+  cfg.method = access_method::mobile_app;
+  probe_options opts;
+  opts.probe_dedup = false;
+  const auto p = probe_service(cfg, opts);
+  EXPECT_FALSE(p.incremental_sync);  // Fig 4(c): mobile is full-file
+  EXPECT_TRUE(p.compresses_upload);  // low-level compression still detected
+}
+
+TEST(ServiceProbe, SummaryMentionsEveryChoice) {
+  const auto p = probe("Google Drive");
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("sync granularity"), std::string::npos);
+  EXPECT_NE(s.find("upload compression"), std::string::npos);
+  EXPECT_NE(s.find("sync deferment"), std::string::npos);
+  EXPECT_NE(s.find("dedup"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,147 @@
+// The calibrated service profiles must encode the paper's Tables 6-9 facts.
+#include <gtest/gtest.h>
+
+#include "client/hardware.hpp"
+#include "client/service_profile.hpp"
+
+namespace cloudsync {
+namespace {
+
+TEST(ServiceProfiles, AllSixPresent) {
+  const auto services = all_services();
+  ASSERT_EQ(services.size(), 6u);
+  EXPECT_EQ(services[0].name, "Google Drive");
+  EXPECT_EQ(services[1].name, "OneDrive");
+  EXPECT_EQ(services[2].name, "Dropbox");
+  EXPECT_EQ(services[3].name, "Box");
+  EXPECT_EQ(services[4].name, "Ubuntu One");
+  EXPECT_EQ(services[5].name, "SugarSync");
+}
+
+TEST(ServiceProfiles, FindByName) {
+  EXPECT_TRUE(find_service("Dropbox").has_value());
+  EXPECT_EQ(find_service("Dropbox")->name, "Dropbox");
+  EXPECT_FALSE(find_service("iCloud Drive").has_value());
+}
+
+TEST(ServiceProfiles, OnlyDropboxAndSugarSyncUseIdsOnPc) {
+  for (const service_profile& s : all_services()) {
+    const bool ids = s.method(access_method::pc_client).incremental_sync;
+    EXPECT_EQ(ids, s.name == "Dropbox" || s.name == "SugarSync") << s.name;
+    // Fig 4(b)/(c): web and mobile never use IDS.
+    EXPECT_FALSE(s.method(access_method::web_browser).incremental_sync);
+    EXPECT_FALSE(s.method(access_method::mobile_app).incremental_sync);
+  }
+}
+
+TEST(ServiceProfiles, DedupGranularityMatchesTable9) {
+  EXPECT_EQ(google_drive().dedup.granularity, dedup_granularity::none);
+  EXPECT_EQ(onedrive().dedup.granularity, dedup_granularity::none);
+  EXPECT_EQ(box().dedup.granularity, dedup_granularity::none);
+  EXPECT_EQ(sugarsync().dedup.granularity, dedup_granularity::none);
+
+  const service_profile db = dropbox();
+  EXPECT_EQ(db.dedup.granularity, dedup_granularity::fixed_block);
+  EXPECT_EQ(db.dedup.block_size, 4 * MiB);
+  EXPECT_FALSE(db.dedup.cross_user);  // same-account only
+
+  const service_profile u1 = ubuntu_one();
+  EXPECT_EQ(u1.dedup.granularity, dedup_granularity::full_file);
+  EXPECT_TRUE(u1.dedup.cross_user);
+}
+
+TEST(ServiceProfiles, WebNeverDedupsOrCompressesUploads) {
+  for (const service_profile& s : all_services()) {
+    const method_profile& web = s.method(access_method::web_browser);
+    EXPECT_FALSE(web.dedup_enabled) << s.name;
+    EXPECT_EQ(web.upload_compression_level, 0) << s.name;
+  }
+}
+
+TEST(ServiceProfiles, CompressionMatchesTable8) {
+  // Upload: only Dropbox and Ubuntu One compress (PC more than mobile).
+  for (const service_profile& s : all_services()) {
+    const bool compresses_up =
+        s.method(access_method::pc_client).upload_compression_level > 0;
+    EXPECT_EQ(compresses_up, s.name == "Dropbox" || s.name == "Ubuntu One")
+        << s.name;
+    if (compresses_up) {
+      EXPECT_GT(s.method(access_method::pc_client).upload_compression_level,
+                s.method(access_method::mobile_app).upload_compression_level)
+          << s.name;
+    }
+  }
+  // Download: only Dropbox compresses for every access method.
+  const service_profile db = dropbox();
+  for (access_method m : all_access_methods) {
+    EXPECT_GT(db.method(m).download_compression_level, 0);
+  }
+  const service_profile u1 = ubuntu_one();
+  EXPECT_GT(u1.method(access_method::pc_client).download_compression_level, 0);
+  EXPECT_EQ(u1.method(access_method::mobile_app).download_compression_level,
+            0);
+}
+
+TEST(ServiceProfiles, DeferTimersMatchFig6) {
+  EXPECT_EQ(google_drive().defer.policy, defer_config::kind::fixed);
+  EXPECT_NEAR(google_drive().defer.fixed_deferment.sec(), 4.2, 1e-9);
+  EXPECT_NEAR(onedrive().defer.fixed_deferment.sec(), 10.5, 1e-9);
+  EXPECT_NEAR(sugarsync().defer.fixed_deferment.sec(), 6.0, 1e-9);
+  EXPECT_EQ(dropbox().defer.policy, defer_config::kind::none);
+  EXPECT_EQ(box().defer.policy, defer_config::kind::none);
+  EXPECT_EQ(ubuntu_one().defer.policy, defer_config::kind::none);
+}
+
+TEST(ServiceProfiles, BdsMatchesTable7) {
+  // Only Dropbox and Ubuntu One batch small-file creations (PC + partial web).
+  for (const service_profile& s : all_services()) {
+    const bool bds_pc = s.method(access_method::pc_client).batched_sync;
+    EXPECT_EQ(bds_pc, s.name == "Dropbox" || s.name == "Ubuntu One") << s.name;
+  }
+}
+
+TEST(ServiceProfiles, DropboxDeltaChunkTenKb) {
+  EXPECT_EQ(dropbox().delta_chunk_size, 10 * KiB);
+}
+
+TEST(ServiceProfiles, WithDeferOverrides) {
+  const service_profile gd_asd =
+      with_defer(google_drive(), defer_config::asd());
+  EXPECT_EQ(gd_asd.defer.policy, defer_config::kind::adaptive);
+  EXPECT_EQ(gd_asd.name, "Google Drive");
+}
+
+TEST(ServiceProfiles, OverheadsArePositive) {
+  for (const service_profile& s : all_services()) {
+    for (access_method m : all_access_methods) {
+      EXPECT_GT(s.method(m).base_overhead_up, 0u) << s.name;
+      EXPECT_GE(s.method(m).per_payload_metadata, 0.0) << s.name;
+      EXPECT_LT(s.method(m).per_payload_metadata, 0.5) << s.name;
+    }
+  }
+}
+
+TEST(AccessMethod, Names) {
+  EXPECT_STREQ(to_string(access_method::pc_client), "PC client");
+  EXPECT_STREQ(to_string(access_method::web_browser), "Web-based");
+  EXPECT_STREQ(to_string(access_method::mobile_app), "Mobile app");
+}
+
+TEST(Hardware, ProfilesOrdered) {
+  // Index throughput: advanced > typical > outdated >= smartphone.
+  EXPECT_GT(hardware_profile::m3().index_bytes_per_sec,
+            hardware_profile::m1().index_bytes_per_sec);
+  EXPECT_GT(hardware_profile::m1().index_bytes_per_sec,
+            hardware_profile::m2().index_bytes_per_sec);
+  EXPECT_GE(hardware_profile::m2().index_bytes_per_sec,
+            hardware_profile::m4().index_bytes_per_sec);
+}
+
+TEST(Hardware, IndexTimeScalesWithSize) {
+  const hardware_profile hw = hardware_profile::m1();
+  EXPECT_GT(hw.index_time(10 * MiB), hw.index_time(1 * MiB));
+  EXPECT_GE(hw.index_time(0), hw.index_fixed_latency);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,138 @@
+#include "net/sim_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudsync {
+namespace {
+
+TEST(SimClock, RunsInTimeOrder) {
+  sim_clock clock;
+  std::vector<int> order;
+  clock.schedule_at(sim_time::from_sec(3), [&] { order.push_back(3); });
+  clock.schedule_at(sim_time::from_sec(1), [&] { order.push_back(1); });
+  clock.schedule_at(sim_time::from_sec(2), [&] { order.push_back(2); });
+  clock.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), sim_time::from_sec(3));
+}
+
+TEST(SimClock, FifoForSameInstant) {
+  sim_clock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    clock.schedule_at(sim_time::from_sec(1), [&order, i] { order.push_back(i); });
+  }
+  clock.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimClock, ScheduleAfter) {
+  sim_clock clock;
+  clock.advance_to(sim_time::from_sec(10));
+  bool fired = false;
+  clock.schedule_after(sim_time::from_sec(5), [&] {
+    fired = true;
+  });
+  clock.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(clock.now(), sim_time::from_sec(15));
+}
+
+TEST(SimClock, PastSchedulesClampToNow) {
+  sim_clock clock;
+  clock.advance_to(sim_time::from_sec(10));
+  sim_time seen{};
+  clock.schedule_at(sim_time::from_sec(1), [&] { seen = clock.now(); });
+  clock.run_all();
+  EXPECT_EQ(seen, sim_time::from_sec(10));
+}
+
+TEST(SimClock, Cancel) {
+  sim_clock clock;
+  bool fired = false;
+  const event_id id = clock.schedule_at(sim_time::from_sec(1),
+                                        [&] { fired = true; });
+  EXPECT_TRUE(clock.cancel(id));
+  EXPECT_FALSE(clock.cancel(id));  // second cancel is a no-op
+  clock.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(clock.pending(), 0u);
+}
+
+TEST(SimClock, CancelUnknownIdIsFalse) {
+  sim_clock clock;
+  EXPECT_FALSE(clock.cancel(12345));
+}
+
+TEST(SimClock, EventsCanScheduleEvents) {
+  sim_clock clock;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      clock.schedule_after(sim_time::from_sec(1), recurse);
+    }
+  };
+  clock.schedule_at(sim_time::from_sec(1), recurse);
+  clock.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.now(), sim_time::from_sec(5));
+}
+
+TEST(SimClock, RunUntilStopsAtBoundary) {
+  sim_clock clock;
+  std::vector<int> order;
+  clock.schedule_at(sim_time::from_sec(1), [&] { order.push_back(1); });
+  clock.schedule_at(sim_time::from_sec(5), [&] { order.push_back(5); });
+  clock.run_until(sim_time::from_sec(3));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(clock.now(), sim_time::from_sec(3));
+  EXPECT_EQ(clock.pending(), 1u);
+  clock.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(SimClock, RunOne) {
+  sim_clock clock;
+  int fired = 0;
+  clock.schedule_at(sim_time::from_sec(1), [&] { ++fired; });
+  clock.schedule_at(sim_time::from_sec(2), [&] { ++fired; });
+  EXPECT_TRUE(clock.run_one());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(clock.run_one());
+  EXPECT_FALSE(clock.run_one());
+}
+
+TEST(SimClock, CancelInsideEvent) {
+  sim_clock clock;
+  bool second_fired = false;
+  event_id second = 0;
+  clock.schedule_at(sim_time::from_sec(1), [&] { clock.cancel(second); });
+  second = clock.schedule_at(sim_time::from_sec(2),
+                             [&] { second_fired = true; });
+  clock.run_all();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimClock, AdvanceToNeverGoesBackwards) {
+  sim_clock clock;
+  clock.advance_to(sim_time::from_sec(10));
+  clock.advance_to(sim_time::from_sec(5));
+  EXPECT_EQ(clock.now(), sim_time::from_sec(10));
+}
+
+TEST(SimClock, PendingCount) {
+  sim_clock clock;
+  EXPECT_EQ(clock.pending(), 0u);
+  const event_id a = clock.schedule_at(sim_time::from_sec(1), [] {});
+  clock.schedule_at(sim_time::from_sec(2), [] {});
+  EXPECT_EQ(clock.pending(), 2u);
+  clock.cancel(a);
+  EXPECT_EQ(clock.pending(), 1u);
+  clock.run_all();
+  EXPECT_EQ(clock.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace cloudsync

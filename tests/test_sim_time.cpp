@@ -1,0 +1,40 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(sim_time::from_sec(1.5).usec(), 1'500'000);
+  EXPECT_EQ(sim_time::from_msec(2.5).usec(), 2500);
+  EXPECT_EQ(sim_time::from_usec(42).usec(), 42);
+  EXPECT_DOUBLE_EQ(sim_time::from_sec(2.0).sec(), 2.0);
+  EXPECT_DOUBLE_EQ(sim_time::from_msec(10).msec(), 10.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const sim_time a = sim_time::from_sec(2);
+  const sim_time b = sim_time::from_sec(0.5);
+  EXPECT_EQ((a + b).usec(), 2'500'000);
+  EXPECT_EQ((a - b).usec(), 1'500'000);
+  EXPECT_EQ((a * 0.25).usec(), 500'000);
+  sim_time c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(SimTime, Comparison) {
+  EXPECT_LT(sim_time::from_msec(1), sim_time::from_msec(2));
+  EXPECT_EQ(sim_time{}, sim_time::from_usec(0));
+  EXPECT_GT(sim_time::max(), sim_time::from_sec(1e9));
+}
+
+TEST(SimTime, Format) {
+  EXPECT_EQ(sim_time::from_usec(500).str(), "500 us");
+  EXPECT_EQ(sim_time::from_msec(1.5).str(), "1.50 ms");
+  EXPECT_EQ(sim_time::from_sec(2.25).str(), "2.250 s");
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+TEST(RunningStats, Empty) {
+  running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  running_stats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  running_stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  running_stats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  empirical_cdf cdf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.5);
+}
+
+TEST(EmpiricalCdf, At) {
+  empirical_cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInput) {
+  empirical_cdf cdf({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+}
+
+TEST(EmpiricalCdf, Empty) {
+  empirical_cdf cdf({});
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(EmpiricalCdf, PointsCoverRange) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(i);
+  empirical_cdf cdf(std::move(v));
+  const auto pts = cdf.points(10);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_LE(pts.size(), 12u);
+  EXPECT_DOUBLE_EQ(pts.back().first, 1000.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(EmpiricalCdf, QuantileClamps) {
+  empirical_cdf cdf({1, 2, 3});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(2.0), 3.0);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,185 @@
+#include "net/tcp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/http_model.hpp"
+
+namespace cloudsync {
+namespace {
+
+TEST(OneWayCost, ZeroBytesIsFree) {
+  const transfer_cost c =
+      one_way_cost(0, 1e6, sim_time::from_msec(50), {}, 10);
+  EXPECT_EQ(c.fwd_wire, 0u);
+  EXPECT_EQ(c.rev_wire, 0u);
+  EXPECT_EQ(c.duration, sim_time{});
+}
+
+TEST(OneWayCost, WireOverheadIsBounded) {
+  const tcp_config cfg;
+  const std::uint64_t app = 1'000'000;
+  const transfer_cost c = one_way_cost(app, 2.5e6, sim_time::from_msec(50),
+                                       cfg, cfg.initial_window);
+  // TCP/IP headers ≈ 2.7 %, TLS records ≈ 0.2 %: total within [2 %, 5 %].
+  EXPECT_GT(c.fwd_wire, app * 102 / 100);
+  EXPECT_LT(c.fwd_wire, app * 105 / 100);
+  EXPECT_GT(c.rev_wire, 0u);
+  EXPECT_LT(c.rev_wire, app / 50);
+}
+
+TEST(OneWayCost, LowerBandwidthIsSlower) {
+  const tcp_config cfg;
+  const auto fast = one_way_cost(1'000'000, mbps_to_bytes_per_sec(20),
+                                 sim_time::from_msec(50), cfg, 10);
+  const auto slow = one_way_cost(1'000'000, mbps_to_bytes_per_sec(1.6),
+                                 sim_time::from_msec(50), cfg, 10);
+  EXPECT_GT(slow.duration, fast.duration);
+  // Wire bytes are bandwidth-independent.
+  EXPECT_EQ(slow.fwd_wire, fast.fwd_wire);
+}
+
+TEST(OneWayCost, HigherLatencyIsSlowerForShortFlows) {
+  const tcp_config cfg;
+  const auto near = one_way_cost(100'000, mbps_to_bytes_per_sec(20),
+                                 sim_time::from_msec(40), cfg, 10);
+  const auto far = one_way_cost(100'000, mbps_to_bytes_per_sec(20),
+                                sim_time::from_msec(1000), cfg, 10);
+  EXPECT_GT(far.duration, near.duration);
+}
+
+TEST(OneWayCost, ThroughputApproachesLineRateForLargeFlows) {
+  const tcp_config cfg;
+  const double bw = mbps_to_bytes_per_sec(20);
+  const std::uint64_t app = 50'000'000;
+  const auto c = one_way_cost(app, bw, sim_time::from_msec(50), cfg, 10);
+  const double ideal_sec = static_cast<double>(app) / bw;
+  EXPECT_LT(c.duration.sec(), ideal_sec * 1.3);
+  EXPECT_GT(c.duration.sec(), ideal_sec * 0.95);
+}
+
+TEST(OneWayCost, LargerInitialWindowIsFaster) {
+  const tcp_config cfg;
+  const auto cold = one_way_cost(500'000, mbps_to_bytes_per_sec(20),
+                                 sim_time::from_msec(100), cfg, 1);
+  const auto warm = one_way_cost(500'000, mbps_to_bytes_per_sec(20),
+                                 sim_time::from_msec(100), cfg, 64);
+  EXPECT_LT(warm.duration, cold.duration);
+}
+
+TEST(OneWayCost, LossCostsBytesAndTime) {
+  const tcp_config cfg;
+  const auto clean = one_way_cost(1'000'000, mbps_to_bytes_per_sec(10),
+                                  sim_time::from_msec(100), cfg, 10, 0.0);
+  const auto lossy = one_way_cost(1'000'000, mbps_to_bytes_per_sec(10),
+                                  sim_time::from_msec(100), cfg, 10, 0.02);
+  EXPECT_GT(lossy.fwd_wire, clean.fwd_wire);
+  EXPECT_GT(lossy.rev_wire, clean.rev_wire);
+  EXPECT_GT(lossy.duration, clean.duration);
+  // 2 % loss should cost low-single-digit percent extra bytes.
+  EXPECT_LT(lossy.fwd_wire, clean.fwd_wire * 110 / 100);
+}
+
+TEST(OneWayCost, LossMonotone) {
+  const tcp_config cfg;
+  sim_time prev{};
+  for (double loss : {0.0, 0.005, 0.02, 0.05, 0.1}) {
+    const auto c = one_way_cost(500'000, mbps_to_bytes_per_sec(5),
+                                sim_time::from_msec(200), cfg, 10, loss);
+    EXPECT_GE(c.duration, prev) << loss;
+    prev = c.duration;
+  }
+}
+
+TEST(OneWayCost, LossRateClamped) {
+  const tcp_config cfg;
+  // Absurd loss rates must not hang or divide by zero.
+  const auto c = one_way_cost(10'000, 1e6, sim_time::from_msec(50), cfg, 10,
+                              0.99);
+  EXPECT_GT(c.duration, sim_time{});
+  EXPECT_LT(c.duration, sim_time::from_sec(60));
+}
+
+TEST(LinkConfig, BeijingIsLossy) {
+  EXPECT_GT(link_config::beijing().loss_rate, 0.0);
+  EXPECT_EQ(link_config::minnesota().loss_rate, 0.0);
+}
+
+TEST(TcpConnection, HandshakeOnlyWhenColdOrIdle) {
+  traffic_meter meter;
+  tcp_connection conn(link_config::minnesota(), {}, meter);
+  sim_time t = conn.exchange(sim_time{}, 1000, 1000);
+  EXPECT_EQ(conn.handshakes(), 1u);
+
+  // Immediately after: warm, no second handshake.
+  t = conn.exchange(t, 1000, 1000);
+  EXPECT_EQ(conn.handshakes(), 1u);
+
+  // After the idle timeout: handshake again.
+  t += sim_time::from_sec(31);
+  conn.exchange(t, 1000, 1000);
+  EXPECT_EQ(conn.handshakes(), 2u);
+}
+
+TEST(TcpConnection, HandshakeChargesTransportBytes) {
+  traffic_meter meter;
+  tcp_connection conn(link_config::minnesota(), {}, meter);
+  conn.exchange(sim_time{}, 0, 0);
+  // TLS hello + certs dominate: several KB.
+  EXPECT_GT(meter.by_category(traffic_category::transport), 5000u);
+  EXPECT_EQ(meter.by_category(traffic_category::payload), 0u);
+}
+
+TEST(TcpConnection, ExchangeTimeIncludesRtt) {
+  traffic_meter meter;
+  link_config link = link_config::minnesota();
+  link.rtt = sim_time::from_msec(100);
+  tcp_connection conn(link, {}, meter);
+  const sim_time t0 = conn.exchange(sim_time{}, 100, 100);  // with handshake
+  const sim_time t1 = conn.exchange(t0, 100, 100);          // warm
+  EXPECT_GE((t1 - t0).msec(), 100.0);  // at least one round trip
+  EXPECT_LT((t1 - t0).msec(), 500.0);
+}
+
+TEST(TcpConnection, BeijingSlowerThanMinnesota) {
+  traffic_meter m1, m2;
+  tcp_connection mn(link_config::minnesota(), {}, m1);
+  tcp_connection bj(link_config::beijing(), {}, m2);
+  const sim_time t_mn = mn.exchange(sim_time{}, 500'000, 1000);
+  const sim_time t_bj = bj.exchange(sim_time{}, 500'000, 1000);
+  EXPECT_GT(t_bj, t_mn * 2.0);
+}
+
+TEST(PacketFilter, ClampsAndDelays) {
+  const link_config base = link_config::minnesota();
+  const packet_filter f{mbps_to_bytes_per_sec(2.0), sim_time::from_msec(200)};
+  const link_config shaped = f.apply(base);
+  EXPECT_DOUBLE_EQ(shaped.up_bytes_per_sec, mbps_to_bytes_per_sec(2.0));
+  EXPECT_EQ(shaped.rtt, base.rtt + sim_time::from_msec(200));
+}
+
+TEST(PacketFilter, UnlimitedBandwidthKeepsBase) {
+  const link_config base = link_config::minnesota();
+  const packet_filter f{0, sim_time{}};
+  const link_config shaped = f.apply(base);
+  EXPECT_DOUBLE_EQ(shaped.up_bytes_per_sec, base.up_bytes_per_sec);
+  EXPECT_EQ(shaped.rtt, base.rtt);
+}
+
+TEST(HttpExchange, RecordsHeadersAndBody) {
+  traffic_meter meter;
+  tcp_connection conn(link_config::minnesota(), {}, meter);
+  conn.exchange(sim_time{}, 1, 1);  // warm up
+  meter.reset();
+
+  const http_config http{700, 450};
+  http_exchange(conn, http, meter, sim_time::from_sec(1),
+                traffic_category::payload, 10'000, 2'000);
+  EXPECT_EQ(meter.get(direction::up, traffic_category::payload), 10'000u);
+  EXPECT_EQ(meter.get(direction::down, traffic_category::payload), 2'000u);
+  EXPECT_EQ(meter.get(direction::up, traffic_category::notification), 700u);
+  EXPECT_EQ(meter.get(direction::down, traffic_category::notification), 450u);
+  EXPECT_GT(meter.by_category(traffic_category::transport), 0u);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,47 @@
+#include "util/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  text_table t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsPadded) {
+  text_table t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_NO_THROW(t.str());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, HeaderResets) {
+  text_table t;
+  t.header({"x"});
+  t.row({"1"});
+  t.header({"y"});
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(TextTable, NoHeader) {
+  text_table t;
+  t.row({"only", "rows"});
+  const std::string out = t.str();
+  EXPECT_EQ(out, "only  rows\n");
+}
+
+TEST(Strfmt, Formats) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,200 @@
+// The synthetic trace must reproduce the paper's published marginals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/analysis.hpp"
+#include "trace/generator.hpp"
+#include "trace/serialize.hpp"
+#include "util/units.hpp"
+
+namespace cloudsync {
+namespace {
+
+const trace_dataset& small_trace() {
+  static const trace_dataset ds = [] {
+    trace_params p;
+    p.scale = 0.02;  // ~4.4k files: fast but statistically stable
+    return generate_trace(p);
+  }();
+  return ds;
+}
+
+TEST(TraceGenerator, Deterministic) {
+  trace_params p;
+  p.scale = 0.005;
+  const trace_dataset a = generate_trace(p);
+  const trace_dataset b = generate_trace(p);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].full_md5, b.files[i].full_md5);
+    EXPECT_EQ(a.files[i].original_size, b.files[i].original_size);
+  }
+}
+
+TEST(TraceGenerator, ScaleControlsFileCount) {
+  trace_params p;
+  p.scale = 0.01;
+  const auto ds = generate_trace(p);
+  // 222,632 × 0.01 ≈ 2,226.
+  EXPECT_NEAR(static_cast<double>(ds.files.size()), 2226.0, 60.0);
+}
+
+TEST(TraceGenerator, ServicesPresentWithTable2Proportions) {
+  const auto& ds = small_trace();
+  std::size_t db = 0, od = 0;
+  for (const auto& f : ds.files) {
+    db += f.service == "Dropbox";
+    od += f.service == "OneDrive";
+  }
+  // Dropbox has ~6x OneDrive's files in Table 2.
+  EXPECT_GT(db, od * 4);
+}
+
+TEST(TraceStats, SizeDistributionMatchesPaper) {
+  const trace_summary s = summarize(small_trace());
+  // Median ≈ 7.5 KB, 77 % < 100 KB, mean ≈ 962 KB (generous tolerances: we
+  // check the regime, not the exact draw).
+  EXPECT_GT(s.median_size, 2 * 1024.0);
+  EXPECT_LT(s.median_size, 25 * 1024.0);
+  EXPECT_NEAR(s.fraction_small, 0.77, 0.06);
+  EXPECT_GT(s.mean_size, 300 * 1024.0);
+  EXPECT_LT(s.max_size, 2.1 * static_cast<double>(GiB));
+}
+
+TEST(TraceStats, CompressibilityMatchesPaper) {
+  const trace_summary s = summarize(small_trace());
+  EXPECT_NEAR(s.fraction_effectively_compressible, 0.52, 0.08);
+  EXPECT_NEAR(s.overall_compression_ratio, 1.31, 0.25);
+  EXPECT_NEAR(s.traffic_saving, 0.24, 0.12);
+  EXPECT_LT(s.median_compressed, s.median_size);
+}
+
+TEST(TraceStats, ModificationRateMatchesPaper) {
+  const trace_summary s = summarize(small_trace());
+  EXPECT_NEAR(s.fraction_modified, 0.84, 0.04);
+}
+
+TEST(TraceStats, SmallFilesAreBatchable) {
+  const double frac = batchable_small_fraction(small_trace());
+  // Paper: nearly two-thirds.
+  EXPECT_NEAR(frac, 0.66, 0.15);
+}
+
+TEST(TraceStats, FullFileDuplicationNearNineteenPercent) {
+  const double frac = full_file_duplicate_fraction(small_trace());
+  EXPECT_NEAR(frac, 0.188, 0.08);
+}
+
+TEST(TraceDedup, BlockLevelOnlySlightlyBetterThanFullFile) {
+  const auto& ds = small_trace();
+  const double full = dedup_ratio_full_file(ds, true);
+  const double blocks_128k = dedup_ratio_blocks(ds, 0, true);
+  const double blocks_16m = dedup_ratio_blocks(ds, 7, true);
+  EXPECT_GT(full, 1.1);
+  // Fig 5: block-level ≥ full-file, but the gain is trivial.
+  EXPECT_GE(blocks_128k, full * 0.999);
+  EXPECT_LT(blocks_128k, full * 1.25);
+  // Smaller blocks dedup at least as much as bigger blocks.
+  EXPECT_GE(blocks_128k, blocks_16m * 0.999);
+}
+
+TEST(TraceStats, FrequentModificationUsersExist) {
+  // §6 motivation: a minority of users get a meaningful traffic share from
+  // frequent modifications (the paper cites 8.5% for Dropbox's fleet).
+  const double frac = frequent_modification_user_fraction(small_trace());
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 0.5);
+  // A higher threshold must capture fewer (or equal) users.
+  EXPECT_LE(frequent_modification_user_fraction(small_trace(), 8.0 * 1024,
+                                                4.0 * 1024, 0.5),
+            frac);
+  // Larger per-modification payload means more users cross the line.
+  EXPECT_GE(frequent_modification_user_fraction(small_trace(), 8.0 * 1024,
+                                                200.0 * 1024, 0.10),
+            frac);
+}
+
+TEST(TraceDedup, CrossUserBeatsPerUser) {
+  const auto& ds = small_trace();
+  EXPECT_GE(dedup_ratio_full_file(ds, true),
+            dedup_ratio_full_file(ds, false));
+}
+
+TEST(TraceRecord, BlockIdsConsistentWithSizes) {
+  const auto& ds = small_trace();
+  for (std::size_t i = 0; i < std::min<std::size_t>(ds.files.size(), 200);
+       ++i) {
+    const trace_file_record& f = ds.files[i];
+    for (std::size_t g = 0; g < trace_block_sizes.size(); ++g) {
+      const std::uint64_t expected =
+          f.original_size == 0
+              ? 0
+              : (f.original_size + trace_block_sizes[g] - 1) /
+                    trace_block_sizes[g];
+      EXPECT_EQ(f.block_ids[g].size(), expected) << f.file_name;
+    }
+  }
+}
+
+TEST(TraceRecord, DuplicateFilesShareAllBlockIds) {
+  const auto& ds = small_trace();
+  // Find a full duplicate pair via full_md5.
+  for (std::size_t i = 0; i < ds.files.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(ds.files.size(), i + 400); ++j) {
+      if (ds.files[i].full_md5 == ds.files[j].full_md5) {
+        EXPECT_EQ(ds.files[i].block_ids, ds.files[j].block_ids);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no duplicate pair found in the scanned window";
+}
+
+TEST(TraceCsv, RoundTrip) {
+  trace_params p;
+  p.scale = 0.002;
+  const trace_dataset ds = generate_trace(p);
+  std::stringstream ss;
+  write_trace_csv(ds, ss);
+  const trace_dataset back = read_trace_csv(ss);
+  ASSERT_EQ(back.files.size(), ds.files.size());
+  for (std::size_t i = 0; i < ds.files.size(); ++i) {
+    EXPECT_EQ(back.files[i].file_name, ds.files[i].file_name);
+    EXPECT_EQ(back.files[i].original_size, ds.files[i].original_size);
+    EXPECT_EQ(back.files[i].compressed_size, ds.files[i].compressed_size);
+    EXPECT_EQ(back.files[i].modify_count, ds.files[i].modify_count);
+    EXPECT_EQ(back.files[i].full_md5, ds.files[i].full_md5);
+  }
+}
+
+TEST(TraceCsv, BadHeaderThrows) {
+  std::stringstream ss("not,a,header\n");
+  EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, BadRowThrows) {
+  std::stringstream ss(trace_csv_header() + "\n1,2,3\n");
+  EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, NonNumericCellThrowsRuntimeError) {
+  std::stringstream ss(trace_csv_header() +
+                       "\nnot_a_number,svc,f,1,1,0,0,0," +
+                       std::string(32, 'a') + "\n");
+  EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceCsv, BadMd5Throws) {
+  std::stringstream ss(trace_csv_header() + "\n1,svc,f,1,1,0,0,0,zzzz\n");
+  EXPECT_THROW(read_trace_csv(ss), std::runtime_error);
+}
+
+TEST(TraceSummaryTotals, Consistent) {
+  const auto& ds = small_trace();
+  EXPECT_EQ(summarize(ds).total_original, ds.total_original_bytes());
+  EXPECT_GE(ds.total_original_bytes(), ds.total_compressed_bytes());
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,67 @@
+#include "net/traffic_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+TEST(TrafficMeter, StartsEmpty) {
+  traffic_meter m;
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.overhead(), 0u);
+}
+
+TEST(TrafficMeter, RecordsByDirectionAndCategory) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::payload, 100);
+  m.record(direction::down, traffic_category::payload, 50);
+  m.record(direction::up, traffic_category::metadata, 10);
+  EXPECT_EQ(m.total(), 160u);
+  EXPECT_EQ(m.total(direction::up), 110u);
+  EXPECT_EQ(m.total(direction::down), 50u);
+  EXPECT_EQ(m.by_category(traffic_category::payload), 150u);
+  EXPECT_EQ(m.get(direction::up, traffic_category::metadata), 10u);
+}
+
+TEST(TrafficMeter, OverheadExcludesPayload) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::payload, 1000);
+  m.record(direction::up, traffic_category::transport, 30);
+  m.record(direction::down, traffic_category::notification, 20);
+  EXPECT_EQ(m.overhead(), 50u);
+}
+
+TEST(TrafficMeter, Reset) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::payload, 5);
+  m.reset();
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(TrafficMeter, SnapshotDelta) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::payload, 100);
+  const auto snap = m.snap();
+  m.record(direction::down, traffic_category::metadata, 40);
+  m.record(direction::up, traffic_category::payload, 10);
+  EXPECT_EQ(m.total_since(snap), 50u);
+}
+
+TEST(TrafficMeter, SummaryRendersAllCategories) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::payload, 1024);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("payload"), std::string::npos);
+  EXPECT_NE(s.find("metadata"), std::string::npos);
+  EXPECT_NE(s.find("transport"), std::string::npos);
+  EXPECT_NE(s.find("notification"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+TEST(TrafficMeter, CategoryNames) {
+  EXPECT_STREQ(to_string(traffic_category::payload), "payload");
+  EXPECT_STREQ(to_string(traffic_category::transport), "transport");
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,66 @@
+#include "compress/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cloudsync {
+namespace {
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  byte_buffer buf;
+  put_varint(buf, GetParam());
+  std::size_t pos = 0;
+  const auto decoded = get_varint(buf, pos);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, GetParam());
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+                      1ull << 32, (1ull << 56) - 1,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(Varint, EncodingLengths) {
+  byte_buffer buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(Varint, Sequence) {
+  byte_buffer buf;
+  put_varint(buf, 5);
+  put_varint(buf, 300);
+  put_varint(buf, 7);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(buf, pos), 5u);
+  EXPECT_EQ(get_varint(buf, pos), 300u);
+  EXPECT_EQ(get_varint(buf, pos), 7u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedFails) {
+  byte_buffer buf;
+  put_varint(buf, 1'000'000);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(buf, pos).has_value());
+}
+
+TEST(Varint, EmptyFails) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint({}, pos).has_value());
+}
+
+}  // namespace
+}  // namespace cloudsync

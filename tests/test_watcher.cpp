@@ -1,0 +1,75 @@
+#include "fs/watcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cloudsync {
+namespace {
+
+sim_time at(double sec) { return sim_time::from_sec(sec); }
+
+TEST(Watcher, QueuesEventsInOrder) {
+  memfs fs;
+  watcher w(fs);
+  fs.create("a", to_buffer("1"), at(1));
+  fs.append("a", as_bytes("2"), at(2));
+  fs.remove("a", at(3));
+
+  ASSERT_EQ(w.pending(), 3u);
+  const auto events = w.drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].op, fs_event::kind::created);
+  EXPECT_EQ(events[1].op, fs_event::kind::modified);
+  EXPECT_EQ(events[2].op, fs_event::kind::removed);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Watcher, DrainResetsQueueNotHistory) {
+  memfs fs;
+  watcher w(fs);
+  fs.create("a", {}, at(1));
+  w.drain();
+  fs.create("b", {}, at(2));
+  EXPECT_EQ(w.pending(), 1u);
+  EXPECT_EQ(w.total_observed(), 2u);
+}
+
+TEST(Watcher, PeekDoesNotConsume) {
+  memfs fs;
+  watcher w(fs);
+  EXPECT_EQ(w.peek(), nullptr);
+  fs.create("a", {}, at(1));
+  ASSERT_NE(w.peek(), nullptr);
+  EXPECT_EQ(w.peek()->path, "a");
+  EXPECT_EQ(w.pending(), 1u);
+}
+
+TEST(Watcher, MissesEventsBeforeConstruction) {
+  memfs fs;
+  fs.create("old", {}, at(1));
+  watcher w(fs);
+  EXPECT_TRUE(w.empty());
+  fs.create("new", {}, at(2));
+  EXPECT_EQ(w.pending(), 1u);
+}
+
+TEST(Watcher, ClearDiscards) {
+  memfs fs;
+  watcher w(fs);
+  fs.create("a", {}, at(1));
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.total_observed(), 1u);
+}
+
+TEST(Watcher, CoexistsWithOtherObservers) {
+  memfs fs;
+  int direct = 0;
+  fs.subscribe([&](const fs_event&) { ++direct; });
+  watcher w(fs);
+  fs.create("a", {}, at(1));
+  EXPECT_EQ(direct, 1);
+  EXPECT_EQ(w.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every reproduction artifact.
+#
+#   tools/run_all.sh [build-dir]
+#
+# Produces test_output.txt and bench_output.txt in the repo root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" 2>&1 | tee "$repo_root/test_output.txt"
+
+: > "$repo_root/bench_output.txt"
+for b in "$build_dir"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$repo_root/bench_output.txt"
+  "$b" 2>&1 | tee -a "$repo_root/bench_output.txt"
+done
+
+echo "done: test_output.txt and bench_output.txt written."
