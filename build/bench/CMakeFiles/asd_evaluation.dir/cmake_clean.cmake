@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asd_evaluation.dir/asd_evaluation.cpp.o"
+  "CMakeFiles/asd_evaluation.dir/asd_evaluation.cpp.o.d"
+  "asd_evaluation"
+  "asd_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asd_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_tradeoffs.dir/discussion_tradeoffs.cpp.o"
+  "CMakeFiles/discussion_tradeoffs.dir/discussion_tradeoffs.cpp.o.d"
+  "discussion_tradeoffs"
+  "discussion_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_file_deletion.dir/exp2_file_deletion.cpp.o"
+  "CMakeFiles/exp2_file_deletion.dir/exp2_file_deletion.cpp.o.d"
+  "exp2_file_deletion"
+  "exp2_file_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_file_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

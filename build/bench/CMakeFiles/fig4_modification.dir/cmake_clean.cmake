@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_modification.dir/fig4_modification.cpp.o"
+  "CMakeFiles/fig4_modification.dir/fig4_modification.cpp.o.d"
+  "fig4_modification"
+  "fig4_modification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_modification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_frequent_mods.dir/fig6_frequent_mods.cpp.o"
+  "CMakeFiles/fig6_frequent_mods.dir/fig6_frequent_mods.cpp.o.d"
+  "fig6_frequent_mods"
+  "fig6_frequent_mods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_frequent_mods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

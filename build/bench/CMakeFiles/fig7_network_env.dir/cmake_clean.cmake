@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_network_env.dir/fig7_network_env.cpp.o"
+  "CMakeFiles/fig7_network_env.dir/fig7_network_env.cpp.o.d"
+  "fig7_network_env"
+  "fig7_network_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_network_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

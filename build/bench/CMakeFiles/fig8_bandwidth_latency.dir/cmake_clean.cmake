@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bandwidth_latency.dir/fig8_bandwidth_latency.cpp.o"
+  "CMakeFiles/fig8_bandwidth_latency.dir/fig8_bandwidth_latency.cpp.o.d"
+  "fig8_bandwidth_latency"
+  "fig8_bandwidth_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bandwidth_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

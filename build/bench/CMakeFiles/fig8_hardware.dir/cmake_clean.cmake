@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hardware.dir/fig8_hardware.cpp.o"
+  "CMakeFiles/fig8_hardware.dir/fig8_hardware.cpp.o.d"
+  "fig8_hardware"
+  "fig8_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_trace_replay.dir/macro_trace_replay.cpp.o"
+  "CMakeFiles/macro_trace_replay.dir/macro_trace_replay.cpp.o.d"
+  "macro_trace_replay"
+  "macro_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_file_creation.dir/table6_file_creation.cpp.o"
+  "CMakeFiles/table6_file_creation.dir/table6_file_creation.cpp.o.d"
+  "table6_file_creation"
+  "table6_file_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_file_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_batched_creation.dir/table7_batched_creation.cpp.o"
+  "CMakeFiles/table7_batched_creation.dir/table7_batched_creation.cpp.o.d"
+  "table7_batched_creation"
+  "table7_batched_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_batched_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_compression.dir/table8_compression.cpp.o"
+  "CMakeFiles/table8_compression.dir/table8_compression.cpp.o.d"
+  "table8_compression"
+  "table8_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

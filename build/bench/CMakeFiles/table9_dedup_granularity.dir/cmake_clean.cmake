@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_dedup_granularity.dir/table9_dedup_granularity.cpp.o"
+  "CMakeFiles/table9_dedup_granularity.dir/table9_dedup_granularity.cpp.o.d"
+  "table9_dedup_granularity"
+  "table9_dedup_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_dedup_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_upgrades.dir/what_if_upgrades.cpp.o"
+  "CMakeFiles/what_if_upgrades.dir/what_if_upgrades.cpp.o.d"
+  "what_if_upgrades"
+  "what_if_upgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_upgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_editing.dir/collab_editing.cpp.o"
+  "CMakeFiles/collab_editing.dir/collab_editing.cpp.o.d"
+  "collab_editing"
+  "collab_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

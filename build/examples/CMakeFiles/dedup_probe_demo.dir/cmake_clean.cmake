@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_probe_demo.dir/dedup_probe_demo.cpp.o"
+  "CMakeFiles/dedup_probe_demo.dir/dedup_probe_demo.cpp.o.d"
+  "dedup_probe_demo"
+  "dedup_probe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_probe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_side_channel.dir/dedup_side_channel.cpp.o"
+  "CMakeFiles/dedup_side_channel.dir/dedup_side_channel.cpp.o.d"
+  "dedup_side_channel"
+  "dedup_side_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_side_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_compare.dir/service_compare.cpp.o"
+  "CMakeFiles/service_compare.dir/service_compare.cpp.o.d"
+  "service_compare"
+  "service_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

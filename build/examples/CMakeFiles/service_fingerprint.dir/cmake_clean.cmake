@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_fingerprint.dir/service_fingerprint.cpp.o"
+  "CMakeFiles/service_fingerprint.dir/service_fingerprint.cpp.o.d"
+  "service_fingerprint"
+  "service_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

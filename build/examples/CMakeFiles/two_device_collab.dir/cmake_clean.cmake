@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_device_collab.dir/two_device_collab.cpp.o"
+  "CMakeFiles/two_device_collab.dir/two_device_collab.cpp.o.d"
+  "two_device_collab"
+  "two_device_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_device_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunking/cdc.cpp" "src/chunking/CMakeFiles/cloudsync_chunking.dir/cdc.cpp.o" "gcc" "src/chunking/CMakeFiles/cloudsync_chunking.dir/cdc.cpp.o.d"
+  "/root/repo/src/chunking/fixed_chunker.cpp" "src/chunking/CMakeFiles/cloudsync_chunking.dir/fixed_chunker.cpp.o" "gcc" "src/chunking/CMakeFiles/cloudsync_chunking.dir/fixed_chunker.cpp.o.d"
+  "/root/repo/src/chunking/rsync.cpp" "src/chunking/CMakeFiles/cloudsync_chunking.dir/rsync.cpp.o" "gcc" "src/chunking/CMakeFiles/cloudsync_chunking.dir/rsync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cloudsync_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_chunking.dir/cdc.cpp.o"
+  "CMakeFiles/cloudsync_chunking.dir/cdc.cpp.o.d"
+  "CMakeFiles/cloudsync_chunking.dir/fixed_chunker.cpp.o"
+  "CMakeFiles/cloudsync_chunking.dir/fixed_chunker.cpp.o.d"
+  "CMakeFiles/cloudsync_chunking.dir/rsync.cpp.o"
+  "CMakeFiles/cloudsync_chunking.dir/rsync.cpp.o.d"
+  "libcloudsync_chunking.a"
+  "libcloudsync_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/defer_policy.cpp" "src/client/CMakeFiles/cloudsync_client.dir/defer_policy.cpp.o" "gcc" "src/client/CMakeFiles/cloudsync_client.dir/defer_policy.cpp.o.d"
+  "/root/repo/src/client/hardware.cpp" "src/client/CMakeFiles/cloudsync_client.dir/hardware.cpp.o" "gcc" "src/client/CMakeFiles/cloudsync_client.dir/hardware.cpp.o.d"
+  "/root/repo/src/client/service_profile.cpp" "src/client/CMakeFiles/cloudsync_client.dir/service_profile.cpp.o" "gcc" "src/client/CMakeFiles/cloudsync_client.dir/service_profile.cpp.o.d"
+  "/root/repo/src/client/sync_engine.cpp" "src/client/CMakeFiles/cloudsync_client.dir/sync_engine.cpp.o" "gcc" "src/client/CMakeFiles/cloudsync_client.dir/sync_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cloudsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/cloudsync_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedup/CMakeFiles/cloudsync_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cloudsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cloudsync_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cloudsync_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

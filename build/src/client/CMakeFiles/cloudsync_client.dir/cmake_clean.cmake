@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_client.dir/defer_policy.cpp.o"
+  "CMakeFiles/cloudsync_client.dir/defer_policy.cpp.o.d"
+  "CMakeFiles/cloudsync_client.dir/hardware.cpp.o"
+  "CMakeFiles/cloudsync_client.dir/hardware.cpp.o.d"
+  "CMakeFiles/cloudsync_client.dir/service_profile.cpp.o"
+  "CMakeFiles/cloudsync_client.dir/service_profile.cpp.o.d"
+  "CMakeFiles/cloudsync_client.dir/sync_engine.cpp.o"
+  "CMakeFiles/cloudsync_client.dir/sync_engine.cpp.o.d"
+  "libcloudsync_client.a"
+  "libcloudsync_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

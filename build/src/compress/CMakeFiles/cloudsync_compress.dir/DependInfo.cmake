@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cpp" "src/compress/CMakeFiles/cloudsync_compress.dir/compressor.cpp.o" "gcc" "src/compress/CMakeFiles/cloudsync_compress.dir/compressor.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/cloudsync_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/cloudsync_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lzss.cpp" "src/compress/CMakeFiles/cloudsync_compress.dir/lzss.cpp.o" "gcc" "src/compress/CMakeFiles/cloudsync_compress.dir/lzss.cpp.o.d"
+  "/root/repo/src/compress/varint.cpp" "src/compress/CMakeFiles/cloudsync_compress.dir/varint.cpp.o" "gcc" "src/compress/CMakeFiles/cloudsync_compress.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

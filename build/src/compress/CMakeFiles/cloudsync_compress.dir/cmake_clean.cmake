@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_compress.dir/compressor.cpp.o"
+  "CMakeFiles/cloudsync_compress.dir/compressor.cpp.o.d"
+  "CMakeFiles/cloudsync_compress.dir/huffman.cpp.o"
+  "CMakeFiles/cloudsync_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/cloudsync_compress.dir/lzss.cpp.o"
+  "CMakeFiles/cloudsync_compress.dir/lzss.cpp.o.d"
+  "CMakeFiles/cloudsync_compress.dir/varint.cpp.o"
+  "CMakeFiles/cloudsync_compress.dir/varint.cpp.o.d"
+  "libcloudsync_compress.a"
+  "libcloudsync_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_core.dir/cost_model.cpp.o"
+  "CMakeFiles/cloudsync_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cloudsync_core.dir/dedup_probe.cpp.o"
+  "CMakeFiles/cloudsync_core.dir/dedup_probe.cpp.o.d"
+  "CMakeFiles/cloudsync_core.dir/experiment.cpp.o"
+  "CMakeFiles/cloudsync_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/cloudsync_core.dir/fleet.cpp.o"
+  "CMakeFiles/cloudsync_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/cloudsync_core.dir/service_probe.cpp.o"
+  "CMakeFiles/cloudsync_core.dir/service_probe.cpp.o.d"
+  "libcloudsync_core.a"
+  "libcloudsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dedup/dedup_engine.cpp" "src/dedup/CMakeFiles/cloudsync_dedup.dir/dedup_engine.cpp.o" "gcc" "src/dedup/CMakeFiles/cloudsync_dedup.dir/dedup_engine.cpp.o.d"
+  "/root/repo/src/dedup/dedup_index.cpp" "src/dedup/CMakeFiles/cloudsync_dedup.dir/dedup_index.cpp.o" "gcc" "src/dedup/CMakeFiles/cloudsync_dedup.dir/dedup_index.cpp.o.d"
+  "/root/repo/src/dedup/fingerprint.cpp" "src/dedup/CMakeFiles/cloudsync_dedup.dir/fingerprint.cpp.o" "gcc" "src/dedup/CMakeFiles/cloudsync_dedup.dir/fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/cloudsync_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cloudsync_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

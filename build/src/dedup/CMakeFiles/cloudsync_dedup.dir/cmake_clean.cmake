@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_dedup.dir/dedup_engine.cpp.o"
+  "CMakeFiles/cloudsync_dedup.dir/dedup_engine.cpp.o.d"
+  "CMakeFiles/cloudsync_dedup.dir/dedup_index.cpp.o"
+  "CMakeFiles/cloudsync_dedup.dir/dedup_index.cpp.o.d"
+  "CMakeFiles/cloudsync_dedup.dir/fingerprint.cpp.o"
+  "CMakeFiles/cloudsync_dedup.dir/fingerprint.cpp.o.d"
+  "libcloudsync_dedup.a"
+  "libcloudsync_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

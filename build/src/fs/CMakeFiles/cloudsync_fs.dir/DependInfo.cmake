@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/file_ops.cpp" "src/fs/CMakeFiles/cloudsync_fs.dir/file_ops.cpp.o" "gcc" "src/fs/CMakeFiles/cloudsync_fs.dir/file_ops.cpp.o.d"
+  "/root/repo/src/fs/memfs.cpp" "src/fs/CMakeFiles/cloudsync_fs.dir/memfs.cpp.o" "gcc" "src/fs/CMakeFiles/cloudsync_fs.dir/memfs.cpp.o.d"
+  "/root/repo/src/fs/watcher.cpp" "src/fs/CMakeFiles/cloudsync_fs.dir/watcher.cpp.o" "gcc" "src/fs/CMakeFiles/cloudsync_fs.dir/watcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_fs.dir/file_ops.cpp.o"
+  "CMakeFiles/cloudsync_fs.dir/file_ops.cpp.o.d"
+  "CMakeFiles/cloudsync_fs.dir/memfs.cpp.o"
+  "CMakeFiles/cloudsync_fs.dir/memfs.cpp.o.d"
+  "CMakeFiles/cloudsync_fs.dir/watcher.cpp.o"
+  "CMakeFiles/cloudsync_fs.dir/watcher.cpp.o.d"
+  "libcloudsync_fs.a"
+  "libcloudsync_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/http_model.cpp" "src/net/CMakeFiles/cloudsync_net.dir/http_model.cpp.o" "gcc" "src/net/CMakeFiles/cloudsync_net.dir/http_model.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/cloudsync_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/cloudsync_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/sim_clock.cpp" "src/net/CMakeFiles/cloudsync_net.dir/sim_clock.cpp.o" "gcc" "src/net/CMakeFiles/cloudsync_net.dir/sim_clock.cpp.o.d"
+  "/root/repo/src/net/tcp_model.cpp" "src/net/CMakeFiles/cloudsync_net.dir/tcp_model.cpp.o" "gcc" "src/net/CMakeFiles/cloudsync_net.dir/tcp_model.cpp.o.d"
+  "/root/repo/src/net/traffic_meter.cpp" "src/net/CMakeFiles/cloudsync_net.dir/traffic_meter.cpp.o" "gcc" "src/net/CMakeFiles/cloudsync_net.dir/traffic_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

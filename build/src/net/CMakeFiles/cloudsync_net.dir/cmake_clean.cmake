@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_net.dir/http_model.cpp.o"
+  "CMakeFiles/cloudsync_net.dir/http_model.cpp.o.d"
+  "CMakeFiles/cloudsync_net.dir/link.cpp.o"
+  "CMakeFiles/cloudsync_net.dir/link.cpp.o.d"
+  "CMakeFiles/cloudsync_net.dir/sim_clock.cpp.o"
+  "CMakeFiles/cloudsync_net.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/cloudsync_net.dir/tcp_model.cpp.o"
+  "CMakeFiles/cloudsync_net.dir/tcp_model.cpp.o.d"
+  "CMakeFiles/cloudsync_net.dir/traffic_meter.cpp.o"
+  "CMakeFiles/cloudsync_net.dir/traffic_meter.cpp.o.d"
+  "libcloudsync_net.a"
+  "libcloudsync_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

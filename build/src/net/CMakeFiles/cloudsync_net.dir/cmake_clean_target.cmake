@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudsync_net.a"
+)

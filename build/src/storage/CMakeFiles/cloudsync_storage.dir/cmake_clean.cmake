@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_storage.dir/chunk_backend.cpp.o"
+  "CMakeFiles/cloudsync_storage.dir/chunk_backend.cpp.o.d"
+  "CMakeFiles/cloudsync_storage.dir/cloud.cpp.o"
+  "CMakeFiles/cloudsync_storage.dir/cloud.cpp.o.d"
+  "CMakeFiles/cloudsync_storage.dir/metadata_service.cpp.o"
+  "CMakeFiles/cloudsync_storage.dir/metadata_service.cpp.o.d"
+  "CMakeFiles/cloudsync_storage.dir/object_store.cpp.o"
+  "CMakeFiles/cloudsync_storage.dir/object_store.cpp.o.d"
+  "libcloudsync_storage.a"
+  "libcloudsync_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/cloudsync_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/cloudsync_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/cloudsync_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/cloudsync_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/cloudsync_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/cloudsync_trace.dir/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace_record.cpp" "src/trace/CMakeFiles/cloudsync_trace.dir/trace_record.cpp.o" "gcc" "src/trace/CMakeFiles/cloudsync_trace.dir/trace_record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cloudsync_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_trace.dir/analysis.cpp.o"
+  "CMakeFiles/cloudsync_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/cloudsync_trace.dir/generator.cpp.o"
+  "CMakeFiles/cloudsync_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/cloudsync_trace.dir/serialize.cpp.o"
+  "CMakeFiles/cloudsync_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/cloudsync_trace.dir/trace_record.cpp.o"
+  "CMakeFiles/cloudsync_trace.dir/trace_record.cpp.o.d"
+  "libcloudsync_trace.a"
+  "libcloudsync_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

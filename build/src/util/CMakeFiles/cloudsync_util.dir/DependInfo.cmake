@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/adler32.cpp" "src/util/CMakeFiles/cloudsync_util.dir/adler32.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/adler32.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/cloudsync_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/cloudsync_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/md5.cpp" "src/util/CMakeFiles/cloudsync_util.dir/md5.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/md5.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/cloudsync_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/sha1.cpp" "src/util/CMakeFiles/cloudsync_util.dir/sha1.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/sha1.cpp.o.d"
+  "/root/repo/src/util/sha256.cpp" "src/util/CMakeFiles/cloudsync_util.dir/sha256.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/sha256.cpp.o.d"
+  "/root/repo/src/util/sim_time.cpp" "src/util/CMakeFiles/cloudsync_util.dir/sim_time.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/sim_time.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/cloudsync_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/text_table.cpp" "src/util/CMakeFiles/cloudsync_util.dir/text_table.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/text_table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/util/CMakeFiles/cloudsync_util.dir/units.cpp.o" "gcc" "src/util/CMakeFiles/cloudsync_util.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

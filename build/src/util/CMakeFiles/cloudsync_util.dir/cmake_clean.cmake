@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_util.dir/adler32.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/adler32.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/bytes.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/crc32.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/md5.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/md5.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/rng.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/sha1.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/sha256.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/sha256.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/sim_time.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/stats.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/text_table.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/text_table.cpp.o.d"
+  "CMakeFiles/cloudsync_util.dir/units.cpp.o"
+  "CMakeFiles/cloudsync_util.dir/units.cpp.o.d"
+  "libcloudsync_util.a"
+  "libcloudsync_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_backend.dir/test_chunk_backend.cpp.o"
+  "CMakeFiles/test_chunk_backend.dir/test_chunk_backend.cpp.o.d"
+  "test_chunk_backend"
+  "test_chunk_backend.pdb"
+  "test_chunk_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dedup_probe.dir/test_dedup_probe.cpp.o"
+  "CMakeFiles/test_dedup_probe.dir/test_dedup_probe.cpp.o.d"
+  "test_dedup_probe"
+  "test_dedup_probe.pdb"
+  "test_dedup_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dedup_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defer_policy.dir/test_defer_policy.cpp.o"
+  "CMakeFiles/test_defer_policy.dir/test_defer_policy.cpp.o.d"
+  "test_defer_policy"
+  "test_defer_policy.pdb"
+  "test_defer_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memfs.dir/test_memfs.cpp.o"
+  "CMakeFiles/test_memfs.dir/test_memfs.cpp.o.d"
+  "test_memfs"
+  "test_memfs.pdb"
+  "test_memfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_cloud.dir/test_metadata_cloud.cpp.o"
+  "CMakeFiles/test_metadata_cloud.dir/test_metadata_cloud.cpp.o.d"
+  "test_metadata_cloud"
+  "test_metadata_cloud.pdb"
+  "test_metadata_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

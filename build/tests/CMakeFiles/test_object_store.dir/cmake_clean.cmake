@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object_store.dir/test_object_store.cpp.o"
+  "CMakeFiles/test_object_store.dir/test_object_store.cpp.o.d"
+  "test_object_store"
+  "test_object_store.pdb"
+  "test_object_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

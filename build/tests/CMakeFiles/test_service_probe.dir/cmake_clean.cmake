@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_probe.dir/test_service_probe.cpp.o"
+  "CMakeFiles/test_service_probe.dir/test_service_probe.cpp.o.d"
+  "test_service_probe"
+  "test_service_probe.pdb"
+  "test_service_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

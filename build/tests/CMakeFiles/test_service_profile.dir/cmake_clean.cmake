@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_profile.dir/test_service_profile.cpp.o"
+  "CMakeFiles/test_service_profile.dir/test_service_profile.cpp.o.d"
+  "test_service_profile"
+  "test_service_profile.pdb"
+  "test_service_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/test_sim_time.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/test_sim_time.dir/test_sim_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cloudsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/cloudsync_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cloudsync_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cloudsync_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/cloudsync_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cloudsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedup/CMakeFiles/cloudsync_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunking/CMakeFiles/cloudsync_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cloudsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cloudsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_table.dir/test_text_table.cpp.o"
+  "CMakeFiles/test_text_table.dir/test_text_table.cpp.o.d"
+  "test_text_table"
+  "test_text_table.pdb"
+  "test_text_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_meter.dir/test_traffic_meter.cpp.o"
+  "CMakeFiles/test_traffic_meter.dir/test_traffic_meter.cpp.o.d"
+  "test_traffic_meter"
+  "test_traffic_meter.pdb"
+  "test_traffic_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

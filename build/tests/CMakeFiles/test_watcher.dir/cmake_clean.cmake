@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_watcher.dir/test_watcher.cpp.o"
+  "CMakeFiles/test_watcher.dir/test_watcher.cpp.o.d"
+  "test_watcher"
+  "test_watcher.pdb"
+  "test_watcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_watcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsync_cli.dir/cloudsync_cli.cpp.o"
+  "CMakeFiles/cloudsync_cli.dir/cloudsync_cli.cpp.o.d"
+  "cloudsync"
+  "cloudsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsync_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

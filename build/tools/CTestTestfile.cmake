@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_services "/root/repo/build/tools/cloudsync" "services")
+set_tests_properties(cli_services PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_creation "/root/repo/build/tools/cloudsync" "creation" "--service" "Dropbox" "--size" "1M")
+set_tests_properties(cli_creation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_modify "/root/repo/build/tools/cloudsync" "modify" "--service" "Dropbox" "--size" "1M")
+set_tests_properties(cli_modify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_append "/root/repo/build/tools/cloudsync" "append" "--service" "Box" "--kb" "4" "--period" "8" "--total" "64K")
+set_tests_properties(cli_append PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace "/root/repo/build/tools/cloudsync" "trace" "--scale" "0.002")
+set_tests_properties(cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/cloudsync" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
