@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "cloudsync.hpp"
 
@@ -22,6 +24,24 @@ inline experiment_config make_config(const service_profile& s,
   experiment_config cfg{s};
   cfg.method = m;
   return cfg;
+}
+
+/// The pool shared by a bench binary's independent experiment evaluations.
+/// Thread count follows the hardware (override with CLOUDSYNC_THREADS=1 for
+/// a serial run; results are identical either way).
+inline parallel_runner& bench_pool() {
+  static parallel_runner pool;
+  return pool;
+}
+
+/// Evaluate a grid of independent experiment jobs across cores and return
+/// the results in job order — the deterministic building block for the
+/// table/figure binaries: build every cell's job first, evaluate in
+/// parallel, then print from the ordered results.
+template <typename R>
+std::vector<R> run_grid(const std::vector<std::function<R()>>& jobs) {
+  return parallel_map_n<R>(bench_pool(), jobs.size(),
+                           [&](std::size_t i) { return jobs[i](); });
 }
 
 }  // namespace cloudsync::bench

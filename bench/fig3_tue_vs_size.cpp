@@ -12,18 +12,31 @@ int main() {
   const std::uint64_t sizes[] = {1 * KiB,   4 * KiB,   16 * KiB, 64 * KiB,
                                  100 * KiB, 256 * KiB, 1 * MiB,  4 * MiB,
                                  16 * MiB,  64 * MiB};
+  const std::vector<service_profile> services = all_services();
 
   text_table table;
   std::vector<std::string> header{"Size"};
-  for (const service_profile& s : all_services()) header.push_back(s.name);
+  for (const service_profile& s : services) header.push_back(s.name);
   table.header(std::move(header));
 
+  // Every (size, service) cell is an independent experiment: build the whole
+  // grid first, fan it across cores, then print in order.
+  std::vector<std::function<std::uint64_t()>> jobs;
+  for (const std::uint64_t z : sizes) {
+    for (const service_profile& s : services) {
+      jobs.push_back([&s, z] {
+        return measure_creation_traffic(
+            make_config(s, access_method::pc_client), z);
+      });
+    }
+  }
+  const std::vector<std::uint64_t> traffic = run_grid(jobs);
+
+  std::size_t cell = 0;
   for (const std::uint64_t z : sizes) {
     std::vector<std::string> row{human(static_cast<double>(z))};
-    for (const service_profile& s : all_services()) {
-      const std::uint64_t traffic = measure_creation_traffic(
-          make_config(s, access_method::pc_client), z);
-      row.push_back(strfmt("%.2f", tue(traffic, z)));
+    for (std::size_t i = 0; i < services.size(); ++i) {
+      row.push_back(strfmt("%.2f", tue(traffic[cell++], z)));
     }
     table.row(std::move(row));
   }

@@ -13,18 +13,30 @@ int main() {
       "[paper: Dropbox/SugarSync PC flat ~50 KB; others scale with Z]");
 
   const std::uint64_t sizes[] = {1 * KiB, 10 * KiB, 100 * KiB, 1 * MiB};
+  const std::vector<service_profile> services = all_services();
 
+  std::vector<std::function<std::uint64_t()>> jobs;
+  for (access_method m : all_access_methods) {
+    for (const service_profile& s : services) {
+      for (const std::uint64_t z : sizes) {
+        jobs.push_back([&s, m, z] {
+          return measure_modification_traffic(make_config(s, m), z);
+        });
+      }
+    }
+  }
+  const std::vector<std::uint64_t> traffic = run_grid(jobs);
+
+  std::size_t cell = 0;
   for (access_method m : all_access_methods) {
     std::printf("-- (%c) %s --\n",
                 static_cast<char>('a' + static_cast<int>(m)), to_string(m));
     text_table table;
     table.header({"Service", "Z=1 KB", "Z=10 KB", "Z=100 KB", "Z=1 MB"});
-    for (const service_profile& s : all_services()) {
+    for (const service_profile& s : services) {
       std::vector<std::string> row{s.name};
-      for (const std::uint64_t z : sizes) {
-        const std::uint64_t traffic =
-            measure_modification_traffic(make_config(s, m), z);
-        row.push_back(human(static_cast<double>(traffic)));
+      for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        row.push_back(human(static_cast<double>(traffic[cell++])));
       }
       table.row(std::move(row));
     }

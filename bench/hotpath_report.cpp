@@ -1,0 +1,154 @@
+// Before/after harness for the simulator's performance layer: evaluates the
+// same TUE experiment grid twice —
+//
+//   baseline : serial, content cache disabled (the seed behaviour)
+//   optimized: parallel runner across cores, process-wide content cache on
+//
+// — asserts the outputs are byte-identical (caching and parallelism must
+// never change a result), and records the wall-clock trajectory in
+// machine-readable form (BENCH_hotpath.json, or argv[1]) so the speedup is
+// tracked from this PR onward. See docs/PERFORMANCE.md for how to read it.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+
+using namespace cloudsync;
+using namespace cloudsync::bench;
+
+namespace {
+
+using job = std::function<std::uint64_t()>;
+
+/// The measured workload: a representative slice of the paper's grids
+/// (creation / modification / text upload cells across all six services).
+/// Service profiles are captured by value so the jobs own their configs.
+std::vector<job> build_jobs(bool cached) {
+  std::vector<job> jobs;
+  auto cfg_for = [cached](const service_profile& s, access_method m) {
+    experiment_config cfg = make_config(s, m);
+    cfg.use_content_cache = cached;
+    return cfg;
+  };
+  for (const std::uint64_t z : {64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB}) {
+    for (const service_profile& s : all_services()) {
+      jobs.push_back([cfg = cfg_for(s, access_method::pc_client), z] {
+        return measure_creation_traffic(cfg, z);
+      });
+    }
+  }
+  for (const std::uint64_t z : {256 * KiB, 1 * MiB}) {
+    for (const service_profile& s : all_services()) {
+      jobs.push_back([cfg = cfg_for(s, access_method::pc_client), z] {
+        return measure_modification_traffic(cfg, z);
+      });
+    }
+  }
+  for (const service_profile& s : all_services()) {
+    jobs.push_back([cfg = cfg_for(s, access_method::pc_client)] {
+      return measure_text_upload_traffic(cfg, 1 * MiB);
+    });
+  }
+  return jobs;
+}
+
+struct run_result {
+  std::vector<std::uint64_t> values;
+  double wall_ms = 0;
+};
+
+run_result evaluate(bool cached, unsigned threads) {
+  const std::vector<job> jobs = build_jobs(cached);
+  run_result res;
+  res.values.resize(jobs.size());
+  parallel_runner pool(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.run_indexed(jobs.size(),
+                   [&](std::size_t i) { res.values[i] = jobs[i](); });
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_section("Hot-path report: serial+uncached vs parallel+cached");
+
+  const unsigned threads = parallel_runner::default_thread_count();
+
+  const run_result baseline = evaluate(/*cached=*/false, /*threads=*/1);
+  // Start the optimized run with every process-wide memo cold, so the hit
+  // counters below describe exactly this run.
+  content_cache::global().clear();
+  global_fingerprint_cache().clear();
+  clear_incremental_sync_memos();
+  clear_generation_memo();
+  const run_result optimized = evaluate(/*cached=*/true, threads);
+
+  struct named_stats {
+    const char* name;
+    content_cache_stats s;
+  };
+  const named_stats caches[] = {
+      {"shipped_size", content_cache::global().stats()},
+      {"fingerprint", global_fingerprint_cache().stats()},
+      {"signature", signature_memo_stats()},
+      {"delta", delta_memo_stats()},
+      {"generation", generation_memo_stats()},
+  };
+
+  const bool identical = baseline.values == optimized.values;
+  const double speedup =
+      optimized.wall_ms > 0 ? baseline.wall_ms / optimized.wall_ms : 0.0;
+
+  text_table table;
+  table.header({"mode", "wall ms", "cells"});
+  table.row({"serial + uncached (seed)", strfmt("%.1f", baseline.wall_ms),
+             strfmt("%zu", baseline.values.size())});
+  table.row({strfmt("parallel(%u) + cached", threads),
+             strfmt("%.1f", optimized.wall_ms),
+             strfmt("%zu", optimized.values.size())});
+  std::printf("%s\n", table.str().c_str());
+  std::printf("speedup: %.2fx, outputs identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  for (const named_stats& c : caches) {
+    std::printf("  memo %-12s %5.1f%% hit rate (%llu hits / %llu misses)\n",
+                c.name, 100.0 * c.s.hit_rate(), (unsigned long long)c.s.hits,
+                (unsigned long long)c.s.misses);
+  }
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"hotpath\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"cells\": " << baseline.values.size() << ",\n"
+      << "  \"baseline\": {\"mode\": \"serial+uncached\", \"wall_ms\": "
+      << baseline.wall_ms << "},\n"
+      << "  \"optimized\": {\"mode\": \"parallel+cached\", \"wall_ms\": "
+      << optimized.wall_ms << "},\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"identical_outputs\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"caches\": {";
+  bool first = true;
+  for (const named_stats& c : caches) {
+    out << (first ? "\n" : ",\n") << "    \"" << c.name
+        << "\": {\"hits\": " << c.s.hits << ", \"misses\": " << c.s.misses
+        << ", \"evictions\": " << c.s.evictions
+        << ", \"hit_rate\": " << c.s.hit_rate() << "}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+
+  // Caching/parallelism changing any output is a correctness failure.
+  return identical ? 0 : 1;
+}

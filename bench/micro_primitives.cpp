@@ -5,10 +5,12 @@
 
 #include "chunking/cdc.hpp"
 #include "chunking/rsync.hpp"
+#include "client/sync_engine.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lzss.hpp"
 #include "dedup/dedup_engine.hpp"
 #include "util/adler32.hpp"
+#include "util/content_cache.hpp"
 #include "util/md5.hpp"
 #include "util/rng.hpp"
 #include "util/sha1.hpp"
@@ -156,6 +158,43 @@ void BM_DedupAnalyzeBlocks(benchmark::State& state) {
                           static_cast<std::int64_t>(data.size()));
 }
 BENCHMARK(BM_DedupAnalyzeBlocks);
+
+// The hot-path cache primitives (this PR's performance layer): the fast
+// content hash that keys the cache, and the memoized wire-size lookup vs the
+// full compressor run it replaces. The Cached/Uncached pair is the per-call
+// before/after of sync_client::shipped_size() on warm content.
+void BM_ContentHash64(benchmark::State& state) {
+  const byte_buffer data = payload(static_cast<std::size_t>(state.range(0)),
+                                   false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(content_hash64(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ContentHash64)->Arg(4 * 1024)->Arg(1 * MiB);
+
+void BM_WirePayloadSizeUncached(benchmark::State& state) {
+  const byte_buffer data = payload(1 * MiB, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire_payload_size(data, 6));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_WirePayloadSizeUncached);
+
+void BM_WirePayloadSizeCached(benchmark::State& state) {
+  const byte_buffer data = payload(1 * MiB, true);
+  content_cache cache(64);
+  cache.shipped_size(data, 6, &wire_payload_size);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.shipped_size(data, 6, &wire_payload_size));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_WirePayloadSizeCached);
 
 void BM_Cdc(benchmark::State& state) {
   const byte_buffer data = payload(4 * MiB, false);

@@ -11,17 +11,30 @@ int main() {
       "[paper: e.g. Google Drive PC 9K/10K/1.13M/11.2M]");
 
   const std::uint64_t sizes[] = {1, 1 * KiB, 1 * MiB, 10 * MiB};
+  const std::vector<service_profile> services = all_services();
 
+  // All method × service × size cells are independent experiments: evaluate
+  // the full grid across cores, then print in order.
+  std::vector<std::function<std::uint64_t()>> jobs;
+  for (access_method m : all_access_methods) {
+    for (const service_profile& s : services) {
+      for (const std::uint64_t z : sizes) {
+        jobs.push_back(
+            [&s, m, z] { return measure_creation_traffic(make_config(s, m), z); });
+      }
+    }
+  }
+  const std::vector<std::uint64_t> traffic = run_grid(jobs);
+
+  std::size_t cell = 0;
   for (access_method m : all_access_methods) {
     std::printf("-- %s --\n", to_string(m));
     text_table table;
     table.header({"Service", "1 B", "1 KB", "1 MB", "10 MB"});
-    for (const service_profile& s : all_services()) {
+    for (const service_profile& s : services) {
       std::vector<std::string> row{s.name};
-      for (const std::uint64_t z : sizes) {
-        const std::uint64_t traffic =
-            measure_creation_traffic(make_config(s, m), z);
-        row.push_back(human(static_cast<double>(traffic)));
+      for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        row.push_back(human(static_cast<double>(traffic[cell++])));
       }
       table.row(std::move(row));
     }

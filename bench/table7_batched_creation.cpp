@@ -16,16 +16,29 @@ int main() {
   constexpr std::uint64_t kEach = 1 * KiB;
   constexpr std::uint64_t kUpdate = kFiles * kEach;
 
+  const std::vector<service_profile> services = all_services();
+  std::vector<std::function<std::uint64_t()>> jobs;
+  for (const service_profile& s : services) {
+    for (access_method m : all_access_methods) {
+      jobs.push_back([&s, m] {
+        return measure_batch_creation_traffic(make_config(s, m), kFiles,
+                                              kEach);
+      });
+    }
+  }
+  const std::vector<std::uint64_t> traffic = run_grid(jobs);
+
   text_table table;
   table.header({"Service", "PC traffic", "(TUE)", "Web traffic", "(TUE)",
                 "Mobile traffic", "(TUE)"});
-  for (const service_profile& s : all_services()) {
+  std::size_t cell = 0;
+  for (const service_profile& s : services) {
     std::vector<std::string> row{s.name};
     for (access_method m : all_access_methods) {
-      const std::uint64_t traffic =
-          measure_batch_creation_traffic(make_config(s, m), kFiles, kEach);
-      row.push_back(human(static_cast<double>(traffic)));
-      row.push_back(strfmt("(%.1f)", tue(traffic, kUpdate)));
+      (void)m;
+      const std::uint64_t t = traffic[cell++];
+      row.push_back(human(static_cast<double>(t)));
+      row.push_back(strfmt("(%.1f)", tue(t, kUpdate)));
     }
     table.row(std::move(row));
   }

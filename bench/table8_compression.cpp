@@ -14,18 +14,29 @@ int main() {
 
   constexpr std::uint64_t kX = 10 * MiB;
 
+  const std::vector<service_profile> services = all_services();
+  std::vector<std::function<std::uint64_t()>> jobs;
+  for (const service_profile& s : services) {
+    for (access_method m : all_access_methods) {
+      jobs.push_back(
+          [&s, m] { return measure_text_upload_traffic(make_config(s, m), kX); });
+      jobs.push_back([&s, m] {
+        return measure_text_download_traffic(make_config(s, m), kX);
+      });
+    }
+  }
+  const std::vector<std::uint64_t> traffic = run_grid(jobs);
+
   text_table table;
   table.header({"Service", "PC UP", "PC DN", "Web UP", "Web DN", "Mobile UP",
                 "Mobile DN"});
-  for (const service_profile& s : all_services()) {
+  std::size_t cell = 0;
+  for (const service_profile& s : services) {
     std::vector<std::string> row{s.name};
     for (access_method m : all_access_methods) {
-      const std::uint64_t up =
-          measure_text_upload_traffic(make_config(s, m), kX);
-      const std::uint64_t dn =
-          measure_text_download_traffic(make_config(s, m), kX);
-      row.push_back(human(static_cast<double>(up)));
-      row.push_back(human(static_cast<double>(dn)));
+      (void)m;
+      row.push_back(human(static_cast<double>(traffic[cell++])));
+      row.push_back(human(static_cast<double>(traffic[cell++])));
     }
     table.row(std::move(row));
   }

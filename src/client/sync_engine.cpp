@@ -16,7 +16,51 @@ constexpr std::uint64_t kFingerprintAnswerBytes = 8;
 constexpr std::uint64_t kDeleteRecordBytes = 300;
 /// Per-file entry in a BDS delete/rename manifest.
 constexpr std::uint64_t kBatchDeleteEntryBytes = 120;
+
+// Process-wide memos for incremental sync. Seeded experiments reproduce the
+// same shadow and edited contents across bench cells and services, so the
+// per-block MD5 signature work and the rolling-window delta search recur
+// identically; both are pure functions of their keys, so sharing the results
+// (also across parallel_runner workers) cannot change any output.
+
+using signature_ptr = std::shared_ptr<const file_signature>;
+
+content_memo<signature_ptr>& signature_memo() {
+  static content_memo<signature_ptr> memo;
+  return memo;
+}
+
+/// A memoized IDS plan: the delta against one specific old version plus its
+/// serialized wire form (what shipped_size() and the cloud consume).
+struct delta_blueprint {
+  file_delta delta;
+  byte_buffer wire;
+};
+using blueprint_ptr = std::shared_ptr<const delta_blueprint>;
+
+content_memo<blueprint_ptr>& delta_memo() {
+  static content_memo<blueprint_ptr> memo;
+  return memo;
+}
+
+/// Salt identifying the old-file side of a delta: folds the signature's full
+/// block structure so two different shadows can never share a memo entry.
+std::uint64_t signature_salt(const file_signature& sig) {
+  std::uint64_t h = mix64(sig.file_size ^
+                          sig.block_size * 0x9e3779b97f4a7c15ULL);
+  for (const block_signature& b : sig.blocks) {
+    h = mix64(h ^ b.weak) ^ b.strong.prefix64();
+  }
+  return mix64(h);
+}
 }  // namespace
+
+content_cache_stats signature_memo_stats() { return signature_memo().stats(); }
+content_cache_stats delta_memo_stats() { return delta_memo().stats(); }
+void clear_incremental_sync_memos() {
+  signature_memo().clear();
+  delta_memo().clear();
+}
 
 sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
                          sync_options opts)
@@ -46,16 +90,21 @@ void sync_client::on_fs_event(const fs_event& ev) {
     chg.remove = false;
     const file_manifest* man = cloud_.manifest(user_, path);
     chg.existed_in_cloud = man != nullptr && !man->deleted;
+    refresh_entry_estimate(path, chg);
   };
   auto queue_remove = [&](const std::string& path) {
     const file_manifest* man = cloud_.manifest(user_, path);
     const bool in_cloud = man != nullptr && !man->deleted;
     if (!in_cloud && !dirty_.contains(path)) return;  // never synced
     if (!in_cloud) {
+      drop_entry_estimate(path);
       dirty_.erase(path);  // created and deleted within one defer window
       return;
     }
-    dirty_[path] = {true, true};
+    pending_change& chg = dirty_[path];
+    chg.remove = true;
+    chg.existed_in_cloud = true;
+    refresh_entry_estimate(path, chg);
   };
 
   switch (ev.op) {
@@ -84,25 +133,30 @@ void sync_client::on_fs_event(const fs_event& ev) {
   schedule_commit(defer_->next_fire(now, pending_update_estimate()));
 }
 
-std::uint64_t sync_client::pending_update_estimate() const {
-  // Rough size of the not-yet-synced delta: per dirty file, how far the
-  // local size drifted from the last-synced (shadow) size. Good enough for
-  // byte-counter (UDS) deferment decisions.
-  std::uint64_t total = 0;
-  for (const auto& [path, chg] : dirty_) {
+void sync_client::refresh_entry_estimate(const std::string& path,
+                                         pending_change& chg) {
+  // Rough size of this file's not-yet-synced delta: how far the local size
+  // drifted from the last-synced (shadow) size. Good enough for byte-counter
+  // (UDS) deferment decisions. Maintained incrementally — one shadow lookup
+  // per fs event for the touched path, instead of a full dirty_ scan.
+  std::uint64_t e;
+  if (chg.remove) {
+    e = 256;  // tombstone record
+  } else {
     const auto shadow_it = shadow_.find(path);
     const std::uint64_t shadow_size =
-        shadow_it == shadow_.end() ? 0 : shadow_it->second.size();
-    if (chg.remove) {
-      total += 256;  // tombstone record
-      continue;
-    }
+        shadow_it == shadow_.end() ? 0 : shadow_it->second.content.size();
     const std::uint64_t local = fs_.exists(path) ? fs_.size(path) : 0;
-    total += local > shadow_size ? local - shadow_size
-                                 : shadow_size - local;
-    if (local == shadow_size && local > 0) total += 1;  // in-place edit
+    e = local > shadow_size ? local - shadow_size : shadow_size - local;
+    if (local == shadow_size && local > 0) e += 1;  // in-place edit
   }
-  return total;
+  pending_estimate_ += e - chg.estimate;  // unsigned delta; wraps correctly
+  chg.estimate = e;
+}
+
+void sync_client::drop_entry_estimate(const std::string& path) {
+  const auto it = dirty_.find(path);
+  if (it != dirty_.end()) pending_estimate_ -= it->second.estimate;
 }
 
 void sync_client::schedule_commit(sim_time at) {
@@ -125,6 +179,7 @@ void sync_client::try_commit() {
 
   auto batch = std::move(dirty_);
   dirty_.clear();
+  pending_estimate_ = 0;
   ++commits_;
   // The client engine itself needs time to finish a commit (bookkeeping,
   // polling, server turnaround) before the next one can start — the
@@ -189,7 +244,7 @@ sim_time sync_client::commit_batch(
   return t;
 }
 
-std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
+std::uint64_t wire_payload_size(byte_view content, int level) {
   if (level <= 0 || content.empty()) return content.size();
   // Real clients skip the compressor when a sample looks incompressible.
   if (content.size() >= 4096 &&
@@ -197,6 +252,28 @@ std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
     return content.size();
   }
   return lzss_compress(content, {.level = level}).size();
+}
+
+std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
+  if (level <= 0 || content.empty()) return content.size();
+  if (opts_.cache == nullptr) return wire_payload_size(content, level);
+  return opts_.cache->shipped_size(content, level, &wire_payload_size);
+}
+
+const file_signature& sync_client::shadow_signature(shadow_entry& sh) const {
+  const std::size_t block_size = opts_.profile.delta_chunk_size;
+  if (!sh.sig || sh.sig_block_size != block_size) {
+    auto sign = [&]() -> signature_ptr {
+      return std::make_shared<const file_signature>(
+          compute_signature(sh.content, block_size));
+    };
+    sh.sig = opts_.cache != nullptr
+                 ? signature_memo().get_or_compute(sh.content, block_size,
+                                                   sign)
+                 : sign();
+    sh.sig_block_size = block_size;
+  }
+  return *sh.sig;
 }
 
 sync_client::upload_plan sync_client::plan_and_apply_upload(
@@ -230,16 +307,27 @@ sync_client::upload_plan sync_client::plan_and_apply_upload(
   //    Requires the previous synced version locally (the shadow); web and
   //    mobile clients never have one.
   if (mp.incremental_sync && in_cloud && shadow_it != shadow_.end() &&
-      !shadow_it->second.empty()) {
-    const file_signature sig =
-        compute_signature(shadow_it->second, opts_.profile.delta_chunk_size);
-    file_delta delta = compute_delta(sig, content);
-    const byte_buffer wire = serialize_delta(delta);
+      !shadow_it->second.content.empty()) {
+    shadow_entry& sh = shadow_it->second;
+    const file_signature& sig = shadow_signature(sh);
+    auto plan_delta = [&]() -> blueprint_ptr {
+      auto bp = std::make_shared<delta_blueprint>();
+      bp->delta = compute_delta(sig, content);
+      bp->wire = serialize_delta(bp->delta);
+      return bp;
+    };
+    // Key: the new content (hashed) + the old file's identity (salt), which
+    // together determine the delta exactly.
+    const blueprint_ptr bp =
+        opts_.cache != nullptr
+            ? delta_memo().get_or_compute(content, signature_salt(sig),
+                                          plan_delta)
+            : plan_delta();
     // The delta's literal regions are compressed like any upload.
-    plan.payload_up = shipped_size(wire, mp.upload_compression_level);
+    plan.payload_up = shipped_size(bp->wire, mp.upload_compression_level);
     plan.metadata_up = static_cast<std::uint64_t>(
         static_cast<double>(plan.payload_up) * mp.per_payload_metadata);
-    cloud_.apply_file_delta(user_, device_, path, delta, at);
+    cloud_.apply_file_delta(user_, device_, path, bp->delta, at);
     base_version_[path] = cloud_.manifest(user_, path)->version;
     // Keep the dedup index current: the post-delta content is now stored in
     // the cloud and future identical uploads must be able to match it.
@@ -247,7 +335,8 @@ sync_client::upload_plan sync_client::plan_and_apply_upload(
         cloud_.dedup().policy().granularity != dedup_granularity::none) {
       cloud_.dedup().commit(user_, content);
     }
-    shadow_it->second.assign(content.begin(), content.end());
+    sh.content.assign(content.begin(), content.end());
+    sh.sig.reset();  // the memoized signature no longer matches
     return plan;
   }
 
@@ -272,7 +361,9 @@ sync_client::upload_plan sync_client::plan_and_apply_upload(
   cloud_.put_file(user_, device_, path,
                   byte_buffer(content.begin(), content.end()), payload, at);
   base_version_[path] = cloud_.manifest(user_, path)->version;
-  shadow_[path] = byte_buffer(content.begin(), content.end());
+  shadow_entry& sh = shadow_[path];
+  sh.content.assign(content.begin(), content.end());  // reuses capacity
+  sh.sig.reset();
   return plan;
 }
 
@@ -296,11 +387,19 @@ sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
 
 void sync_client::download(const std::string& path) {
   const method_profile& mp = opts_.profile.method(opts_.method);
-  const auto content = cloud_.file_content(user_, path);
-  if (!content) return;
+  // byte_view plumbing: the whole-object substrate serves a zero-copy view
+  // of the stored object; only the chunk substrate must materialize into an
+  // owned buffer (which we then move into the local fs instead of copying).
+  std::optional<byte_view> view = cloud_.file_content_view(user_, path);
+  std::optional<byte_buffer> owned;
+  if (!view) {
+    owned = cloud_.file_content(user_, path);
+    if (!owned) return;
+  }
+  const byte_view content = view ? *view : byte_view{*owned};
 
   const std::uint64_t payload =
-      shipped_size(*content, mp.download_compression_level);
+      shipped_size(content, mp.download_compression_level);
   const std::uint64_t down_meta =
       mp.base_overhead_down / 4 +
       static_cast<std::uint64_t>(static_cast<double>(payload) *
@@ -310,18 +409,22 @@ void sync_client::download(const std::string& path) {
   const sim_time start = std::max(clock_.now(), network_busy_until_);
   network_busy_until_ = do_exchange(start, 0, up_meta, payload, down_meta);
 
-  // Materialise the remote version locally (suppressed: our own write must
-  // not re-enter the upload pipeline) and adopt it as the synced state.
+  // Adopt the remote version as the synced state first (the shadow copy must
+  // happen before `owned` is moved into the fs below), then materialise it
+  // locally (suppressed: our own write must not re-enter the upload
+  // pipeline).
+  shadow_entry& sh = shadow_[path];
+  sh.content.assign(content.begin(), content.end());
+  sh.sig.reset();
+  byte_buffer local = owned ? std::move(*owned)
+                            : byte_buffer(content.begin(), content.end());
   applying_remote_ = true;
   if (fs_.exists(path)) {
-    fs_.write(path, byte_buffer(content->begin(), content->end()),
-              clock_.now());
+    fs_.write(path, std::move(local), clock_.now());
   } else {
-    fs_.create(path, byte_buffer(content->begin(), content->end()),
-               clock_.now());
+    fs_.create(path, std::move(local), clock_.now());
   }
   applying_remote_ = false;
-  shadow_[path] = byte_buffer(content->begin(), content->end());
   const file_manifest* man = cloud_.manifest(user_, path);
   if (man != nullptr) base_version_[path] = man->version;
 }
@@ -357,6 +460,7 @@ std::size_t sync_client::poll_remote_changes() {
         fs_.create(conflict, byte_buffer(local.begin(), local.end()),
                    clock_.now());
       }
+      drop_entry_estimate(note.path);
       dirty_.erase(note.path);
       ++conflicts_;
     }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "chunking/rsync.hpp"
 #include "client/access_method.hpp"
 #include "client/defer_policy.hpp"
 #include "client/hardware.hpp"
@@ -27,9 +28,25 @@
 #include "net/tcp_model.hpp"
 #include "net/traffic_meter.hpp"
 #include "storage/cloud.hpp"
+#include "util/content_cache.hpp"
 #include "util/stats.hpp"
 
 namespace cloudsync {
+
+/// Wire-payload size of `content` under compression `level`: the pure
+/// computation behind sync_client::shipped_size(), including the real-client
+/// fast path that skips the compressor for incompressible data. Exposed as a
+/// free function so the content_cache memoization can be verified against
+/// direct recomputation.
+std::uint64_t wire_payload_size(byte_view content, int level);
+
+/// Observability for the process-wide incremental-sync memos (rsync
+/// signatures and delta blueprints, consulted when sync_options::cache is
+/// set): hit/miss counters for bench reports, and a reset for clean
+/// before/after measurements.
+content_cache_stats signature_memo_stats();
+content_cache_stats delta_memo_stats();
+void clear_incremental_sync_memos();
 
 struct sync_options {
   service_profile profile;
@@ -41,6 +58,10 @@ struct sync_options {
   /// Start with an established (already-handshaken) connection, as a running
   /// client app would have; the warm-up bytes are not metered.
   bool warm_connection = true;
+  /// Memoize compressed-size computations here (nullptr = recompute every
+  /// time). Non-owning; typically &content_cache::global(). Cached results
+  /// are byte-identical to recomputation — this only trades CPU for memory.
+  content_cache* cache = nullptr;
 };
 
 class sync_client {
@@ -92,6 +113,17 @@ class sync_client {
   struct pending_change {
     bool remove = false;
     bool existed_in_cloud = false;  ///< at the time the change was queued
+    std::uint64_t estimate = 0;     ///< this entry's share of the pending-
+                                    ///< update estimate (kept incrementally)
+  };
+
+  /// Last-synced content plus its memoized rsync signature: incremental sync
+  /// re-signs a shadow only after it actually changes, not on every commit.
+  /// The signature is shared with the process-wide memo when caching is on.
+  struct shadow_entry {
+    byte_buffer content;
+    std::shared_ptr<const file_signature> sig;  ///< of `content`, lazy
+    std::size_t sig_block_size = 0;  ///< block size `sig` was built with
   };
 
   struct upload_plan {
@@ -101,7 +133,15 @@ class sync_client {
   };
 
   void on_fs_event(const fs_event& ev);
-  std::uint64_t pending_update_estimate() const;
+  std::uint64_t pending_update_estimate() const { return pending_estimate_; }
+  /// Recompute one dirty entry's estimate share and fold the delta into the
+  /// running total (O(log n) per fs event instead of a full dirty_ scan).
+  void refresh_entry_estimate(const std::string& path, pending_change& chg);
+  /// Remove `path`'s share from the running estimate (entry being dropped).
+  void drop_entry_estimate(const std::string& path);
+  /// The signature of `path`'s shadow, computing and memoizing it on first
+  /// use and after every shadow content change.
+  const file_signature& shadow_signature(shadow_entry& sh) const;
   void schedule_commit(sim_time at);
   void try_commit();
   sim_time commit_batch(sim_time start,
@@ -130,7 +170,8 @@ class sync_client {
   device_id device_;
 
   std::map<std::string, pending_change> dirty_;
-  std::map<std::string, byte_buffer> shadow_;  ///< last-synced content
+  std::uint64_t pending_estimate_ = 0;  ///< sum of dirty_ estimate shares
+  std::map<std::string, shadow_entry> shadow_;  ///< last-synced content
   std::map<std::string, std::uint64_t> base_version_;  ///< cloud version the
                                                        ///< shadow matches
   bool has_earliest_dirty_ = false;

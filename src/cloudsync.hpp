@@ -26,6 +26,7 @@
 #include "core/dedup_probe.hpp"
 #include "core/experiment.hpp"
 #include "core/fleet.hpp"
+#include "core/parallel_runner.hpp"
 #include "core/service_probe.hpp"
 #include "core/tue.hpp"
 #include "dedup/dedup_engine.hpp"
@@ -41,6 +42,7 @@
 #include "trace/analysis.hpp"
 #include "trace/generator.hpp"
 #include "trace/serialize.hpp"
+#include "util/content_cache.hpp"
 #include "util/md5.hpp"
 #include "util/rng.hpp"
 #include "util/sha1.hpp"

@@ -8,6 +8,8 @@ cloud_config cloud_config_for(const experiment_config& cfg) {
   cc.dedup = cfg.profile.dedup;
   cc.use_chunk_store = cfg.use_chunk_store;
   cc.chunk_store_chunk_size = cfg.profile.delta_chunk_size;
+  cc.fingerprint_cache =
+      cfg.use_content_cache ? &global_fingerprint_cache() : nullptr;
   return cc;
 }
 }  // namespace
@@ -25,6 +27,7 @@ station& experiment_env::add_station(user_id user) {
   opts.method = cfg_.method;
   opts.hardware = cfg_.hardware;
   opts.link = cfg_.link;
+  opts.cache = cfg_.use_content_cache ? &content_cache::global() : nullptr;
   st->client = std::make_unique<sync_client>(clock_, st->fs, cloud_, user,
                                              std::move(opts));
   stations_.push_back(std::move(st));
@@ -65,7 +68,7 @@ std::uint64_t measure_creation_traffic(const experiment_config& cfg,
                                        std::uint64_t z) {
   experiment_env env(cfg);
   return create_and_sync(env, "exp1/file.bin",
-                         make_compressed_file(env.random(), z));
+                         env.gen_compressed(z));
 }
 
 std::uint64_t measure_batch_creation_traffic(const experiment_config& cfg,
@@ -78,7 +81,7 @@ std::uint64_t measure_batch_creation_traffic(const experiment_config& cfg,
   // same instant, like a folder move.
   for (std::size_t i = 0; i < n; ++i) {
     st.fs.create("exp1b/f" + std::to_string(i),
-                 make_compressed_file(env.random(), each),
+                 env.gen_compressed(each),
                  env.clock().now());
   }
   env.settle();
@@ -89,7 +92,7 @@ std::uint64_t measure_deletion_traffic(const experiment_config& cfg,
                                        std::uint64_t z) {
   experiment_env env(cfg);
   station& st = env.primary();
-  create_and_sync(env, "exp2/file.bin", make_compressed_file(env.random(), z));
+  create_and_sync(env, "exp2/file.bin", env.gen_compressed(z));
   const auto snap = st.client->meter().snap();
   st.fs.remove("exp2/file.bin", env.clock().now());
   env.settle();
@@ -100,7 +103,7 @@ std::uint64_t measure_modification_traffic(const experiment_config& cfg,
                                            std::uint64_t z) {
   experiment_env env(cfg);
   station& st = env.primary();
-  create_and_sync(env, "exp3/file.bin", make_compressed_file(env.random(), z));
+  create_and_sync(env, "exp3/file.bin", env.gen_compressed(z));
   const auto snap = st.client->meter().snap();
   modify_random_byte(st.fs, "exp3/file.bin", env.random(), env.clock().now());
   env.settle();
@@ -111,14 +114,14 @@ std::uint64_t measure_text_upload_traffic(const experiment_config& cfg,
                                           std::uint64_t x) {
   experiment_env env(cfg);
   return create_and_sync(env, "exp4/text.txt",
-                         make_text_file(env.random(), x));
+                         env.gen_text(x));
 }
 
 std::uint64_t measure_text_download_traffic(const experiment_config& cfg,
                                             std::uint64_t x) {
   experiment_env env(cfg);
   station& st = env.primary();
-  create_and_sync(env, "exp4/text.txt", make_text_file(env.random(), x));
+  create_and_sync(env, "exp4/text.txt", env.gen_text(x));
   const auto snap = st.client->meter().snap();
   st.client->download("exp4/text.txt");
   env.settle();

@@ -24,6 +24,9 @@ struct experiment_config {
   /// Use the Cumulus-style chunk-store cloud substrate (§4.3 footnote)
   /// instead of whole-file objects behind the GET+PUT+DELETE mid-layer.
   bool use_chunk_store = false;
+  /// Memoize compressed-size computations in the process-wide content cache
+  /// (results are byte-identical either way; see docs/PERFORMANCE.md).
+  bool use_content_cache = true;
 };
 
 /// One client machine attached to the environment: its own sync folder and
@@ -62,6 +65,18 @@ class experiment_env {
   cloud& the_cloud() { return cloud_; }
   rng& random() { return rng_; }
   const experiment_config& config() const { return cfg_; }
+
+  /// Synthetic content generation, memoized process-wide when content
+  /// caching is on (experiment grids replay the same seeds across services,
+  /// so generation itself is a hot path). Bit-identical either way.
+  byte_buffer gen_compressed(std::size_t z) {
+    return cfg_.use_content_cache ? make_compressed_file_cached(rng_, z)
+                                  : make_compressed_file(rng_, z);
+  }
+  byte_buffer gen_text(std::size_t x) {
+    return cfg_.use_content_cache ? make_text_file_cached(rng_, x)
+                                  : make_text_file(rng_, x);
+  }
 
  private:
   experiment_config cfg_;

@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/parallel_runner.hpp"
+
 namespace cloudsync {
 
 namespace {
@@ -102,12 +104,20 @@ std::vector<fleet_service_report> replay_trace_fleet(const fleet_config& cfg) {
     if (vec.size() < cfg.max_files_per_service) vec.push_back(&rec);
   }
 
-  std::vector<fleet_service_report> reports;
-  for (const service_profile& profile : all_services()) {
-    const auto it = by_service.find(profile.name);
-    if (it == by_service.end()) continue;
-    reports.push_back(replay_service(profile, it->second, cfg));
+  // Each per-service replay owns its entire simulation world (clock, cloud,
+  // filesystems), so the services fan out across the pool; slot-indexed
+  // writes keep the report order identical to the serial path.
+  std::vector<const service_profile*> jobs;
+  std::vector<service_profile> profiles = all_services();
+  for (const service_profile& profile : profiles) {
+    if (by_service.contains(profile.name)) jobs.push_back(&profile);
   }
+  std::vector<fleet_service_report> reports(jobs.size());
+  parallel_runner pool(cfg.replay_threads);
+  pool.run_indexed(jobs.size(), [&](std::size_t i) {
+    reports[i] =
+        replay_service(*jobs[i], by_service.at(jobs[i]->name), cfg);
+  });
   return reports;
 }
 

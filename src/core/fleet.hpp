@@ -38,6 +38,11 @@ struct fleet_config {
   double time_compression = 2000.0;
 
   pricing price = pricing::s3_2014();
+
+  /// Worker threads for the per-service replays (each replay owns its whole
+  /// simulation world, so they run in parallel). 0 = auto-detect; 1 = serial.
+  /// Reports are index-ordered, so results are identical at any setting.
+  unsigned replay_threads = 0;
 };
 
 struct fleet_service_report {

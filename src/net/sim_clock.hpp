@@ -3,6 +3,13 @@
 // Single-threaded by design: experiments are deterministic replays, so the
 // event loop is a plain priority queue with stable FIFO ordering for events
 // scheduled at the same instant.
+//
+// Threading contract: one sim_clock — together with the cloud, filesystems,
+// and clients attached to it — must only ever be driven from a single
+// thread. Scale-out happens one level up: core/parallel_runner fans whole
+// independent experiment environments (each owning its own clock) across
+// worker threads. Parallelism is across experiments, never within one
+// (see docs/PERFORMANCE.md).
 #pragma once
 
 #include <cstdint>

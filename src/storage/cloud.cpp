@@ -4,7 +4,7 @@
 
 namespace cloudsync {
 
-cloud::cloud(cloud_config cfg) : dedup_(cfg.dedup) {
+cloud::cloud(cloud_config cfg) : dedup_(cfg.dedup, cfg.fingerprint_cache) {
   if (cfg.use_chunk_store) {
     chunks_ =
         std::make_unique<chunk_backend>(store_, cfg.chunk_store_chunk_size);
@@ -93,6 +93,14 @@ std::optional<byte_buffer> cloud::file_content(user_id user,
   const auto view = store_.get(man->object_key);
   if (!view) return std::nullopt;
   return byte_buffer(view->begin(), view->end());
+}
+
+std::optional<byte_view> cloud::file_content_view(
+    user_id user, const std::string& path) const {
+  if (chunks_) return std::nullopt;  // manifests need materialization
+  const file_manifest* man = meta_.lookup(user, path);
+  if (man == nullptr || man->deleted) return std::nullopt;
+  return store_.get(man->object_key);
 }
 
 }  // namespace cloudsync

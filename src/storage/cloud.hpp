@@ -27,6 +27,9 @@ struct cloud_config {
   /// history for rollback.
   bool use_chunk_store = false;
   std::size_t chunk_store_chunk_size = 512 * 1024;
+  /// Optional (non-owning) fingerprint memo for the dedup engine; cached
+  /// fingerprints are identical to recomputation, this only saves CPU.
+  fingerprint_memo* fingerprint_cache = nullptr;
 };
 
 class cloud {
@@ -57,6 +60,13 @@ class cloud {
   /// Canonical (uncompressed) content of the current version, if live.
   std::optional<byte_buffer> file_content(user_id user,
                                           const std::string& path) const;
+
+  /// Zero-copy view of the current version's content when the substrate
+  /// keeps whole objects; nullopt when the file is absent/deleted or the
+  /// chunk substrate is active (materialize via file_content() instead).
+  /// The view is invalidated by the next commit to the same path.
+  std::optional<byte_view> file_content_view(user_id user,
+                                             const std::string& path) const;
 
   const file_manifest* manifest(user_id user, const std::string& path) const {
     return meta_.lookup(user, path);

@@ -1,0 +1,42 @@
+#include "util/content_cache.hpp"
+
+#include <cstring>
+
+namespace cloudsync {
+
+std::uint64_t content_hash64(byte_view data) {
+  // Four independent FNV-style lanes over 32-byte strides: the multiply
+  // chains run in parallel on modern cores, so long inputs hash ~4x faster
+  // than single-lane FNV while staying dependency-free to implement.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h0 = 0xcbf29ce484222325ULL;
+  std::uint64_t h1 = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h2 = 0xc2b2ae3d27d4eb4fULL;
+  std::uint64_t h3 = 0x165667b19e3779f9ULL;
+  std::size_t i = 0;
+  for (; i + 32 <= data.size(); i += 32) {
+    std::uint64_t lane[4];
+    std::memcpy(lane, data.data() + i, 32);
+    h0 = (h0 ^ lane[0]) * kPrime;
+    h1 = (h1 ^ lane[1]) * kPrime;
+    h2 = (h2 ^ lane[2]) * kPrime;
+    h3 = (h3 ^ lane[3]) * kPrime;
+  }
+  std::uint64_t h = mix64(h0) ^ mix64(h1 + 1) ^ mix64(h2 + 2) ^ mix64(h3 + 3);
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, data.data() + i, 8);
+    h = (h ^ lane) * kPrime;
+  }
+  for (; i < data.size(); ++i) {
+    h = (h ^ data[i]) * kPrime;
+  }
+  return mix64(h);
+}
+
+content_cache& content_cache::global() {
+  static content_cache cache;
+  return cache;
+}
+
+}  // namespace cloudsync

@@ -12,10 +12,23 @@
 
 namespace cloudsync {
 
+/// Full xoshiro256** state: lets a memo of seeded generation key by the
+/// pre-call state and restore the post-call state, making a cache hit
+/// observationally identical to re-running the generator.
+struct rng_state {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool operator==(const rng_state&) const = default;
+};
+
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
 class rng {
  public:
   explicit rng(std::uint64_t seed);
+
+  rng_state state() const { return {{s_[0], s_[1], s_[2], s_[3]}}; }
+  void restore(const rng_state& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  }
 
   std::uint64_t next();
 

@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every reproduction artifact.
 #
-#   tools/run_all.sh [build-dir]
+#   tools/run_all.sh [--sanitize] [build-dir]
 #
 # Produces test_output.txt and bench_output.txt in the repo root.
+# With --sanitize, first runs the tier-1 test suite under the asan and ubsan
+# CMake presets (see CMakePresets.json), then does the normal build.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+sanitize=0
+if [ "${1:-}" = "--sanitize" ]; then
+  sanitize=1
+  shift
+fi
 build_dir="${1:-$repo_root/build}"
+
+if [ "$sanitize" -eq 1 ]; then
+  for preset in asan ubsan; do
+    echo "=== sanitizer pass: $preset ==="
+    (cd "$repo_root" \
+       && cmake --preset "$preset" \
+       && cmake --build --preset "$preset" \
+       && ctest --preset "$preset")
+  done
+fi
 
 cmake -B "$build_dir" -G Ninja -S "$repo_root"
 cmake --build "$build_dir"
