@@ -1,11 +1,19 @@
 #include "client/sync_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "chunking/rsync.hpp"
 #include "compress/lzss.hpp"
 
 namespace cloudsync {
+
+/// A memoized IDS plan: the delta against one specific old version plus its
+/// serialized wire form (what shipped_size() and the cloud consume).
+struct delta_blueprint {
+  file_delta delta;
+  byte_buffer wire;
+};
 
 namespace {
 /// App-level bytes for one dedup fingerprint on the wire (digest + framing).
@@ -16,6 +24,10 @@ constexpr std::uint64_t kFingerprintAnswerBytes = 8;
 constexpr std::uint64_t kDeleteRecordBytes = 300;
 /// Per-file entry in a BDS delete/rename manifest.
 constexpr std::uint64_t kBatchDeleteEntryBytes = 120;
+/// Error status + body the server returns for a rejected request (5xx/429).
+constexpr std::uint64_t kErrorResponseBytes = 512;
+/// Wasted wire bytes of one rejected per-item commit inside a BDS batch.
+constexpr std::uint64_t kBdsItemProbeBytes = 400;
 
 // Process-wide memos for incremental sync. Seeded experiments reproduce the
 // same shadow and edited contents across bench cells and services, so the
@@ -30,12 +42,6 @@ content_memo<signature_ptr>& signature_memo() {
   return memo;
 }
 
-/// A memoized IDS plan: the delta against one specific old version plus its
-/// serialized wire form (what shipped_size() and the cloud consume).
-struct delta_blueprint {
-  file_delta delta;
-  byte_buffer wire;
-};
 using blueprint_ptr = std::shared_ptr<const delta_blueprint>;
 
 content_memo<blueprint_ptr>& delta_memo() {
@@ -76,6 +82,10 @@ sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
     conn_.exchange(clock_.now(), 64, 64);
     meter_.reset();
   }
+  // Attach the injector only after the unmetered warm-up exchange: client
+  // start-up is outside the failure model (and constructors must not throw
+  // transient faults).
+  conn_.set_fault_injector(opts_.faults);
   fs_.subscribe([this](const fs_event& ev) { on_fs_event(ev); });
 }
 
@@ -181,15 +191,20 @@ void sync_client::try_commit() {
   dirty_.clear();
   pending_estimate_ = 0;
   ++commits_;
+  // Capture the batch's staleness anchor before commit_batch runs: a failed
+  // transaction may requeue its change into dirty_ and re-arm the anchor for
+  // the follow-up commit.
+  const bool had_earliest = has_earliest_dirty_;
+  const sim_time batch_earliest = earliest_dirty_;
+  has_earliest_dirty_ = false;
   // The client engine itself needs time to finish a commit (bookkeeping,
   // polling, server turnaround) before the next one can start — the
   // service-specific part of §6.2's natural batching.
   network_busy_until_ =
       commit_batch(now, std::move(batch)) + opts_.profile.commit_processing;
   defer_->on_commit();
-  if (has_earliest_dirty_) {
-    staleness_sec_.add((network_busy_until_ - earliest_dirty_).sec());
-    has_earliest_dirty_ = false;
+  if (had_earliest) {
+    staleness_sec_.add((network_busy_until_ - batch_earliest).sec());
   }
 }
 
@@ -200,24 +215,64 @@ sim_time sync_client::commit_batch(
 
   if (mp.batched_sync && batch.size() > 1) {
     // BDS: one exchange carries the whole batch — one batch overhead plus a
-    // small manifest entry per file.
+    // small manifest entry per file. Server-side applies are per-item commits
+    // made while the batch is assembled, so a dedup decision can depend on
+    // earlier items exactly as it does without faults; a rejected item
+    // retries with backoff and meters a small wasted probe. The batch
+    // manifest then ships in one exchange, retried until it lands (its
+    // applies are already durable server-side).
     std::uint64_t up_payload = 0;
     std::uint64_t up_meta = mp.bds_batch_overhead_up;
     std::uint64_t down_meta = mp.bds_batch_overhead_down;
     for (const auto& [path, chg] : batch) {
-      if (chg.remove) {
-        up_meta += kBatchDeleteEntryBytes;
-        cloud_.delete_file(user_, device_, path, t);
-        shadow_.erase(path);
-        base_version_.erase(path);
+      upload_plan plan;
+      if (!chg.remove) plan = plan_upload(path, t);
+      int rejections = 0;
+      bool applied = false;
+      for (int attempt = 1;; ++attempt) {
+        try {
+          if (chg.remove) {
+            cloud_.delete_file(user_, device_, path, t);
+            shadow_.erase(path);
+            base_version_.erase(path);
+          } else {
+            apply_upload(path, plan, t);
+          }
+          applied = true;
+          break;
+        } catch (const transient_fault& f) {
+          ++retries_;
+          meter_.record(direction::up, traffic_category::retry,
+                        kBdsItemProbeBytes);
+          meter_.record(direction::down, traffic_category::retry,
+                        kErrorResponseBytes);
+          if (!chg.remove && plan.act == upload_action::delta &&
+              ++rejections >= opts_.retry.delta_fallback_after) {
+            // Graceful degradation: the server keeps rejecting the patch —
+            // re-plan the item as a full-file upload.
+            ++fallbacks_;
+            plan = plan_upload(path, t, /*force_full=*/true);
+          }
+          if (attempt >= opts_.retry.max_attempts) break;
+          sim_time next = t + backoff_delay(attempt);
+          if (f.retry_after() > next) next = f.retry_after();
+          t = next;
+        }
+      }
+      if (!applied) {
+        requeue(path, chg);
         continue;
       }
-      const upload_plan plan = plan_and_apply_upload(path, t);
-      up_payload += plan.payload_up;
-      up_meta += plan.metadata_up + mp.bds_per_file_bytes;
-      down_meta += plan.metadata_down;
+      if (chg.remove) {
+        up_meta += kBatchDeleteEntryBytes;
+      } else {
+        up_payload += plan.payload_up;
+        up_meta += plan.metadata_up + mp.bds_per_file_bytes;
+        down_meta += plan.metadata_down;
+      }
     }
-    return do_exchange(t, up_payload, up_meta, 0, down_meta);
+    return do_exchange(t, up_payload, up_meta, 0, down_meta, {}, 0, nullptr,
+                       /*never_give_up=*/true);
   }
 
   // Non-BDS: every file is its own sync transaction. The first transaction
@@ -230,18 +285,66 @@ sim_time sync_client::commit_batch(
     const std::uint64_t oh_down = first ? mp.base_overhead_down
                                         : mp.burst_overhead_down;
     first = false;
+    txn_outcome oc = txn_outcome::ok;
     if (chg.remove) {
-      cloud_.delete_file(user_, device_, path, t);
-      shadow_.erase(path);
-      base_version_.erase(path);
-      t = do_exchange(t, 0, oh_up + kDeleteRecordBytes, 0, oh_down);
+      const sim_time at = t;
+      t = do_exchange(t, 0, oh_up + kDeleteRecordBytes, 0, oh_down,
+                      [&, at] {
+                        cloud_.delete_file(user_, device_, path, at);
+                        shadow_.erase(path);
+                        base_version_.erase(path);
+                      },
+                      0, &oc);
+      if (oc != txn_outcome::ok) requeue(path, chg);
       continue;
     }
-    const upload_plan plan = plan_and_apply_upload(path, t);
+    upload_plan plan = plan_upload(path, t);
+    const sim_time at = t;
     t = do_exchange(t, plan.payload_up, plan.metadata_up + oh_up, 0,
-                    plan.metadata_down + oh_down);
+                    plan.metadata_down + oh_down,
+                    [&, at] { apply_upload(path, plan, at); },
+                    plan.act == upload_action::delta
+                        ? opts_.retry.delta_fallback_after
+                        : 0,
+                    &oc);
+    if (oc == txn_outcome::apply_failed) {
+      // Graceful degradation: the server keeps rejecting the delta — ship
+      // the whole file instead (a plain PUT needs no patch machinery).
+      ++fallbacks_;
+      plan = plan_upload(path, t, /*force_full=*/true);
+      const sim_time at2 = t;
+      t = do_exchange(t, plan.payload_up, plan.metadata_up + oh_up, 0,
+                      plan.metadata_down + oh_down,
+                      [&, at2] { apply_upload(path, plan, at2); }, 0, &oc);
+    }
+    if (oc != txn_outcome::ok) requeue(path, chg);
   }
   return t;
+}
+
+void sync_client::requeue(const std::string& path, const pending_change& chg) {
+  ++requeues_;
+  pending_change& back = dirty_[path];
+  back.remove = chg.remove;
+  back.existed_in_cloud = chg.existed_in_cloud;
+  refresh_entry_estimate(path, back);
+  if (!has_earliest_dirty_) {
+    has_earliest_dirty_ = true;
+    earliest_dirty_ = clock_.now();
+  }
+  schedule_commit(clock_.now() + opts_.retry.requeue_cooldown);
+}
+
+sim_time sync_client::backoff_delay(int attempt) const {
+  const retry_policy& rp = opts_.retry;
+  double d =
+      rp.base_backoff.sec() * std::pow(rp.backoff_multiplier, attempt - 1);
+  d = std::min(d, rp.max_backoff.sec());
+  if (opts_.faults != nullptr && rp.jitter > 0) {
+    // Seeded jitter decorrelates retry storms without breaking determinism.
+    d *= 1.0 + rp.jitter * (2.0 * opts_.faults->jitter01() - 1.0);
+  }
+  return sim_time::from_sec(d);
 }
 
 std::uint64_t wire_payload_size(byte_view content, int level) {
@@ -276,8 +379,9 @@ const file_signature& sync_client::shadow_signature(shadow_entry& sh) const {
   return *sh.sig;
 }
 
-sync_client::upload_plan sync_client::plan_and_apply_upload(
-    const std::string& path, sim_time at) {
+sync_client::upload_plan sync_client::plan_upload(const std::string& path,
+                                                  sim_time at,
+                                                  bool force_full) {
   const method_profile& mp = opts_.profile.method(opts_.method);
   upload_plan plan;
 
@@ -303,11 +407,16 @@ sync_client::upload_plan sync_client::plan_and_apply_upload(
     }
   }
 
+  plan.dedup_commit =
+      mp.dedup_enabled &&
+      cloud_.dedup().policy().granularity != dedup_granularity::none;
+
   // 1. Incremental (rsync) sync — PC clients of Dropbox/SugarSync (§4.3).
   //    Requires the previous synced version locally (the shadow); web and
-  //    mobile clients never have one.
-  if (mp.incremental_sync && in_cloud && shadow_it != shadow_.end() &&
-      !shadow_it->second.content.empty()) {
+  //    mobile clients never have one. `force_full` skips this path after
+  //    repeated server-side delta rejections.
+  if (!force_full && mp.incremental_sync && in_cloud &&
+      shadow_it != shadow_.end() && !shadow_it->second.content.empty()) {
     shadow_entry& sh = shadow_it->second;
     const file_signature& sig = shadow_signature(sh);
     auto plan_delta = [&]() -> blueprint_ptr {
@@ -318,71 +427,116 @@ sync_client::upload_plan sync_client::plan_and_apply_upload(
     };
     // Key: the new content (hashed) + the old file's identity (salt), which
     // together determine the delta exactly.
-    const blueprint_ptr bp =
-        opts_.cache != nullptr
-            ? delta_memo().get_or_compute(content, signature_salt(sig),
-                                          plan_delta)
-            : plan_delta();
+    plan.blueprint = opts_.cache != nullptr
+                         ? delta_memo().get_or_compute(
+                               content, signature_salt(sig), plan_delta)
+                         : plan_delta();
     // The delta's literal regions are compressed like any upload.
-    plan.payload_up = shipped_size(bp->wire, mp.upload_compression_level);
+    plan.payload_up =
+        shipped_size(plan.blueprint->wire, mp.upload_compression_level);
     plan.metadata_up = static_cast<std::uint64_t>(
         static_cast<double>(plan.payload_up) * mp.per_payload_metadata);
-    cloud_.apply_file_delta(user_, device_, path, bp->delta, at);
-    base_version_[path] = cloud_.manifest(user_, path)->version;
-    // Keep the dedup index current: the post-delta content is now stored in
-    // the cloud and future identical uploads must be able to match it.
-    if (mp.dedup_enabled &&
-        cloud_.dedup().policy().granularity != dedup_granularity::none) {
-      cloud_.dedup().commit(user_, content);
-    }
-    sh.content.assign(content.begin(), content.end());
-    sh.sig.reset();  // the memoized signature no longer matches
+    plan.act = upload_action::delta;
     return plan;
   }
 
   // 2. Full-file upload, with dedup if this method participates (§5.2).
-  const dedup_policy& dp = cloud_.dedup().policy();
   std::uint64_t payload = 0;
-  if (mp.dedup_enabled && dp.granularity != dedup_granularity::none) {
+  if (plan.dedup_commit) {
     const dedup_result res = cloud_.dedup().analyze(user_, content);
     plan.metadata_up += res.fingerprints_sent * kFingerprintWireBytes;
     plan.metadata_down += res.fingerprints_sent * kFingerprintAnswerBytes;
     for (const chunk_ref& c : res.new_chunks) {
       payload += shipped_size(slice(content, c), mp.upload_compression_level);
     }
-    cloud_.dedup().commit(user_, content);
   } else {
     payload = shipped_size(content, mp.upload_compression_level);
   }
   plan.payload_up = payload;
   plan.metadata_up += static_cast<std::uint64_t>(
       static_cast<double>(payload) * mp.per_payload_metadata);
+  plan.act = upload_action::full;
+  return plan;
+}
 
-  cloud_.put_file(user_, device_, path,
-                  byte_buffer(content.begin(), content.end()), payload, at);
+void sync_client::apply_upload(const std::string& path,
+                               const upload_plan& plan, sim_time at) {
+  if (plan.act == upload_action::none) return;
+  const byte_view content = fs_.read(path);
+  if (plan.act == upload_action::delta) {
+    cloud_.apply_file_delta(user_, device_, path, plan.blueprint->delta, at);
+  } else {
+    cloud_.put_file(user_, device_, path,
+                    byte_buffer(content.begin(), content.end()),
+                    plan.payload_up, at);
+  }
+  // The commit landed — nothing below can throw, so a retried transaction
+  // never observes a half-applied one.
+  if (plan.dedup_commit) {
+    // Keep the dedup index current: the new content is now stored in the
+    // cloud and future identical uploads must be able to match it.
+    cloud_.dedup().commit(user_, content);
+  }
   base_version_[path] = cloud_.manifest(user_, path)->version;
   shadow_entry& sh = shadow_[path];
   sh.content.assign(content.begin(), content.end());  // reuses capacity
-  sh.sig.reset();
-  return plan;
+  sh.sig.reset();  // the memoized signature no longer matches
 }
 
 sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
                                   std::uint64_t up_meta,
                                   std::uint64_t down_payload,
-                                  std::uint64_t down_meta) {
-  ++exchanges_;
-  meter_.record(direction::up, traffic_category::payload, up_payload);
-  meter_.record(direction::up, traffic_category::metadata, up_meta);
-  meter_.record(direction::down, traffic_category::payload, down_payload);
-  meter_.record(direction::down, traffic_category::metadata, down_meta);
-  meter_.record(direction::up, traffic_category::notification,
-                opts_.http.request_header_bytes);
-  meter_.record(direction::down, traffic_category::notification,
-                opts_.http.response_header_bytes);
-  return conn_.exchange(
-      at, up_payload + up_meta + opts_.http.request_header_bytes,
-      down_payload + down_meta + opts_.http.response_header_bytes);
+                                  std::uint64_t down_meta,
+                                  const std::function<void()>& apply,
+                                  int apply_fail_limit, txn_outcome* outcome,
+                                  bool never_give_up) {
+  const std::uint64_t up_app =
+      up_payload + up_meta + opts_.http.request_header_bytes;
+  const std::uint64_t down_app =
+      down_payload + down_meta + opts_.http.response_header_bytes;
+  sim_time start = at;
+  int apply_failures = 0;
+  for (int attempt = 1;; ++attempt) {
+    sim_time done{};
+    bool exchanged = false;
+    try {
+      done = conn_.exchange(start, up_app, down_app);
+      exchanged = true;
+      if (apply) apply();  // server-side commit; may reject the request
+      ++exchanges_;
+      meter_.record(direction::up, traffic_category::payload, up_payload);
+      meter_.record(direction::up, traffic_category::metadata, up_meta);
+      meter_.record(direction::down, traffic_category::payload, down_payload);
+      meter_.record(direction::down, traffic_category::metadata, down_meta);
+      meter_.record(direction::up, traffic_category::notification,
+                    opts_.http.request_header_bytes);
+      meter_.record(direction::down, traffic_category::notification,
+                    opts_.http.response_header_bytes);
+      if (outcome != nullptr) *outcome = txn_outcome::ok;
+      return done;
+    } catch (const transient_fault& f) {
+      ++retries_;
+      const sim_time failed_at = exchanged ? done : f.at();
+      if (exchanged) {
+        // The request reached the server and was rejected: the app bytes it
+        // carried were wasted, plus a small error response. (The connection
+        // already metered the wire transport bytes as genuine use.)
+        meter_.record(direction::up, traffic_category::retry, up_app);
+        meter_.record(direction::down, traffic_category::retry,
+                      kErrorResponseBytes);
+        if (apply_fail_limit > 0 && ++apply_failures >= apply_fail_limit) {
+          if (outcome != nullptr) *outcome = txn_outcome::apply_failed;
+          return failed_at;
+        }
+      }
+      if (!never_give_up && attempt >= opts_.retry.max_attempts) {
+        if (outcome != nullptr) *outcome = txn_outcome::gave_up;
+        return failed_at;
+      }
+      start = failed_at + backoff_delay(attempt);
+      if (f.retry_after() > start) start = f.retry_after();
+    }
+  }
 }
 
 void sync_client::download(const std::string& path) {
@@ -407,7 +561,15 @@ void sync_client::download(const std::string& path) {
   const std::uint64_t up_meta = mp.base_overhead_up / 4;
 
   const sim_time start = std::max(clock_.now(), network_busy_until_);
-  network_busy_until_ = do_exchange(start, 0, up_meta, payload, down_meta);
+  txn_outcome oc = txn_outcome::ok;
+  network_busy_until_ = do_exchange(start, 0, up_meta, payload, down_meta, {},
+                                    0, &oc);
+  if (oc != txn_outcome::ok) {
+    // Attempts exhausted: keep the stale local copy; a later notification
+    // or explicit download retries the path.
+    ++failed_downloads_;
+    return;
+  }
 
   // Adopt the remote version as the synced state first (the shadow copy must
   // happen before `owned` is moved into the fs below), then materialise it
@@ -430,7 +592,20 @@ void sync_client::download(const std::string& path) {
 }
 
 std::size_t sync_client::poll_remote_changes() {
-  const auto notes = cloud_.metadata().fetch_notifications(user_, device_);
+  std::vector<change_notification> notes;
+  try {
+    notes = cloud_.metadata().fetch_notifications(user_, device_);
+  } catch (const transient_fault&) {
+    // Throttled/failed poll: the queue is untouched, the next poll retries;
+    // only the rejected request itself was wasted.
+    ++poll_failures_;
+    ++retries_;
+    meter_.record(direction::up, traffic_category::retry,
+                  64 + opts_.http.request_header_bytes);
+    meter_.record(direction::down, traffic_category::retry,
+                  kErrorResponseBytes);
+    return 0;
+  }
   // The notification poll itself is a small exchange.
   const sim_time start = std::max(clock_.now(), network_busy_until_);
   network_busy_until_ =

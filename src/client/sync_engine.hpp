@@ -16,12 +16,15 @@
 #include <memory>
 #include <string>
 
+#include <functional>
+
 #include "chunking/rsync.hpp"
 #include "client/access_method.hpp"
 #include "client/defer_policy.hpp"
 #include "client/hardware.hpp"
 #include "client/service_profile.hpp"
 #include "fs/memfs.hpp"
+#include "net/fault_injector.hpp"
 #include "net/http_model.hpp"
 #include "net/link.hpp"
 #include "net/sim_clock.hpp"
@@ -32,6 +35,31 @@
 #include "util/stats.hpp"
 
 namespace cloudsync {
+
+/// Memoized incremental-sync plan (rsync delta + its serialized wire form);
+/// defined in sync_engine.cpp.
+struct delta_blueprint;
+
+/// How the sync engine reacts to transient faults surfaced by the network
+/// and storage layers: exponential backoff with seeded jitter, a bounded
+/// number of attempts per sync transaction, graceful degradation of delta
+/// sync to full-file sync, and a cool-down before a failed batch is retried.
+/// All randomness (the jitter) comes from the environment's fault_injector,
+/// so retry schedules are reproducible bit-for-bit.
+struct retry_policy {
+  int max_attempts = 6;  ///< per sync transaction before giving up/requeueing
+  sim_time base_backoff = sim_time::from_msec(500);
+  double backoff_multiplier = 2.0;
+  sim_time max_backoff = sim_time::from_sec(30);
+  double jitter = 0.2;  ///< ± fraction of the delay, drawn from the injector
+  /// After this many rejected delta (IDS) commits within one transaction,
+  /// fall back to a full-file upload for the path (which needs no server-side
+  /// patch machinery and succeeds whenever a plain PUT does).
+  int delta_fallback_after = 2;
+  /// A batch whose transaction gave up re-enters the dirty set and is
+  /// retried this much later.
+  sim_time requeue_cooldown = sim_time::from_sec(45);
+};
 
 /// Wire-payload size of `content` under compression `level`: the pure
 /// computation behind sync_client::shipped_size(), including the real-client
@@ -62,6 +90,11 @@ struct sync_options {
   /// time). Non-owning; typically &content_cache::global(). Cached results
   /// are byte-identical to recomputation — this only trades CPU for memory.
   content_cache* cache = nullptr;
+  /// Fault injector shared with the network/storage layers (non-owning;
+  /// nullptr or a disabled plan makes the whole retry machinery inert and
+  /// the client behaves byte-identically to a fault-free build).
+  fault_injector* faults = nullptr;
+  retry_policy retry{};
 };
 
 class sync_client {
@@ -93,6 +126,20 @@ class sync_client {
 
   std::uint64_t commit_count() const { return commits_; }
   std::uint64_t exchange_count() const { return exchanges_; }
+
+  /// Transient-fault attempts that were retried (any layer, any outcome).
+  std::uint64_t retry_count() const { return retries_; }
+  /// Sync transactions that exhausted their attempts and were put back into
+  /// the dirty set for a later commit.
+  std::uint64_t requeue_count() const { return requeues_; }
+  /// Delta-sync commits that degraded to a full-file upload after repeated
+  /// server rejections.
+  std::uint64_t fallback_count() const { return fallbacks_; }
+  /// Notification polls rejected by the metadata service (retried by the
+  /// next poll tick).
+  std::uint64_t poll_failure_count() const { return poll_failures_; }
+  /// Downloads abandoned after exhausting their attempts.
+  std::uint64_t failed_download_count() const { return failed_downloads_; }
 
   /// Sync-delay ("staleness") statistics in seconds: for each commit, how
   /// long the oldest batched update waited until it was safely in the cloud.
@@ -126,10 +173,28 @@ class sync_client {
     std::size_t sig_block_size = 0;  ///< block size `sig` was built with
   };
 
+  /// How a planned upload reaches the cloud once its exchange succeeds.
+  enum class upload_action : std::uint8_t {
+    none,   ///< nothing to ship (conflict diverted to a conflicted copy)
+    delta,  ///< incremental (rsync) sync of the planned blueprint
+    full,   ///< full-file PUT (optionally deduplicated)
+  };
+
   struct upload_plan {
+    upload_action act = upload_action::none;
     std::uint64_t payload_up = 0;    ///< wire payload bytes (client → cloud)
     std::uint64_t metadata_up = 0;   ///< fingerprints, delta framing, manifests
     std::uint64_t metadata_down = 0; ///< dedup answers, chunk acks
+    std::shared_ptr<const delta_blueprint> blueprint;  ///< when act == delta
+    bool dedup_commit = false;  ///< register content in the dedup index
+  };
+
+  /// Result of one sync transaction (exchange + server-side apply, retried
+  /// under the retry_policy).
+  enum class txn_outcome : std::uint8_t {
+    ok,            ///< applied (possibly after retries)
+    gave_up,       ///< attempts exhausted; nothing applied
+    apply_failed,  ///< the server kept rejecting the apply (delta fallback)
   };
 
   void on_fs_event(const fs_event& ev);
@@ -147,17 +212,46 @@ class sync_client {
   sim_time commit_batch(sim_time start,
                         std::map<std::string, pending_change> batch);
 
-  /// Decide how `path`'s current content reaches the cloud and apply the
-  /// cloud-side state change. Returns the wire cost.
-  upload_plan plan_and_apply_upload(const std::string& path, sim_time at);
+  /// Decide how `path`'s current content reaches the cloud: conflict check,
+  /// delta-vs-full choice, wire costs. Pure planning — no cloud or shadow
+  /// state changes (those happen in apply_upload once the exchange lands).
+  /// `force_full` skips the delta path (graceful degradation).
+  upload_plan plan_upload(const std::string& path, sim_time at,
+                          bool force_full = false);
+
+  /// Apply a planned upload's cloud-side state change and adopt the shipped
+  /// content as the new shadow. The cloud may reject it (transient_fault) —
+  /// then nothing changed and the same plan can be re-applied.
+  void apply_upload(const std::string& path, const upload_plan& plan,
+                    sim_time at);
 
   /// Wire-payload size of `content` under compression `level`, with a fast
   /// path that skips compressing incompressible data (as real clients do).
   std::uint64_t shipped_size(byte_view content, int level) const;
 
+  /// One sync transaction: run the exchange, then `apply` (server-side
+  /// commit), retrying transient faults under the retry policy. Successful
+  /// transactions meter their app-level categories; failed attempts meter
+  /// their wasted bytes as traffic_category::retry. `apply_fail_limit` > 0
+  /// bails out with txn_outcome::apply_failed after that many server
+  /// rejections (delta → full-file degradation); `never_give_up` keeps
+  /// retrying past max_attempts (used for the BDS batch exchange, whose
+  /// server-side applies have already landed). Returns the completion (or
+  /// final failure) time.
   sim_time do_exchange(sim_time at, std::uint64_t up_payload,
                        std::uint64_t up_meta, std::uint64_t down_payload,
-                       std::uint64_t down_meta);
+                       std::uint64_t down_meta,
+                       const std::function<void()>& apply = {},
+                       int apply_fail_limit = 0, txn_outcome* outcome = nullptr,
+                       bool never_give_up = false);
+
+  /// Backoff before retry number `attempt` (1-based): exponential with
+  /// seeded jitter from the fault injector, capped at max_backoff.
+  sim_time backoff_delay(int attempt) const;
+
+  /// Put a failed change back into the dirty set and schedule a commit
+  /// after the cool-down.
+  void requeue(const std::string& path, const pending_change& chg);
 
   sim_clock& clock_;
   memfs& fs_;
@@ -183,6 +277,11 @@ class sync_client {
   std::uint64_t commits_ = 0;
   std::uint64_t exchanges_ = 0;
   std::uint64_t conflicts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t requeues_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t poll_failures_ = 0;
+  std::uint64_t failed_downloads_ = 0;
   bool applying_remote_ = false;  ///< suppress self-caused fs events
 };
 

@@ -33,6 +33,7 @@
 #include "fs/file_ops.hpp"
 #include "fs/memfs.hpp"
 #include "fs/watcher.hpp"
+#include "net/fault_injector.hpp"
 #include "net/link.hpp"
 #include "net/sim_clock.hpp"
 #include "net/tcp_model.hpp"

@@ -16,6 +16,13 @@ cloud_config cloud_config_for(const experiment_config& cfg) {
 
 experiment_env::experiment_env(experiment_config cfg)
     : cfg_(std::move(cfg)), cloud_(cloud_config_for(cfg_)), rng_(cfg_.seed) {
+  // Seeded from the experiment seed so the same config replays the same
+  // failure schedule. Always constructed and wired: with a disabled plan the
+  // injector is structurally inert (no RNG draws, no thrown faults), so
+  // fault-free runs stay byte-identical — and tests can arm count-based
+  // faults mid-run through faults().
+  faults_ = std::make_unique<fault_injector>(cfg_.faults, cfg_.seed);
+  cloud_.set_fault_injector(faults_.get());
   add_station(0);
 }
 
@@ -28,6 +35,8 @@ station& experiment_env::add_station(user_id user) {
   opts.hardware = cfg_.hardware;
   opts.link = cfg_.link;
   opts.cache = cfg_.use_content_cache ? &content_cache::global() : nullptr;
+  opts.faults = faults_.get();
+  opts.retry = cfg_.retry;
   st->client = std::make_unique<sync_client>(clock_, st->fs, cloud_, user,
                                              std::move(opts));
   stations_.push_back(std::move(st));
@@ -163,6 +172,54 @@ append_experiment_result run_append_experiment(const experiment_config& cfg,
   res.data_update_bytes = total_bytes;
   res.commits = st.client->commit_count() - commits_before;
   res.tue = tue(res.total_traffic, res.data_update_bytes);
+  return res;
+}
+
+failure_run_result run_failure_experiment(const experiment_config& cfg,
+                                          std::size_t files,
+                                          std::uint64_t file_bytes) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+
+  const sim_time start = env.clock().now();
+  const auto snap = st.client->meter().snap();
+  const std::uint64_t retry_before =
+      st.client->meter().by_category(traffic_category::retry);
+
+  // Phase 1: distinct creations, spaced far enough apart that each syncs as
+  // its own commit (full-upload path).
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::string path = "fail/f" + std::to_string(i);
+    const sim_time at = start + sim_time::from_sec(10.0 * (i + 1));
+    env.clock().schedule_at(at, [&env, &st, path, file_bytes] {
+      st.fs.create(path, env.gen_compressed(file_bytes), env.clock().now());
+    });
+  }
+  env.settle();
+
+  // Phase 2: one-byte modifications (delta-sync path where the service
+  // supports it), again one commit per file.
+  const sim_time mid = std::max(env.clock().now(), st.client->busy_until());
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::string path = "fail/f" + std::to_string(i);
+    const sim_time at = mid + sim_time::from_sec(10.0 * (i + 1));
+    env.clock().schedule_at(at, [&env, &st, path] {
+      modify_random_byte(st.fs, path, env.random(), env.clock().now());
+    });
+  }
+  env.settle();
+
+  failure_run_result res;
+  res.total_traffic = experiment_env::traffic_since(st, snap);
+  res.retry_traffic =
+      st.client->meter().by_category(traffic_category::retry) - retry_before;
+  res.data_update_bytes = files * file_bytes + files;  // creations + 1B edits
+  res.tue = tue(res.total_traffic, res.data_update_bytes);
+  res.completion_sec = (st.client->busy_until() - start).sec();
+  res.retries = st.client->retry_count();
+  res.requeues = st.client->requeue_count();
+  res.fallbacks = st.client->fallback_count();
+  res.faults_injected = env.faults().injected_total();
   return res;
 }
 

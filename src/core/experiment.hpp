@@ -11,6 +11,7 @@
 #include "client/sync_engine.hpp"
 #include "core/tue.hpp"
 #include "fs/file_ops.hpp"
+#include "net/fault_injector.hpp"
 #include "util/rng.hpp"
 
 namespace cloudsync {
@@ -27,6 +28,11 @@ struct experiment_config {
   /// Memoize compressed-size computations in the process-wide content cache
   /// (results are byte-identical either way; see docs/PERFORMANCE.md).
   bool use_content_cache = true;
+  /// Deterministic failure schedule (default: disabled — the injector is
+  /// wired but inert, so fault-free runs are byte-identical to older builds).
+  fault_plan faults{};
+  /// How clients retry transient faults (ignored while `faults` is disabled).
+  retry_policy retry{};
 };
 
 /// One client machine attached to the environment: its own sync folder and
@@ -65,6 +71,11 @@ class experiment_env {
   cloud& the_cloud() { return cloud_; }
   rng& random() { return rng_; }
   const experiment_config& config() const { return cfg_; }
+  /// The environment's fault injector (inert while cfg.faults is disabled
+  /// and no count-based faults are armed). One injector serves the whole env
+  /// (clock, cloud, and every station are single-threaded within an env, so
+  /// its RNG draws are well-ordered).
+  fault_injector& faults() { return *faults_; }
 
   /// Synthetic content generation, memoized process-wide when content
   /// caching is on (experiment grids replay the same seeds across services,
@@ -83,6 +94,7 @@ class experiment_env {
   sim_clock clock_;
   cloud cloud_;
   rng rng_;
+  std::unique_ptr<fault_injector> faults_;
   std::deque<std::unique_ptr<station>> stations_;
 };
 
@@ -134,5 +146,25 @@ append_experiment_result run_append_experiment(const experiment_config& cfg,
                                                double append_kb,
                                                double period_sec,
                                                std::uint64_t total_bytes);
+
+/// Robustness experiment: create `files` distinct compressed files (spaced
+/// so each syncs as its own commit), then flip one random byte in each —
+/// exercising both the full-upload and delta-sync paths under the config's
+/// fault plan. Reports traffic efficiency and completion time alongside the
+/// retry-layer counters.
+struct failure_run_result {
+  std::uint64_t total_traffic = 0;   ///< all categories, both directions
+  std::uint64_t retry_traffic = 0;   ///< traffic_category::retry share
+  std::uint64_t data_update_bytes = 0;
+  double tue = 0;
+  double completion_sec = 0;  ///< workload start → all stations idle
+  std::uint64_t retries = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t faults_injected = 0;
+};
+failure_run_result run_failure_experiment(const experiment_config& cfg,
+                                          std::size_t files,
+                                          std::uint64_t file_bytes);
 
 }  // namespace cloudsync

@@ -1,0 +1,114 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace cloudsync {
+
+const char* to_string(fault_kind k) {
+  switch (k) {
+    case fault_kind::link_outage: return "link outage";
+    case fault_kind::connection_reset: return "connection reset";
+    case fault_kind::transfer_abort: return "transfer abort";
+    case fault_kind::server_error: return "server error";
+    case fault_kind::server_throttle: return "server throttle";
+    case fault_kind::kCount: break;
+  }
+  return "?";
+}
+
+fault_plan fault_plan::degraded(double intensity, std::uint64_t seed) {
+  fault_plan p;
+  p.seed = seed;
+  if (intensity <= 0.0) return p;  // strictly fault_plan::none()
+  p.outages_per_hour = 12.0 * intensity;
+  p.outage_mean_duration = sim_time::from_sec(6);
+  p.reset_prob = 0.06 * intensity;
+  p.abort_prob = 0.08 * intensity;
+  p.server_error_prob = 0.05 * intensity;
+  p.throttle_prob = 0.03 * intensity;
+  return p;
+}
+
+fault_injector::fault_injector(fault_plan plan, std::uint64_t env_seed)
+    : plan_(plan),
+      // splitmix-style mix so plan.seed == env_seed still decorrelates the
+      // fault stream from the workload stream.
+      rng_(plan.seed ^ (env_seed * 0x9e3779b97f4a7c15ULL) ^
+           0xfa017ab1e5eed000ULL),
+      remaining_forced_server_(plan.fail_first_server_ops),
+      remaining_forced_exchange_(plan.fail_first_exchanges) {
+  if (plan_.outages_per_hour > 0.0) {
+    // Poisson arrivals with exponential durations, fixed at construction so
+    // outage windows do not depend on how often (or in what order) callers
+    // query them.
+    const double rate_per_sec = plan_.outages_per_hour / 3600.0;
+    double t = 0.0;
+    const double horizon = plan_.outage_horizon.sec();
+    while (t < horizon) {
+      t += rng_.exponential(rate_per_sec);
+      if (t >= horizon) break;
+      const double dur =
+          rng_.exponential(1.0 / std::max(1e-9, plan_.outage_mean_duration.sec()));
+      outages_.emplace_back(sim_time::from_sec(t),
+                            sim_time::from_sec(t + dur));
+      t += dur;
+    }
+  }
+}
+
+std::optional<sim_time> fault_injector::outage_end(sim_time now) const {
+  // Windows are sorted and disjoint: find the first ending after `now`.
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), now,
+      [](sim_time t, const std::pair<sim_time, sim_time>& w) {
+        return t < w.second;
+      });
+  if (it == outages_.end() || now < it->first) return std::nullopt;
+  return it->second;
+}
+
+std::optional<fault_kind> fault_injector::sample_exchange_fault() {
+  if (remaining_forced_exchange_ > 0) {
+    --remaining_forced_exchange_;
+    count(fault_kind::connection_reset);
+    return fault_kind::connection_reset;
+  }
+  if (plan_.reset_prob > 0.0 && rng_.chance(plan_.reset_prob)) {
+    count(fault_kind::connection_reset);
+    return fault_kind::connection_reset;
+  }
+  if (plan_.abort_prob > 0.0 && rng_.chance(plan_.abort_prob)) {
+    count(fault_kind::transfer_abort);
+    return fault_kind::transfer_abort;
+  }
+  return std::nullopt;
+}
+
+double fault_injector::sample_abort_fraction() {
+  return 0.05 + 0.9 * rng_.uniform_real();
+}
+
+std::optional<fault_kind> fault_injector::sample_server_fault() {
+  if (remaining_forced_server_ > 0) {
+    --remaining_forced_server_;
+    count(fault_kind::server_error);
+    return fault_kind::server_error;
+  }
+  if (plan_.server_error_prob > 0.0 && rng_.chance(plan_.server_error_prob)) {
+    count(fault_kind::server_error);
+    return fault_kind::server_error;
+  }
+  if (plan_.throttle_prob > 0.0 && rng_.chance(plan_.throttle_prob)) {
+    count(fault_kind::server_throttle);
+    return fault_kind::server_throttle;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t fault_injector::injected_total() const {
+  std::uint64_t t = 0;
+  for (const auto c : injected_) t += c;
+  return t;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,168 @@
+// Deterministic fault injection for the network, storage, and client layers.
+//
+// The paper's BJ vantage point (§5, Fig 7/8) is exactly the regime where
+// transfers fail mid-flight: links drop, connections reset, servers shed
+// load. A `fault_plan` describes how often; a `fault_injector` turns it into
+// a reproducible schedule driven by the library's seeded xoshiro256** RNG,
+// so an experiment with faults is byte-identical across runs and thread
+// counts (each experiment environment owns one injector; everything attached
+// to one environment runs on one thread — see sim_clock's threading
+// contract).
+//
+// Consulted by three layers:
+//   tcp_connection      — link outages, connection resets, mid-transfer aborts
+//   cloud               — transient server errors / throttles on commits
+//   metadata_service    — throttled notification polls
+//
+// All of them surface faults as a thrown `transient_fault`; the sync engine
+// owns the retry policy (see client/sync_engine.hpp). With an all-zero plan
+// the injector is inert: no RNG draws, no thrown faults, no metered bytes —
+// wiring a disabled injector into a run cannot change any output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+enum class fault_kind : std::uint8_t {
+  link_outage,       ///< the access link is down for a window of time
+  connection_reset,  ///< TCP RST at request start; connection must re-handshake
+  transfer_abort,    ///< connection dies mid-transfer; partial bytes wasted
+  server_error,      ///< transient 5xx before the server applied anything
+  server_throttle,   ///< 429 with a retry-after hint
+  kCount
+};
+
+const char* to_string(fault_kind k);
+
+/// A typed transient failure surfaced by the net/storage layers. Retryable by
+/// construction: `at` is when the failure was detected (virtual time already
+/// spent), `retry_after` is the earliest instant a retry can succeed for
+/// scheduled faults (outage end, throttle window) — zero means "immediately".
+class transient_fault : public std::exception {
+ public:
+  transient_fault(fault_kind kind, sim_time at, sim_time retry_after = {})
+      : kind_(kind), at_(at), retry_after_(retry_after) {}
+
+  fault_kind kind() const { return kind_; }
+  sim_time at() const { return at_; }
+  sim_time retry_after() const { return retry_after_; }
+  const char* what() const noexcept override { return to_string(kind_); }
+
+ private:
+  fault_kind kind_;
+  sim_time at_;
+  sim_time retry_after_;
+};
+
+/// Seeded description of the faults an environment should experience.
+/// All-zero (the default) means "perfect world" — see fault_injector.
+struct fault_plan {
+  /// Mixed into the owning environment's seed so two environments with the
+  /// same workload seed can still see different fault schedules.
+  std::uint64_t seed = 0;
+
+  // Link outages: Poisson arrivals, exponential durations, precomputed over
+  // `outage_horizon` at construction (beyond the horizon the link stays up).
+  double outages_per_hour = 0.0;
+  sim_time outage_mean_duration = sim_time::from_sec(8);
+  sim_time outage_horizon = sim_time::from_sec(48 * 3600);
+
+  // Per-exchange connection faults.
+  double reset_prob = 0.0;  ///< TCP RST before any request byte is sent
+  double abort_prob = 0.0;  ///< connection dies mid-transfer
+
+  // Per-server-operation faults (commits, deletes, notification polls).
+  double server_error_prob = 0.0;
+  double throttle_prob = 0.0;
+  sim_time throttle_retry_after = sim_time::from_sec(2);
+
+  /// Deterministic count-based faults for tests: the first N server
+  /// operations / exchanges fail unconditionally, then the probabilities
+  /// above take over. Lets a test pin "delta sync fails exactly 3 times".
+  int fail_first_server_ops = 0;
+  int fail_first_exchanges = 0;
+
+  bool enabled() const {
+    return outages_per_hour > 0 || reset_prob > 0 || abort_prob > 0 ||
+           server_error_prob > 0 || throttle_prob > 0 ||
+           fail_first_server_ops > 0 || fail_first_exchanges > 0;
+  }
+
+  static fault_plan none() { return {}; }
+
+  /// A plan whose every rate scales linearly with `intensity` (0 = none,
+  /// 1 = a badly degraded network). Used by bench/failure_tue to sweep the
+  /// loss/outage axis with one knob.
+  static fault_plan degraded(double intensity, std::uint64_t seed = 0);
+};
+
+/// Turns a fault_plan into concrete, reproducible fault decisions.
+/// One injector per experiment environment; single-threaded use only (the
+/// same contract as sim_clock).
+class fault_injector {
+ public:
+  explicit fault_injector(fault_plan plan, std::uint64_t env_seed = 0);
+
+  bool enabled() const {
+    return plan_.enabled() || remaining_forced_server_ > 0 ||
+           remaining_forced_exchange_ > 0;
+  }
+  const fault_plan& plan() const { return plan_; }
+
+  /// If `now` falls inside a scheduled link outage, the time the link comes
+  /// back up; nullopt when the link is up.
+  std::optional<sim_time> outage_end(sim_time now) const;
+
+  /// Sample a connection-level fault for an exchange starting at `now`.
+  /// Consumes RNG only when the corresponding rates are non-zero.
+  std::optional<fault_kind> sample_exchange_fault();
+
+  /// Fraction of the forward transfer delivered before a transfer_abort
+  /// (uniform in [0.05, 0.95]).
+  double sample_abort_fraction();
+
+  /// Sample a server-side fault for one cloud/metadata operation.
+  std::optional<fault_kind> sample_server_fault();
+
+  sim_time throttle_retry_after() const { return plan_.throttle_retry_after; }
+
+  /// Uniform in [0, 1) for backoff jitter — centralises every random draw of
+  /// the robustness layer in one seeded stream.
+  double jitter01() { return rng_.uniform_real(); }
+
+  /// How many faults of each kind this injector has injected (observability
+  /// for tests and the failure bench).
+  std::uint64_t injected(fault_kind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t injected_total() const;
+
+  /// Record that a fault decided elsewhere (the scheduled outage windows
+  /// consulted via outage_end) actually fired.
+  void count(fault_kind k) { ++injected_[static_cast<std::size_t>(k)]; }
+
+  /// Arm count-based faults mid-run (tests): the next `n` server operations
+  /// or exchanges fail deterministically, then sampling resumes.
+  void force_server_failures(int n) { remaining_forced_server_ = n; }
+  void force_exchange_failures(int n) { remaining_forced_exchange_ = n; }
+
+ private:
+  fault_plan plan_;
+  rng rng_;
+  std::vector<std::pair<sim_time, sim_time>> outages_;  ///< sorted windows
+  int remaining_forced_server_ = 0;
+  int remaining_forced_exchange_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(fault_kind::kCount)>
+      injected_{};
+};
+
+}  // namespace cloudsync

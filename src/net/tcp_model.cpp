@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/fault_injector.hpp"
+
 namespace cloudsync {
 
 transfer_cost one_way_cost(std::uint64_t app_bytes, double bytes_per_sec,
@@ -45,6 +47,14 @@ transfer_cost one_way_cost(std::uint64_t app_bytes, double bytes_per_sec,
       sent = segments;
       break;
     }
+    if (sent + burst >= segments) {
+      // Final round: nothing waits for these ACKs, so the transfer only pays
+      // the serialisation time (the tail half-RTT below covers propagation).
+      // Charging max(RTT, tx) here made a 1-segment flow cost ~1.5 RTT.
+      seconds += tx;
+      sent = segments;
+      break;
+    }
     seconds += std::max(rtt.sec(), tx);
     sent += burst;
     cwnd = std::min<std::uint64_t>(cwnd * 2, max_cwnd);
@@ -52,15 +62,17 @@ transfer_cost one_way_cost(std::uint64_t app_bytes, double bytes_per_sec,
   if (loss_rate > 0.0) {
     // Expected retransmissions: each lost segment is sent again (and may be
     // lost again) — a factor of p/(1-p) extra segments on the wire, plus
-    // dup-ACKs, plus roughly one recovery round trip per loss event.
+    // dup-ACKs. Duration grows by the serialisation time of those extra
+    // segments plus roughly one recovery round trip per (re)transmission
+    // loss. The former seconds /= (1 - loss_rate) on top of the recovery
+    // RTTs charged the throughput reduction twice.
     const double retx =
         static_cast<double>(segments) * loss_rate / (1.0 - loss_rate);
-    cost.fwd_wire += static_cast<std::uint64_t>(
-        retx * static_cast<double>(cfg.mss + cfg.header_bytes));
+    cost.fwd_wire += static_cast<std::uint64_t>(retx * seg_wire);
     cost.rev_wire += static_cast<std::uint64_t>(
         retx * 3.0 * static_cast<double>(cfg.header_bytes));  // dup-ACKs
-    seconds += retx * rtt.sec();
-    seconds /= 1.0 - loss_rate;  // goodput reduction
+    seconds += retx * seg_wire / bytes_per_sec;  // extra bytes on the wire
+    seconds += retx * rtt.sec();                 // recovery round trips
   }
 
   // One propagation leg for the tail to arrive.
@@ -72,25 +84,67 @@ bool tcp_connection::needs_handshake(sim_time now) const {
   return !ever_used_ || now - last_activity_ > cfg_.idle_timeout;
 }
 
+sim_time tcp_connection::maybe_handshake(sim_time now) {
+  if (!needs_handshake(now)) return now;
+  ++handshakes_;
+  // TCP three-way handshake: 1 RTT before data can flow; SYN/SYN-ACK/ACK.
+  meter_->record(direction::up, traffic_category::transport,
+                 2 * cfg_.header_bytes);
+  meter_->record(direction::down, traffic_category::transport,
+                 cfg_.header_bytes);
+  // TLS 1.2-style handshake: ~2 RTT, hello + certificate exchange.
+  meter_->record(direction::up, traffic_category::transport,
+                 cfg_.tls_client_bytes);
+  meter_->record(direction::down, traffic_category::transport,
+                 cfg_.tls_server_bytes);
+  cwnd_ = cfg_.initial_window;
+  return now + link_.rtt * 3.0;
+}
+
 sim_time tcp_connection::exchange(sim_time now, std::uint64_t up_app,
                                   std::uint64_t down_app) {
-  sim_time t = now;
-
-  if (needs_handshake(now)) {
-    ++handshakes_;
-    // TCP three-way handshake: 1 RTT before data can flow; SYN/SYN-ACK/ACK.
-    meter_->record(direction::up, traffic_category::transport,
-                   2 * cfg_.header_bytes);
-    meter_->record(direction::down, traffic_category::transport,
-                   cfg_.header_bytes);
-    // TLS 1.2-style handshake: ~2 RTT, hello + certificate exchange.
-    meter_->record(direction::up, traffic_category::transport,
-                   cfg_.tls_client_bytes);
-    meter_->record(direction::down, traffic_category::transport,
-                   cfg_.tls_server_bytes);
-    t += link_.rtt * 3.0;
-    cwnd_ = cfg_.initial_window;
+  if (faults_ != nullptr && faults_->enabled()) {
+    if (const auto up_again = faults_->outage_end(now)) {
+      // Link is down: the connection attempt times out after a round trip of
+      // unanswered SYN probes.
+      faults_->count(fault_kind::link_outage);
+      meter_->record(direction::up, traffic_category::retry,
+                     2 * cfg_.header_bytes);
+      throw transient_fault(fault_kind::link_outage, now + link_.rtt,
+                            *up_again);
+    }
+    if (const auto kind = faults_->sample_exchange_fault()) {
+      if (*kind == fault_kind::connection_reset) {
+        // RST at request start: a round trip and a few control segments are
+        // wasted, and the connection must be re-established.
+        meter_->record(direction::up, traffic_category::retry,
+                       2 * cfg_.header_bytes);
+        meter_->record(direction::down, traffic_category::retry,
+                       cfg_.header_bytes);
+        ever_used_ = false;
+        throw transient_fault(fault_kind::connection_reset, now + link_.rtt);
+      }
+      // Mid-transfer abort: the (possibly fresh) handshake completes, then
+      // the connection dies partway through the forward leg. Everything that
+      // was on the wire is wasted and will be re-sent.
+      const sim_time start = maybe_handshake(now);
+      const transfer_cost up_cost =
+          one_way_cost(up_app, link_.up_bytes_per_sec, link_.rtt, cfg_, cwnd_,
+                       link_.loss_rate);
+      const double frac = faults_->sample_abort_fraction();
+      meter_->record(direction::up, traffic_category::retry,
+                     static_cast<std::uint64_t>(
+                         frac * static_cast<double>(up_cost.fwd_wire)));
+      meter_->record(direction::down, traffic_category::retry,
+                     static_cast<std::uint64_t>(
+                         frac * static_cast<double>(up_cost.rev_wire)));
+      ever_used_ = false;
+      throw transient_fault(fault_kind::transfer_abort,
+                            start + up_cost.duration * frac + link_.rtt);
+    }
   }
+
+  sim_time t = maybe_handshake(now);
 
   const transfer_cost up = one_way_cost(up_app, link_.up_bytes_per_sec,
                                         link_.rtt, cfg_, cwnd_,

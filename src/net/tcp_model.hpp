@@ -15,6 +15,8 @@
 
 namespace cloudsync {
 
+class fault_injector;
+
 struct tcp_config {
   std::size_t mss = 1460;            ///< TCP payload per segment
   std::size_t header_bytes = 40;     ///< IP + TCP header per segment
@@ -54,7 +56,19 @@ class tcp_connection {
   /// `up_app` / `down_app` are application bytes (payload + app metadata —
   /// the caller records those itself); this method records only transport
   /// bytes. Returns the completion time.
+  ///
+  /// With a fault injector attached, may instead throw `transient_fault`
+  /// (link outage, connection reset, mid-transfer abort). Wire bytes wasted
+  /// by the failed attempt — SYN probes, handshakes torn down by a reset,
+  /// the delivered fraction of an aborted transfer — are metered under
+  /// `traffic_category::retry`; after a reset/abort the connection is cold
+  /// and the next attempt pays a fresh handshake.
   sim_time exchange(sim_time now, std::uint64_t up_app, std::uint64_t down_app);
+
+  /// Attach (or detach, with nullptr) the environment's fault injector.
+  /// Non-owning. With no injector — or a disabled plan — exchange() behaves
+  /// exactly as if this layer did not exist.
+  void set_fault_injector(fault_injector* faults) { faults_ = faults; }
 
   /// Replace the link (packet-filter changes mid-experiment).
   void set_link(link_config link) { link_ = link; }
@@ -66,10 +80,14 @@ class tcp_connection {
 
  private:
   bool needs_handshake(sim_time now) const;
+  /// Perform the TCP+TLS handshake if the connection is cold/idle; returns
+  /// the time data can start flowing.
+  sim_time maybe_handshake(sim_time now);
 
   link_config link_;
   tcp_config cfg_;
   traffic_meter* meter_;
+  fault_injector* faults_ = nullptr;
   bool ever_used_ = false;
   sim_time last_activity_{};
   std::uint64_t handshakes_ = 0;

@@ -11,6 +11,7 @@ const char* to_string(traffic_category c) {
     case traffic_category::metadata: return "metadata";
     case traffic_category::transport: return "transport";
     case traffic_category::notification: return "notification";
+    case traffic_category::retry: return "retry";
     case traffic_category::kCount: break;
   }
   return "?";
@@ -56,7 +57,9 @@ traffic_meter::snapshot traffic_meter::snap() const { return {counters_}; }
 std::uint64_t traffic_meter::total_since(const snapshot& since) const {
   std::uint64_t t = 0;
   for (std::size_t i = 0; i < counters_.size(); ++i) {
-    t += counters_[i] - since.counters[i];
+    // A reset() after the snapshot leaves counters below their snapshot
+    // values; clamp instead of letting the unsigned subtraction wrap.
+    if (counters_[i] > since.counters[i]) t += counters_[i] - since.counters[i];
   }
   return t;
 }

@@ -18,6 +18,7 @@ enum class traffic_category : std::uint8_t {
   metadata,      ///< indexes, signatures, fingerprints, manifests
   transport,     ///< TCP/IP + TLS framing and handshakes
   notification,  ///< sync notifications, status, acknowledgements
+  retry,         ///< bytes wasted on failed attempts and re-sent after faults
   kCount
 };
 
@@ -46,6 +47,8 @@ class traffic_meter {
   };
   snapshot snap() const;
   /// Total bytes accumulated since `since` (all categories/directions).
+  /// A snapshot taken before a reset() is stale: each counter delta is
+  /// clamped at zero rather than wrapping to ~2^64.
   std::uint64_t total_since(const snapshot& since) const;
 
   std::string summary() const;

@@ -2,12 +2,29 @@
 
 #include <stdexcept>
 
+#include "net/fault_injector.hpp"
+
 namespace cloudsync {
 
 cloud::cloud(cloud_config cfg) : dedup_(cfg.dedup, cfg.fingerprint_cache) {
   if (cfg.use_chunk_store) {
     chunks_ =
         std::make_unique<chunk_backend>(store_, cfg.chunk_store_chunk_size);
+  }
+}
+
+void cloud::set_fault_injector(fault_injector* faults) {
+  faults_ = faults;
+  meta_.set_fault_injector(faults);
+}
+
+void cloud::check_server_fault(sim_time now) {
+  if (faults_ == nullptr || !faults_->enabled()) return;
+  if (const auto kind = faults_->sample_server_fault()) {
+    const sim_time hint = *kind == fault_kind::server_throttle
+                              ? now + faults_->throttle_retry_after()
+                              : sim_time{};
+    throw transient_fault(*kind, now, hint);
   }
 }
 
@@ -20,6 +37,7 @@ std::string cloud::object_key(user_id user, const std::string& path,
 void cloud::put_file(user_id user, device_id source, const std::string& path,
                      byte_buffer content, std::uint64_t stored_size,
                      sim_time now) {
+  check_server_fault(now);
   const file_manifest* old = meta_.lookup(user, path);
   const std::uint64_t version = old ? old->version + 1 : 1;
 
@@ -45,6 +63,7 @@ void cloud::put_file(user_id user, device_id source, const std::string& path,
 void cloud::apply_file_delta(user_id user, device_id source,
                              const std::string& path, const file_delta& delta,
                              sim_time now) {
+  check_server_fault(now);
   const file_manifest* old = meta_.lookup(user, path);
   if (old == nullptr || old->deleted) {
     throw std::runtime_error("cloud: delta for unknown file: " + path);
@@ -77,6 +96,7 @@ void cloud::apply_file_delta(user_id user, device_id source,
 
 bool cloud::delete_file(user_id user, device_id source,
                         const std::string& path, sim_time now) {
+  check_server_fault(now);
   const file_manifest* man = meta_.lookup(user, path);
   if (man == nullptr || man->deleted) return false;
   // Attribute change only: the object remains for rollback (§4.2).

@@ -19,6 +19,8 @@
 
 namespace cloudsync {
 
+class fault_injector;
+
 struct cloud_config {
   dedup_policy dedup = dedup_policy::disabled();
   /// Select the Cumulus-style chunk-store substrate instead of whole-file
@@ -38,6 +40,13 @@ class cloud {
 
   /// Register a client device for notification fan-out.
   device_id attach_device(user_id user) { return meta_.register_device(user); }
+
+  /// Attach (or detach) a fault injector: commits, deltas, and deletes may
+  /// then be rejected with a thrown `transient_fault` (transient server
+  /// error / throttle) *before* any state changes, so a retried operation
+  /// observes exactly the state the failed attempt saw. Also forwarded to
+  /// the metadata service (throttled notification polls).
+  void set_fault_injector(fault_injector* faults);
 
   /// Full-file commit: replaces (or creates) `path` with `content`.
   /// `stored_size` is the representation size the client shipped (compressed
@@ -83,11 +92,15 @@ class cloud {
  private:
   std::string object_key(user_id user, const std::string& path,
                          std::uint64_t version) const;
+  /// Throws transient_fault when the injector decides this server operation
+  /// fails; called at the top of every mutating entry point.
+  void check_server_fault(sim_time now);
 
   object_store store_;
   metadata_service meta_;
   dedup_engine dedup_;
   std::unique_ptr<chunk_backend> chunks_;  ///< null = whole-object substrate
+  fault_injector* faults_ = nullptr;       ///< non-owning
 };
 
 }  // namespace cloudsync

@@ -1,5 +1,7 @@
 #include "storage/metadata_service.hpp"
 
+#include "net/fault_injector.hpp"
+
 namespace cloudsync {
 
 device_id metadata_service::register_device(user_id user) {
@@ -49,6 +51,13 @@ const file_manifest* metadata_service::lookup(user_id user,
 
 std::vector<change_notification> metadata_service::fetch_notifications(
     user_id user, device_id dev) {
+  if (faults_ != nullptr && faults_->enabled()) {
+    if (const auto kind = faults_->sample_server_fault()) {
+      // The queue is untouched: the next poll drains everything. (No clock
+      // here, so no absolute retry-after hint — the poll cadence retries.)
+      throw transient_fault(*kind, sim_time{});
+    }
+  }
   std::vector<change_notification> out;
   const auto uit = users_.find(user);
   if (uit == users_.end()) return out;

@@ -15,6 +15,8 @@
 
 namespace cloudsync {
 
+class fault_injector;
+
 using device_id = std::uint32_t;
 
 struct file_manifest {
@@ -50,9 +52,15 @@ class metadata_service {
 
   const file_manifest* lookup(user_id user, const std::string& path) const;
 
-  /// Drain pending notifications for a device.
+  /// Drain pending notifications for a device. With a fault injector
+  /// attached, the poll may be rejected with a thrown `transient_fault`
+  /// (server error / throttle) before anything is drained; the queue is
+  /// untouched and a later poll sees every notification.
   std::vector<change_notification> fetch_notifications(user_id user,
                                                        device_id dev);
+
+  /// Attach (or detach) the environment's fault injector. Non-owning.
+  void set_fault_injector(fault_injector* faults) { faults_ = faults; }
   std::size_t pending_notifications(user_id user, device_id dev) const;
 
   /// Live (non-deleted) paths for a user.
@@ -69,6 +77,7 @@ class metadata_service {
 
   std::map<user_id, user_state> users_;
   device_id next_device_ = 1;
+  fault_injector* faults_ = nullptr;
 };
 
 }  // namespace cloudsync

@@ -87,6 +87,34 @@ TEST(AdaptiveDefer, AdaptsDownAfterBurst) {
   EXPECT_GT(p.current_deferment().sec(), 1.0);
 }
 
+TEST(AdaptiveDefer, HandComputedEq2Trace) {
+  // Pins the exact Eq. 2 recurrence T_i = min(T_{i-1}/2 + Δt_i/2 + ε, T_max)
+  // step by step, including the first-update Δt = T_0 convention and the
+  // T_max cap. ε = 0.5 s, T_max = 15 s, T_0 = 1 s; updates at 2, 5, 6, 20,
+  // 60 s.
+  adaptive_defer::params prm;
+  prm.epsilon = at(0.5);
+  prm.t_max = at(15);
+  prm.t_initial = at(1);
+  adaptive_defer p(prm);
+
+  // i=1: Δt = T_0 = 1; T_1 = 1/2 + 1/2 + 0.5 = 1.5.
+  EXPECT_EQ(p.next_fire(at(2), 0), at(3.5));
+  EXPECT_EQ(p.current_deferment(), at(1.5));
+  // i=2: Δt = 3; T_2 = 0.75 + 1.5 + 0.5 = 2.75.
+  EXPECT_EQ(p.next_fire(at(5), 0), at(7.75));
+  EXPECT_EQ(p.current_deferment(), at(2.75));
+  // i=3: Δt = 1; T_3 = 1.375 + 0.5 + 0.5 = 2.375.
+  EXPECT_EQ(p.next_fire(at(6), 0), at(8.375));
+  EXPECT_EQ(p.current_deferment(), at(2.375));
+  // i=4: Δt = 14; T_4 = 1.1875 + 7 + 0.5 = 8.6875.
+  EXPECT_EQ(p.next_fire(at(20), 0), at(28.6875));
+  EXPECT_EQ(p.current_deferment(), at(8.6875));
+  // i=5: Δt = 40; 4.34375 + 20 + 0.5 > T_max → capped at 15.
+  EXPECT_EQ(p.next_fire(at(60), 0), at(75));
+  EXPECT_EQ(p.current_deferment(), at(15));
+}
+
 TEST(AdaptiveDefer, ResetRestoresInitialState) {
   adaptive_defer::params prm;
   prm.t_initial = at(2);
@@ -143,6 +171,20 @@ TEST(ByteCounterDefer, OnCommitClosesWindow) {
   p.next_fire(at(1), 10);
   p.on_commit();  // engine committed at the deadline
   EXPECT_EQ(p.next_fire(at(50), 10), at(80));  // fresh anchor
+}
+
+TEST(ByteCounterDefer, OnCommitWithoutWindowIsNoOp) {
+  byte_counter_defer::params prm;
+  prm.threshold_bytes = 1000;
+  prm.max_wait = at(30);
+  byte_counter_defer p(prm);
+  p.on_commit();  // nothing pending: must not disturb the next window
+  EXPECT_EQ(p.next_fire(at(3), 10), at(33));
+  // A threshold fire closes the window by itself; a subsequent on_commit
+  // (the engine confirming that commit) must stay idempotent.
+  EXPECT_EQ(p.next_fire(at(4), 5000), at(4));
+  p.on_commit();
+  EXPECT_EQ(p.next_fire(at(8), 10), at(38));
 }
 
 TEST(ByteCounterDefer, ResetClearsWindow) {

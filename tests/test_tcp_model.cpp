@@ -90,6 +90,81 @@ TEST(OneWayCost, LossMonotone) {
   }
 }
 
+TEST(OneWayCost, OneSegmentCostsSerialisationPlusHalfRtt) {
+  // Regression: the final slow-start round used to charge max(RTT, tx) on
+  // top of the tail half-RTT, making a 1-segment transfer cost ~1.5 RTT.
+  // Nothing waits for the last round's ACKs, so the true cost is the
+  // serialisation time plus one propagation leg.
+  const tcp_config cfg;
+  const double bw = 1e6;
+  const sim_time rtt = sim_time::from_msec(100);
+  const transfer_cost c = one_way_cost(100, bw, rtt, cfg, cfg.initial_window);
+  const double seg_wire = static_cast<double>(cfg.mss + cfg.header_bytes);
+  EXPECT_NEAR(c.duration.sec(), seg_wire / bw + 0.5 * rtt.sec(), 1e-9);
+  EXPECT_LT(c.duration, rtt);  // the pre-fix model returned ~1.5 RTT here
+}
+
+TEST(OneWayCost, SingleRoundCostsSerialisationPlusHalfRtt) {
+  // A flow that fits the initial window entirely is one burst: tx + RTT/2,
+  // independent of how tx compares to the RTT.
+  const tcp_config cfg;
+  const double bw = 1e6;
+  const sim_time rtt = sim_time::from_msec(100);
+  // 14000 app bytes -> one TLS record -> 14029 stream bytes -> 10 segments,
+  // exactly the initial window.
+  const std::uint64_t app = 14'000;
+  const std::uint64_t segments =
+      (app + cfg.tls_record_overhead + cfg.mss - 1) / cfg.mss;
+  ASSERT_EQ(segments, static_cast<std::uint64_t>(cfg.initial_window));
+  const transfer_cost c = one_way_cost(app, bw, rtt, cfg, cfg.initial_window);
+  const double seg_wire = static_cast<double>(cfg.mss + cfg.header_bytes);
+  EXPECT_NEAR(c.duration.sec(),
+              static_cast<double>(segments) * seg_wire / bw + 0.5 * rtt.sec(),
+              1e-9);
+  EXPECT_LT(c.duration, rtt);
+}
+
+TEST(OneWayCost, LossModelMatchesDerivation) {
+  // Regression: the loss path both added recovery RTTs and divided the whole
+  // duration by (1 - p), double-penalising loss. The intended model: each
+  // lost segment reappears as p/(1-p) expected extra segments on the wire
+  // (with dup-ACKs) and one recovery RTT per retransmission.
+  const tcp_config cfg;
+  const double bw = 2.5e6;
+  const sim_time rtt = sim_time::from_msec(100);
+  const std::uint64_t app = 1'000'000;
+  const double seg_wire = static_cast<double>(cfg.mss + cfg.header_bytes);
+
+  const std::uint64_t records =
+      (app + cfg.tls_record_size - 1) / cfg.tls_record_size;
+  const std::uint64_t stream = app + records * cfg.tls_record_overhead;
+  const std::uint64_t segments = (stream + cfg.mss - 1) / cfg.mss;
+
+  const transfer_cost clean = one_way_cost(app, bw, rtt, cfg, 10, 0.0);
+  for (const double p : {0.01, 0.1}) {
+    const transfer_cost lossy = one_way_cost(app, bw, rtt, cfg, 10, p);
+    const double retx = static_cast<double>(segments) * p / (1.0 - p);
+    EXPECT_EQ(lossy.fwd_wire,
+              clean.fwd_wire + static_cast<std::uint64_t>(retx * seg_wire))
+        << p;
+    EXPECT_EQ(lossy.rev_wire,
+              clean.rev_wire +
+                  static_cast<std::uint64_t>(
+                      retx * 3.0 * static_cast<double>(cfg.header_bytes)))
+        << p;
+    EXPECT_NEAR(lossy.duration.sec(),
+                clean.duration.sec() + retx * seg_wire / bw +
+                    retx * rtt.sec(),
+                1e-5)
+        << p;
+  }
+  // p = 0 must take the exact clean path (no loss block at all).
+  const transfer_cost zero = one_way_cost(app, bw, rtt, cfg, 10, 0.0);
+  EXPECT_EQ(zero.fwd_wire, clean.fwd_wire);
+  EXPECT_EQ(zero.rev_wire, clean.rev_wire);
+  EXPECT_EQ(zero.duration, clean.duration);
+}
+
 TEST(OneWayCost, LossRateClamped) {
   const tcp_config cfg;
   // Absurd loss rates must not hang or divide by zero.
@@ -138,6 +213,28 @@ TEST(TcpConnection, ExchangeTimeIncludesRtt) {
   const sim_time t1 = conn.exchange(t0, 100, 100);          // warm
   EXPECT_GE((t1 - t0).msec(), 100.0);  // at least one round trip
   EXPECT_LT((t1 - t0).msec(), 500.0);
+}
+
+TEST(TcpConnection, ColdExchangePaysHandshakeAndSmallWindow) {
+  // Pins the handshake/cwnd mechanics: a cold exchange is exactly the 3-RTT
+  // handshake plus a transfer from the initial window; the warm follow-up is
+  // exactly a transfer from the grown (4x) window — and therefore faster.
+  traffic_meter meter;
+  const link_config link = link_config::minnesota();
+  const tcp_config cfg;
+  tcp_connection conn(link, cfg, meter);
+
+  const std::uint64_t up = 500'000;
+  const sim_time t0 = conn.exchange(sim_time{}, up, 0);
+  const transfer_cost cold = one_way_cost(up, link.up_bytes_per_sec, link.rtt,
+                                          cfg, cfg.initial_window);
+  EXPECT_EQ(t0, link.rtt * 3.0 + cold.duration);
+
+  const sim_time t1 = conn.exchange(t0, up, 0);
+  const transfer_cost warm = one_way_cost(up, link.up_bytes_per_sec, link.rtt,
+                                          cfg, cfg.initial_window * 4);
+  EXPECT_EQ(t1 - t0, warm.duration);
+  EXPECT_LT(t1 - t0, t0 - link.rtt * 3.0);
 }
 
 TEST(TcpConnection, BeijingSlowerThanMinnesota) {

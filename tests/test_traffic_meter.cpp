@@ -47,6 +47,34 @@ TEST(TrafficMeter, SnapshotDelta) {
   EXPECT_EQ(m.total_since(snap), 50u);
 }
 
+TEST(TrafficMeter, SnapshotDeltaClampsAfterReset) {
+  // Regression: a snapshot taken before reset() has counters larger than the
+  // live ones; the unsigned subtraction used to wrap to ~2^64 instead of
+  // clamping at zero.
+  traffic_meter m;
+  m.record(direction::up, traffic_category::payload, 1000);
+  const auto snap = m.snap();
+  m.reset();
+  EXPECT_EQ(m.total_since(snap), 0u);
+  // Per-counter clamping: growth in one counter is not cancelled by the
+  // stale (post-reset) deficit in another.
+  m.record(direction::down, traffic_category::metadata, 70);
+  EXPECT_EQ(m.total_since(snap), 70u);
+  // A counter that regrew past its snapshot value counts only the excess.
+  m.record(direction::up, traffic_category::payload, 1010);
+  EXPECT_EQ(m.total_since(snap), 80u);
+}
+
+TEST(TrafficMeter, RetryCategoryIsTracked) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::retry, 300);
+  m.record(direction::down, traffic_category::retry, 100);
+  EXPECT_EQ(m.by_category(traffic_category::retry), 400u);
+  EXPECT_EQ(m.overhead(), 400u);  // wasted bytes are overhead, not payload
+  EXPECT_STREQ(to_string(traffic_category::retry), "retry");
+  EXPECT_NE(m.summary().find("retry"), std::string::npos);
+}
+
 TEST(TrafficMeter, SummaryRendersAllCategories) {
   traffic_meter m;
   m.record(direction::up, traffic_category::payload, 1024);
