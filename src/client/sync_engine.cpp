@@ -29,6 +29,33 @@ constexpr std::uint64_t kErrorResponseBytes = 512;
 /// Wasted wire bytes of one rejected per-item commit inside a BDS batch.
 constexpr std::uint64_t kBdsItemProbeBytes = 400;
 
+// Resumable-session control sizes (metered as traffic_category::resume):
+// session open request / token reply, per-chunk range header / ack, the
+// finalize marker riding the commit exchange, and the session-status query a
+// restarted client pays before resuming.
+constexpr std::uint64_t kSessionBeginUpBytes = 200;
+constexpr std::uint64_t kSessionBeginDownBytes = 100;
+constexpr std::uint64_t kChunkControlUpBytes = 48;
+constexpr std::uint64_t kChunkAckDownBytes = 32;
+constexpr std::uint64_t kSessionFinalizeUpBytes = 64;
+constexpr std::uint64_t kSessionFinalizeDownBytes = 32;
+constexpr std::uint64_t kSessionQueryUpBytes = 72;
+constexpr std::uint64_t kSessionQueryDownBytes = 96;
+
+/// Chunk count of a `total`-byte wire payload at `chunk_bytes` granularity.
+std::uint32_t chunk_count(std::uint64_t total, std::size_t chunk_bytes) {
+  if (total == 0) return 0;
+  return static_cast<std::uint32_t>((total + chunk_bytes - 1) / chunk_bytes);
+}
+
+/// Size of chunk `index` (the last chunk carries the remainder).
+std::uint64_t chunk_size_at(std::uint64_t total, std::size_t chunk_bytes,
+                            std::uint32_t index) {
+  const std::uint64_t start =
+      static_cast<std::uint64_t>(index) * chunk_bytes;
+  return std::min<std::uint64_t>(chunk_bytes, total - start);
+}
+
 // Process-wide memos for incremental sync. Seeded experiments reproduce the
 // same shadow and edited contents across bench cells and services, so the
 // per-block MD5 signature work and the rolling-window delta search recur
@@ -77,7 +104,8 @@ sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
       opts_(std::move(opts)),
       conn_(opts_.link, opts_.tcp, meter_),
       defer_(opts_.profile.defer.instantiate()),
-      device_(cl.attach_device(user)) {
+      device_(opts_.reuse_device != 0 ? opts_.reuse_device
+                                      : cl.attach_device(user)) {
   if (opts_.warm_connection) {
     conn_.exchange(clock_.now(), 64, 64);
     meter_.reset();
@@ -86,7 +114,18 @@ sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
   // start-up is outside the failure model (and constructors must not throw
   // transient faults).
   conn_.set_fault_injector(opts_.faults);
-  fs_.subscribe([this](const fs_event& ev) { on_fs_event(ev); });
+  fs_subscription_ = fs_.subscribe([this](const fs_event& ev) {
+    on_fs_event(ev);
+  });
+}
+
+sync_client::~sync_client() {
+  // The filesystem and clock outlive client incarnations (the crash harness
+  // destroys a crashed client and builds a new one on the same memfs/clock):
+  // detach everything that captures `this`.
+  fs_.unsubscribe(fs_subscription_);
+  if (commit_event_ != 0) clock_.cancel(commit_event_);
+  if (poll_event_ != 0) clock_.cancel(poll_event_);
 }
 
 void sync_client::on_fs_event(const fs_event& ev) {
@@ -227,6 +266,27 @@ sim_time sync_client::commit_batch(
     for (const auto& [path, chg] : batch) {
       upload_plan plan;
       if (!chg.remove) plan = plan_upload(path, t);
+      // Journaled BDS: each item gets its own record around its durable
+      // per-item apply (there is no kill site between apply and journal
+      // commit, so the pair is atomic); the batch-manifest exchange below is
+      // journaled separately. Items diverted to a conflicted copy ship
+      // nothing and need no record.
+      std::uint64_t txn = 0;
+      if (opts_.journal != nullptr &&
+          (chg.remove || plan.act != upload_action::none)) {
+        const file_manifest* man = cloud_.manifest(user_, path);
+        const std::uint64_t base =
+            man != nullptr && !man->deleted ? man->version : 0;
+        const journal_kind kind =
+            chg.remove ? journal_kind::remove
+            : plan.act == upload_action::delta ? journal_kind::upload_delta
+                                               : journal_kind::upload_full;
+        txn = opts_.journal->begin(
+            path, kind, plan.payload_up, 0, base,
+            chg.remove ? 0 : content_hash64(fs_.read(path)), t);
+        maybe_crash(crash_site::after_plan, t);
+        opts_.journal->mark_in_flight(txn);
+      }
       int rejections = 0;
       bool applied = false;
       for (int attempt = 1;; ++attempt) {
@@ -260,8 +320,16 @@ sim_time sync_client::commit_batch(
         }
       }
       if (!applied) {
+        if (txn != 0) {
+          opts_.journal->abort(txn,
+                               "batched item failed: retry budget exhausted");
+        }
         requeue(path, chg);
         continue;
+      }
+      if (txn != 0) {
+        opts_.journal->commit(txn);
+        opts_.journal->checkpoint();
       }
       if (chg.remove) {
         up_meta += kBatchDeleteEntryBytes;
@@ -270,6 +338,22 @@ sim_time sync_client::commit_batch(
         up_meta += plan.metadata_up + mp.bds_per_file_bytes;
         down_meta += plan.metadata_down;
       }
+    }
+    if (opts_.journal != nullptr) {
+      // Journal the batch-manifest exchange too: a crash here leaves a
+      // record that recovery simply discards — the per-item applies above
+      // are already durable, so the rescan finds nothing to re-send.
+      sync_journal& j = *opts_.journal;
+      const std::uint64_t btxn = j.begin("<bds-batch>",
+                                         journal_kind::batch_manifest,
+                                         up_payload, 0, 0, 0, t);
+      maybe_crash(crash_site::before_commit, t);
+      j.mark_in_flight(btxn);
+      t = do_exchange(t, up_payload, up_meta, 0, down_meta, {}, 0, nullptr,
+                      /*never_give_up=*/true);
+      j.commit(btxn);
+      j.checkpoint();
+      return t;
     }
     return do_exchange(t, up_payload, up_meta, 0, down_meta, {}, 0, nullptr,
                        /*never_give_up=*/true);
@@ -285,6 +369,13 @@ sim_time sync_client::commit_batch(
     const std::uint64_t oh_down = first ? mp.base_overhead_down
                                         : mp.burst_overhead_down;
     first = false;
+    if (opts_.journal != nullptr) {
+      // Journaled build: every transaction is recorded and uploads ship
+      // through resumable sessions (kill sites armed inside).
+      t = chg.remove ? journaled_remove(path, chg, t, oh_up, oh_down)
+                     : journaled_upload(path, chg, t, oh_up, oh_down);
+      continue;
+    }
     txn_outcome oc = txn_outcome::ok;
     if (chg.remove) {
       const sim_time at = t;
@@ -483,6 +574,189 @@ void sync_client::apply_upload(const std::string& path,
   sh.sig.reset();  // the memoized signature no longer matches
 }
 
+void sync_client::apply_upload_session(const std::string& path,
+                                       const upload_plan& plan,
+                                       resume_token token, sim_time at) {
+  const byte_view content = fs_.read(path);
+  if (plan.act == upload_action::delta) {
+    cloud_.finalize_session_delta(token, user_, device_, path,
+                                  plan.blueprint->delta, at);
+  } else {
+    cloud_.finalize_session_put(token, user_, device_, path,
+                                byte_buffer(content.begin(), content.end()),
+                                plan.payload_up, at);
+  }
+  if (plan.dedup_commit) cloud_.dedup().commit(user_, content);
+  base_version_[path] = cloud_.manifest(user_, path)->version;
+  shadow_entry& sh = shadow_[path];
+  sh.content.assign(content.begin(), content.end());
+  sh.sig.reset();
+}
+
+void sync_client::maybe_crash(crash_site site, sim_time at) {
+  if (opts_.journal == nullptr || opts_.faults == nullptr) return;
+  if (opts_.faults->should_crash(site)) {
+    throw client_crash(site, at, device_);
+  }
+}
+
+sim_time sync_client::send_session_chunks(std::uint64_t txn,
+                                          resume_token token, sim_time t,
+                                          txn_outcome* oc,
+                                          bool never_give_up) {
+  sync_journal& j = *opts_.journal;
+  const journal_record* rec = j.find(txn);
+  const std::uint64_t total = rec->payload_bytes;
+  const std::uint32_t chunks = rec->total_chunks;
+  if (oc != nullptr) *oc = txn_outcome::ok;
+  for (std::uint32_t i = rec->acked_chunks; i < chunks; ++i) {
+    maybe_crash(crash_site::mid_chunk, t);
+    const std::uint64_t bytes =
+        chunk_size_at(total, opts_.recovery.chunk_bytes, i);
+    exchange_spec spec;
+    spec.payload_up = bytes;
+    spec.resume_up = kChunkControlUpBytes;
+    spec.resume_down = kChunkAckDownBytes;
+    spec.never_give_up = never_give_up;
+    const sim_time at = t;
+    spec.apply = [&, at] { cloud_.upload_session_chunk(token, i, bytes, at); };
+    t = run_exchange(t, spec, oc);
+    if (oc != nullptr && *oc != txn_outcome::ok) return t;
+    // The server acked the chunk and the journal records it durably; a crash
+    // between the two is not a modelled kill site, so resume state and
+    // session state can never disagree.
+    j.ack_chunk(txn, i);
+  }
+  return t;
+}
+
+sim_time sync_client::finalize_session_upload(
+    const std::string& path, const upload_plan& plan, std::uint64_t txn,
+    resume_token token, sim_time t, std::uint64_t oh_up, std::uint64_t oh_down,
+    txn_outcome* oc) {
+  maybe_crash(crash_site::before_commit, t);
+  exchange_spec spec;
+  spec.meta_up = plan.metadata_up + oh_up;
+  spec.meta_down = plan.metadata_down + oh_down;
+  spec.resume_up = kSessionFinalizeUpBytes;
+  spec.resume_down = kSessionFinalizeDownBytes;
+  spec.apply_fail_limit = plan.act == upload_action::delta
+                              ? opts_.retry.delta_fallback_after
+                              : 0;
+  const sim_time at = t;
+  spec.apply = [&, at] { apply_upload_session(path, plan, token, at); };
+  t = run_exchange(t, spec, oc);
+  if (*oc == txn_outcome::ok) {
+    sync_journal& j = *opts_.journal;
+    j.commit(txn);
+    j.checkpoint();
+  }
+  return t;
+}
+
+sim_time sync_client::journaled_upload(const std::string& path,
+                                       const pending_change& chg, sim_time t,
+                                       std::uint64_t oh_up,
+                                       std::uint64_t oh_down,
+                                       bool force_full) {
+  sync_journal& j = *opts_.journal;
+  upload_plan plan = plan_upload(path, t, force_full);
+  if (plan.act == upload_action::none) return t;  // conflict diverted
+
+  const file_manifest* man = cloud_.manifest(user_, path);
+  const std::uint64_t base =
+      man != nullptr && !man->deleted ? man->version : 0;
+  const std::uint64_t txn = j.begin(
+      path,
+      plan.act == upload_action::delta ? journal_kind::upload_delta
+                                       : journal_kind::upload_full,
+      plan.payload_up, chunk_count(plan.payload_up, opts_.recovery.chunk_bytes),
+      base, content_hash64(fs_.read(path)), t);
+  maybe_crash(crash_site::after_plan, t);
+
+  // Open the upload session (a small control exchange).
+  resume_token token = 0;
+  txn_outcome oc = txn_outcome::ok;
+  {
+    exchange_spec spec;
+    spec.resume_up = kSessionBeginUpBytes;
+    spec.resume_down = kSessionBeginDownBytes;
+    const journal_record* rec = j.find(txn);
+    const sim_time at = t;
+    const std::uint32_t chunks = rec->total_chunks;
+    const std::uint64_t payload = rec->payload_bytes;
+    spec.apply = [&, at, chunks, payload] {
+      token = cloud_.begin_upload_session(user_, path, chunks, payload, at);
+    };
+    t = run_exchange(t, spec, &oc);
+  }
+  if (oc != txn_outcome::ok) {
+    j.abort(txn, "session open failed: retry budget exhausted");
+    requeue(path, chg);
+    return t;
+  }
+  j.set_resume_token(txn, token);
+  j.mark_in_flight(txn);
+
+  t = send_session_chunks(txn, token, t, &oc);
+  if (oc != txn_outcome::ok) {
+    j.abort(txn, "chunk upload failed: retry budget exhausted");
+    cloud_.abandon_upload_session(token);
+    requeue(path, chg);
+    return t;
+  }
+
+  t = finalize_session_upload(path, plan, txn, token, t, oh_up, oh_down, &oc);
+  if (oc == txn_outcome::apply_failed && plan.act == upload_action::delta) {
+    // Graceful degradation, journaled: abort this transaction, abandon its
+    // session, and run a fresh full-file transaction for the path.
+    ++fallbacks_;
+    j.abort(txn, "delta rejected by server");
+    cloud_.abandon_upload_session(token);
+    return journaled_upload(path, chg, t, oh_up, oh_down, /*force_full=*/true);
+  }
+  if (oc != txn_outcome::ok) {
+    j.abort(txn, "commit failed: retry budget exhausted");
+    cloud_.abandon_upload_session(token);
+    requeue(path, chg);
+  }
+  return t;
+}
+
+sim_time sync_client::journaled_remove(const std::string& path,
+                                       const pending_change& chg, sim_time t,
+                                       std::uint64_t oh_up,
+                                       std::uint64_t oh_down) {
+  sync_journal& j = *opts_.journal;
+  const file_manifest* man = cloud_.manifest(user_, path);
+  const std::uint64_t base =
+      man != nullptr && !man->deleted ? man->version : 0;
+  const std::uint64_t txn =
+      j.begin(path, journal_kind::remove, 0, 0, base, 0, t);
+  maybe_crash(crash_site::after_plan, t);
+  // No payload, no session: the only work is the tombstone commit itself,
+  // so the mid-chunk site never arises and before-commit follows directly.
+  maybe_crash(crash_site::before_commit, t);
+  j.mark_in_flight(txn);
+  txn_outcome oc = txn_outcome::ok;
+  const sim_time at = t;
+  t = do_exchange(t, 0, oh_up + kDeleteRecordBytes, 0, oh_down,
+                  [&, at] {
+                    cloud_.delete_file(user_, device_, path, at);
+                    shadow_.erase(path);
+                    base_version_.erase(path);
+                  },
+                  0, &oc);
+  if (oc != txn_outcome::ok) {
+    j.abort(txn, "delete failed: retry budget exhausted");
+    requeue(path, chg);
+    return t;
+  }
+  j.commit(txn);
+  j.checkpoint();
+  return t;
+}
+
 sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
                                   std::uint64_t up_meta,
                                   std::uint64_t down_payload,
@@ -490,10 +764,25 @@ sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
                                   const std::function<void()>& apply,
                                   int apply_fail_limit, txn_outcome* outcome,
                                   bool never_give_up) {
-  const std::uint64_t up_app =
-      up_payload + up_meta + opts_.http.request_header_bytes;
-  const std::uint64_t down_app =
-      down_payload + down_meta + opts_.http.response_header_bytes;
+  exchange_spec spec;
+  spec.payload_up = up_payload;
+  spec.meta_up = up_meta;
+  spec.payload_down = down_payload;
+  spec.meta_down = down_meta;
+  spec.apply = apply;
+  spec.apply_fail_limit = apply_fail_limit;
+  spec.never_give_up = never_give_up;
+  return run_exchange(at, spec, outcome);
+}
+
+sim_time sync_client::run_exchange(sim_time at, const exchange_spec& spec,
+                                   txn_outcome* outcome) {
+  const std::uint64_t up_app = spec.payload_up + spec.meta_up +
+                               spec.resume_up +
+                               opts_.http.request_header_bytes;
+  const std::uint64_t down_app = spec.payload_down + spec.meta_down +
+                                 spec.resume_down +
+                                 opts_.http.response_header_bytes;
   sim_time start = at;
   int apply_failures = 0;
   for (int attempt = 1;; ++attempt) {
@@ -502,12 +791,17 @@ sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
     try {
       done = conn_.exchange(start, up_app, down_app);
       exchanged = true;
-      if (apply) apply();  // server-side commit; may reject the request
+      if (spec.apply) spec.apply();  // server-side commit; may reject
       ++exchanges_;
-      meter_.record(direction::up, traffic_category::payload, up_payload);
-      meter_.record(direction::up, traffic_category::metadata, up_meta);
-      meter_.record(direction::down, traffic_category::payload, down_payload);
-      meter_.record(direction::down, traffic_category::metadata, down_meta);
+      meter_.record(direction::up, traffic_category::payload, spec.payload_up);
+      meter_.record(direction::up, traffic_category::metadata, spec.meta_up);
+      meter_.record(direction::up, traffic_category::resume, spec.resume_up);
+      meter_.record(direction::down, traffic_category::payload,
+                    spec.payload_down);
+      meter_.record(direction::down, traffic_category::metadata,
+                    spec.meta_down);
+      meter_.record(direction::down, traffic_category::resume,
+                    spec.resume_down);
       meter_.record(direction::up, traffic_category::notification,
                     opts_.http.request_header_bytes);
       meter_.record(direction::down, traffic_category::notification,
@@ -524,12 +818,13 @@ sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
         meter_.record(direction::up, traffic_category::retry, up_app);
         meter_.record(direction::down, traffic_category::retry,
                       kErrorResponseBytes);
-        if (apply_fail_limit > 0 && ++apply_failures >= apply_fail_limit) {
+        if (spec.apply_fail_limit > 0 &&
+            ++apply_failures >= spec.apply_fail_limit) {
           if (outcome != nullptr) *outcome = txn_outcome::apply_failed;
           return failed_at;
         }
       }
-      if (!never_give_up && attempt >= opts_.retry.max_attempts) {
+      if (!spec.never_give_up && attempt >= opts_.retry.max_attempts) {
         if (outcome != nullptr) *outcome = txn_outcome::gave_up;
         return failed_at;
       }
@@ -648,7 +943,8 @@ std::size_t sync_client::poll_remote_changes() {
 void sync_client::enable_periodic_poll(sim_time interval, sim_time until) {
   const sim_time next = clock_.now() + interval;
   if (next > until) return;
-  clock_.schedule_at(next, [this, interval, until] {
+  poll_event_ = clock_.schedule_at(next, [this, interval, until] {
+    poll_event_ = 0;
     poll_remote_changes();
     enable_periodic_poll(interval, until);
   });
@@ -656,6 +952,181 @@ void sync_client::enable_periodic_poll(sim_time interval, sim_time until) {
 
 sim_time sync_client::busy_until() const {
   return std::max(network_busy_until_, index_busy_until_);
+}
+
+void sync_client::recover() {
+  if (opts_.journal == nullptr) return;
+  sync_journal& j = *opts_.journal;
+  sim_time t = std::max(clock_.now(), network_busy_until_);
+  for (const journal_record& rec : j.open_records()) {
+    if (rec.state == journal_state::in_flight &&
+        (rec.kind == journal_kind::upload_full ||
+         rec.kind == journal_kind::upload_delta) &&
+        opts_.recovery.resume && rec.resume_token != 0 &&
+        cloud_.session_open(rec.resume_token)) {
+      t = recover_in_flight(rec, t);
+      continue;
+    }
+    // Discard: planned and aborted records (the rescan below re-queues the
+    // path), removes and batch manifests (re-derived idempotently by the
+    // rescan), and in-flight uploads when resume is off or the session is
+    // gone — those pay the full re-upload through the rescan.
+    if (rec.resume_token != 0) cloud_.abandon_upload_session(rec.resume_token);
+    if (rec.state == journal_state::in_flight) ++recovery_restarts_;
+    j.erase(rec.id);
+  }
+  network_busy_until_ = std::max(network_busy_until_, t);
+  rescan_after_recovery();
+}
+
+sim_time sync_client::recover_in_flight(const journal_record& rec,
+                                        sim_time t) {
+  sync_journal& j = *opts_.journal;
+  auto discard = [&] {
+    cloud_.abandon_upload_session(rec.resume_token);
+    j.erase(rec.id);
+    ++recovery_restarts_;
+  };
+
+  // The recovery metadata round trip: ask the server how far the session
+  // got. (The journal's acked count already matches it — there is no kill
+  // site between a server ack and its journal ack — but a real client must
+  // still pay this query, so it is charged.)
+  txn_outcome oc = txn_outcome::ok;
+  upload_session_status st;
+  {
+    exchange_spec spec;
+    spec.resume_up = kSessionQueryUpBytes;
+    spec.resume_down = kSessionQueryDownBytes;
+    const sim_time at = t;
+    spec.apply = [&, at] {
+      st = cloud_.query_upload_session(rec.resume_token, at);
+    };
+    t = run_exchange(t, spec, &oc);
+  }
+  if (oc != txn_outcome::ok) {
+    discard();
+    return t;
+  }
+
+  // Resume only if the world still matches the plan: the local content must
+  // be what the journal recorded and the cloud must still be at the plan's
+  // base version. Anything else → discard; the rescan re-plans from scratch.
+  if (!fs_.exists(rec.path) ||
+      content_hash64(fs_.read(rec.path)) != rec.content_hash) {
+    discard();
+    return t;
+  }
+  const file_manifest* man = cloud_.manifest(user_, rec.path);
+  const std::uint64_t cur =
+      man != nullptr && !man->deleted ? man->version : 0;
+  if (cur != rec.base_version) {
+    discard();
+    return t;
+  }
+
+  upload_plan plan;
+  if (rec.kind == journal_kind::upload_delta) {
+    // The crashed incarnation's shadow died with it; restore the base
+    // version from the client's persisted blob cache (real clients keep
+    // one — modelled as the cloud copy, read locally, no bytes charged).
+    auto base_content = cloud_.file_content(user_, rec.path);
+    if (!base_content) {
+      discard();
+      return t;
+    }
+    shadow_entry& sh = shadow_[rec.path];
+    sh.content = std::move(*base_content);
+    sh.sig.reset();
+    base_version_[rec.path] = cur;
+    plan = plan_upload(rec.path, t);
+    if (plan.act != upload_action::delta) {
+      discard();
+      return t;
+    }
+  } else {
+    plan = plan_upload(rec.path, t, /*force_full=*/true);
+  }
+  // Replanning is deterministic, so the rebuilt plan must ship exactly the
+  // journaled payload — the acked prefix is a prefix of it.
+  if (plan.act == upload_action::none || plan.payload_up != rec.payload_bytes) {
+    discard();
+    return t;
+  }
+
+  t = send_session_chunks(rec.id, rec.resume_token, t, &oc);
+  const method_profile& mp = opts_.profile.method(opts_.method);
+  if (oc == txn_outcome::ok) {
+    t = finalize_session_upload(rec.path, plan, rec.id, rec.resume_token, t,
+                                mp.base_overhead_up, mp.base_overhead_down,
+                                &oc);
+  }
+  if (oc == txn_outcome::apply_failed) {
+    // The server keeps rejecting the resumed delta: degrade to a fresh
+    // full-file transaction, exactly like the live path.
+    ++fallbacks_;
+    j.abort(rec.id, "delta rejected by server during resume");
+    cloud_.abandon_upload_session(rec.resume_token);
+    pending_change chg;
+    chg.existed_in_cloud = cur != 0;
+    return journaled_upload(rec.path, chg, t, mp.base_overhead_up,
+                            mp.base_overhead_down, /*force_full=*/true);
+  }
+  if (oc != txn_outcome::ok) {
+    j.abort(rec.id, "resume failed: retry budget exhausted");
+    cloud_.abandon_upload_session(rec.resume_token);
+    pending_change chg;
+    chg.existed_in_cloud = cur != 0;
+    requeue(rec.path, chg);
+    return t;
+  }
+  ++resumes_;
+  return t;
+}
+
+void sync_client::rescan_after_recovery() {
+  const sim_time now = clock_.now();
+  // Diff the sync folder against the cloud namespace. The comparison models
+  // the client's persisted sync-state database (per-path version + content
+  // hash, which real clients keep on disk), so it charges no traffic.
+  for (const std::string& path : fs_.list()) {
+    const file_manifest* man = cloud_.manifest(user_, path);
+    const bool in_cloud = man != nullptr && !man->deleted;
+    bool in_sync = false;
+    if (in_cloud) {
+      const auto remote = cloud_.file_content(user_, path);
+      const byte_view local = fs_.read(path);
+      in_sync = remote && remote->size() == local.size() &&
+                std::equal(remote->begin(), remote->end(), local.begin());
+    }
+    if (in_sync) {
+      // Adopt as the synced state (a local disk read, not a download).
+      const byte_view local = fs_.read(path);
+      shadow_entry& sh = shadow_[path];
+      sh.content.assign(local.begin(), local.end());
+      sh.sig.reset();
+      base_version_[path] = man->version;
+      continue;
+    }
+    pending_change& chg = dirty_[path];
+    chg.remove = false;
+    chg.existed_in_cloud = in_cloud;
+    refresh_entry_estimate(path, chg);
+  }
+  for (const std::string& path : cloud_.metadata().list(user_)) {
+    if (fs_.exists(path)) continue;
+    pending_change& chg = dirty_[path];
+    chg.remove = true;
+    chg.existed_in_cloud = true;
+    refresh_entry_estimate(path, chg);
+  }
+  if (!dirty_.empty()) {
+    if (!has_earliest_dirty_) {
+      has_earliest_dirty_ = true;
+      earliest_dirty_ = now;
+    }
+    schedule_commit(defer_->next_fire(now, pending_update_estimate()));
+  }
 }
 
 }  // namespace cloudsync

@@ -23,6 +23,7 @@
 #include "client/defer_policy.hpp"
 #include "client/hardware.hpp"
 #include "client/service_profile.hpp"
+#include "client/sync_journal.hpp"
 #include "fs/memfs.hpp"
 #include "net/fault_injector.hpp"
 #include "net/http_model.hpp"
@@ -95,12 +96,28 @@ struct sync_options {
   /// the client behaves byte-identically to a fault-free build).
   fault_injector* faults = nullptr;
   retry_policy retry{};
+  /// Durable write-ahead journal (non-owning; survives client crashes — the
+  /// experiment harness owns it like the memfs). When set, every sync
+  /// transaction is journaled and uploads go through resumable server
+  /// sessions in recovery.chunk_bytes ranges; crash kill sites are armed.
+  /// When nullptr (the default) the client behaves byte-identically to the
+  /// journal-less build — no sessions, no extra exchanges, no RNG draws.
+  sync_journal* journal = nullptr;
+  recovery_options recovery{};
+  /// Reattach to an existing device registration instead of creating a new
+  /// one (0 = register fresh). A restarted client must keep its device id so
+  /// the cloud's notification queue for it survives the crash.
+  device_id reuse_device = 0;
 };
 
 class sync_client {
  public:
   sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
               sync_options opts);
+
+  /// Cancels every clock callback into this object, so the crash harness can
+  /// destroy an incarnation mid-run without leaving dangling events.
+  ~sync_client();
 
   sync_client(const sync_client&) = delete;
   sync_client& operator=(const sync_client&) = delete;
@@ -123,6 +140,22 @@ class sync_client {
 
   /// Time at which the client becomes fully idle (network + indexer).
   sim_time busy_until() const;
+
+  /// Crash-recovery pass, run once when a restarted client comes up (needs
+  /// sync_options::journal; a no-op without one). Reconciles open journal
+  /// records against the cloud — resuming in-flight upload sessions when
+  /// recovery.resume is on (paying only the un-acked chunk suffix plus a
+  /// session-query round trip), discarding them otherwise — then rescans the
+  /// sync folder against the cloud namespace and queues every divergent path
+  /// as if its fs event had just arrived.
+  void recover();
+
+  /// In-flight transactions continued through their upload session by
+  /// recover() instead of being re-sent from scratch.
+  std::uint64_t resume_count() const { return resumes_; }
+  /// Journaled transactions recovery discarded and restarted from scratch
+  /// (resume disabled, session lost, or local content changed under them).
+  std::uint64_t recovery_restart_count() const { return recovery_restarts_; }
 
   std::uint64_t commit_count() const { return commits_; }
   std::uint64_t exchange_count() const { return exchanges_; }
@@ -253,6 +286,73 @@ class sync_client {
   /// after the cool-down.
   void requeue(const std::string& path, const pending_change& chg);
 
+  /// Full description of one application-level exchange: what rides it in
+  /// each metered category, what the server applies, and how failure is
+  /// handled. The journaled upload path threads its session-control bytes
+  /// (traffic_category::resume) through here so every exchange — plain,
+  /// chunk, or finalize — shares one retry/metering implementation.
+  struct exchange_spec {
+    std::uint64_t payload_up = 0;
+    std::uint64_t meta_up = 0;
+    std::uint64_t resume_up = 0;
+    std::uint64_t payload_down = 0;
+    std::uint64_t meta_down = 0;
+    std::uint64_t resume_down = 0;
+    std::function<void()> apply;
+    int apply_fail_limit = 0;
+    bool never_give_up = false;
+  };
+
+  /// The retry-loop core behind do_exchange (see its contract above).
+  sim_time run_exchange(sim_time at, const exchange_spec& spec,
+                        txn_outcome* outcome = nullptr);
+
+  /// Throw client_crash when the injector schedules a kill at this site.
+  /// Armed only on journaled clients — a crash without a journal would lose
+  /// data by design, and the harness requires journal state to recover.
+  void maybe_crash(crash_site site, sim_time at);
+
+  /// One journaled, resumable sync transaction for an upsert: journal the
+  /// plan, open an upload session, ship the wire payload in
+  /// recovery.chunk_bytes ranges (kill sites armed at every stage), finalize
+  /// with the ordinary commit, mark the journal committed. Falls back to a
+  /// fresh full-file transaction when the server keeps rejecting a delta;
+  /// aborts the journal record and requeues when the retry budget runs out.
+  sim_time journaled_upload(const std::string& path, const pending_change& chg,
+                            sim_time t, std::uint64_t oh_up,
+                            std::uint64_t oh_down, bool force_full = false);
+
+  /// Journaled tombstone delete (no payload, no session — just the
+  /// plan/commit kill sites around the delete exchange).
+  sim_time journaled_remove(const std::string& path, const pending_change& chg,
+                            sim_time t, std::uint64_t oh_up,
+                            std::uint64_t oh_down);
+
+  /// Ship the un-acked chunk suffix of journal txn `txn` through its upload
+  /// session (mid-chunk kill site before every send).
+  sim_time send_session_chunks(std::uint64_t txn, resume_token token,
+                               sim_time t, txn_outcome* oc,
+                               bool never_give_up = false);
+
+  /// Finalize a fully-acked session: the commit exchange (before-commit kill
+  /// site first), then journal commit + checkpoint.
+  sim_time finalize_session_upload(const std::string& path,
+                                   const upload_plan& plan, std::uint64_t txn,
+                                   resume_token token, sim_time t,
+                                   std::uint64_t oh_up, std::uint64_t oh_down,
+                                   txn_outcome* oc);
+
+  /// apply_upload through a session finalize instead of a direct commit.
+  void apply_upload_session(const std::string& path, const upload_plan& plan,
+                            resume_token token, sim_time at);
+
+  /// Resume (or discard) one in-flight journal record during recover().
+  sim_time recover_in_flight(const journal_record& rec, sim_time t);
+
+  /// Post-recovery rescan: diff the sync folder against the cloud namespace,
+  /// adopt in-sync paths as shadows, queue divergent ones as dirty.
+  void rescan_after_recovery();
+
   sim_clock& clock_;
   memfs& fs_;
   cloud& cloud_;
@@ -274,6 +374,10 @@ class sync_client {
   sim_time network_busy_until_{};
   sim_time index_busy_until_{};
   event_id commit_event_ = 0;
+  event_id poll_event_ = 0;       ///< pending periodic-poll tick
+  std::size_t fs_subscription_ = 0;  ///< memfs observer token
+  std::uint64_t resumes_ = 0;
+  std::uint64_t recovery_restarts_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t exchanges_ = 0;
   std::uint64_t conflicts_ = 0;

@@ -1,0 +1,187 @@
+#include "client/sync_journal.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/text_table.hpp"
+#include "util/units.hpp"
+
+namespace cloudsync {
+
+const char* to_string(journal_state s) {
+  switch (s) {
+    case journal_state::planned: return "planned";
+    case journal_state::in_flight: return "in-flight";
+    case journal_state::committed: return "committed";
+    case journal_state::aborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* to_string(journal_kind k) {
+  switch (k) {
+    case journal_kind::upload_full: return "upload-full";
+    case journal_kind::upload_delta: return "upload-delta";
+    case journal_kind::remove: return "remove";
+    case journal_kind::batch_manifest: return "batch-manifest";
+  }
+  return "?";
+}
+
+std::uint64_t sync_journal::begin(std::string path, journal_kind kind,
+                                  std::uint64_t payload_bytes,
+                                  std::uint32_t total_chunks,
+                                  std::uint64_t base_version,
+                                  std::uint64_t content_hash, sim_time now) {
+  // A fresh attempt for a path supersedes its earlier aborted record: the
+  // abort was only there to witness the give-up until somebody retried.
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.path == path && it->second.state == journal_state::aborted) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  journal_record rec;
+  rec.id = next_id_++;
+  rec.path = std::move(path);
+  rec.kind = kind;
+  rec.payload_bytes = payload_bytes;
+  rec.total_chunks = total_chunks;
+  rec.base_version = base_version;
+  rec.content_hash = content_hash;
+  rec.started_at = now;
+  ++begun_;
+  note_transition(rec, "begin");
+  const auto id = rec.id;
+  records_.emplace(id, std::move(rec));
+  return id;
+}
+
+void sync_journal::set_resume_token(std::uint64_t id, std::uint64_t token) {
+  must_get(id).resume_token = token;
+}
+
+void sync_journal::mark_in_flight(std::uint64_t id) {
+  auto& rec = must_get(id);
+  if (rec.state != journal_state::planned &&
+      rec.state != journal_state::in_flight) {
+    throw std::logic_error("journal: mark_in_flight on a closed record");
+  }
+  rec.state = journal_state::in_flight;
+  note_transition(rec, "in-flight");
+}
+
+void sync_journal::ack_chunk(std::uint64_t id, std::uint32_t index) {
+  auto& rec = must_get(id);
+  if (rec.state != journal_state::in_flight) {
+    throw std::logic_error("journal: ack_chunk outside in_flight");
+  }
+  if (index != rec.acked_chunks || index >= rec.total_chunks) {
+    throw std::logic_error("journal: non-contiguous chunk ack");
+  }
+  ++rec.acked_chunks;
+  if (trace_enabled_) {
+    std::ostringstream os;
+    os << "ack chunk " << rec.acked_chunks << "/" << rec.total_chunks;
+    note_transition(rec, os.str().c_str());
+  }
+}
+
+void sync_journal::commit(std::uint64_t id) {
+  auto& rec = must_get(id);
+  // Only an in-flight transaction can commit: the exchange that makes a
+  // commit durable is exactly what mark_in_flight witnesses, so a
+  // planned→committed jump means a code path skipped the wire.
+  if (rec.state != journal_state::in_flight) {
+    throw std::logic_error("journal: commit outside in_flight");
+  }
+  rec.state = journal_state::committed;
+  ++committed_;
+  ++commits_by_path_[rec.path];
+  note_transition(rec, "commit");
+}
+
+void sync_journal::abort(std::uint64_t id, std::string reason) {
+  auto& rec = must_get(id);
+  if (rec.state == journal_state::committed) {
+    throw std::logic_error("journal: abort after commit");
+  }
+  rec.state = journal_state::aborted;
+  rec.note = std::move(reason);
+  ++aborted_;
+  note_transition(rec, "abort");
+}
+
+const journal_record* sync_journal::find(std::uint64_t id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<journal_record> sync_journal::open_records() const {
+  std::vector<journal_record> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.state != journal_state::committed) out.push_back(rec);
+  }
+  return out;
+}
+
+void sync_journal::erase(std::uint64_t id) { records_.erase(id); }
+
+std::size_t sync_journal::checkpoint() {
+  std::size_t dropped = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.state == journal_state::committed) {
+      it = records_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::uint64_t sync_journal::commits_for(const std::string& path) const {
+  auto it = commits_by_path_.find(path);
+  return it == commits_by_path_.end() ? 0 : it->second;
+}
+
+journal_record& sync_journal::must_get(std::uint64_t id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw std::logic_error("journal: unknown transaction id");
+  }
+  return it->second;
+}
+
+void sync_journal::note_transition(const journal_record& rec,
+                                   const char* what) {
+  if (!trace_enabled_) return;
+  std::ostringstream os;
+  os << "txn " << rec.id << " " << what << " " << rec.path << " ["
+     << to_string(rec.kind) << "]";
+  if (!rec.note.empty()) os << " (" << rec.note << ")";
+  trace_.push_back(os.str());
+}
+
+std::string sync_journal::dump() const {
+  text_table table;
+  table.header({"txn", "path", "kind", "state", "chunks", "bytes", "token",
+                "base", "note"});
+  for (const auto& [id, rec] : records_) {
+    std::ostringstream chunks;
+    chunks << rec.acked_chunks << "/" << rec.total_chunks;
+    table.row({std::to_string(rec.id), rec.path, to_string(rec.kind),
+               to_string(rec.state), chunks.str(),
+               format_bytes(static_cast<double>(rec.payload_bytes)),
+               rec.resume_token ? std::to_string(rec.resume_token) : "-",
+               std::to_string(rec.base_version), rec.note});
+  }
+  std::ostringstream os;
+  os << table.str();
+  os << "records: " << records_.size() << "  begun: " << begun_
+     << "  committed: " << committed_ << "  aborted: " << aborted_ << "\n";
+  return os.str();
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,133 @@
+// Client-side write-ahead sync journal: the crash-consistency substrate.
+//
+// Real clients persist a transaction journal (Dropbox's sqlite DB) so that a
+// killed process can resume or discard in-flight work instead of restarting
+// every transfer from scratch — the paper's §5 restart behaviour (Box and
+// Ubuntu One re-sending entire files after a disruption) is exactly what this
+// layer avoids. Here the journal models that durable local store: it is owned
+// by the experiment harness (like memfs) and therefore survives the injected
+// client crashes of the crash-point harness, while the sync client's
+// in-memory state (dirty set, shadows, connection) dies with the process.
+//
+// Record lifecycle (enforced; invalid transitions throw std::logic_error):
+//
+//   begin() ─▶ planned ─▶ in_flight ─▶ committed ─▶ (checkpoint drops it)
+//                  │           │
+//                  │           └─▶ aborted   (retry budget exhausted)
+//                  └─▶ aborted
+//
+// The recovery pass (sync_client::recover) reconciles open records against
+// the metadata service: `planned` and `aborted` records are discarded (the
+// startup rescan re-queues the path), `in_flight` records are resumed through
+// their server session when resume is enabled, or discarded and re-planned
+// when it is not. Cumulative per-path commit counters survive checkpoints so
+// the invariant checker can prove no update was applied twice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace cloudsync {
+
+enum class journal_state : std::uint8_t { planned, in_flight, committed,
+                                          aborted };
+enum class journal_kind : std::uint8_t {
+  upload_full,     ///< full-file PUT (optionally deduplicated)
+  upload_delta,    ///< incremental (rsync) sync
+  remove,          ///< tombstone delete
+  batch_manifest,  ///< BDS batch exchange (applies already durable)
+};
+
+const char* to_string(journal_state s);
+const char* to_string(journal_kind k);
+
+struct journal_record {
+  std::uint64_t id = 0;
+  std::string path;
+  journal_kind kind = journal_kind::upload_full;
+  journal_state state = journal_state::planned;
+  std::uint64_t payload_bytes = 0;   ///< planned wire payload (all chunks)
+  std::uint32_t total_chunks = 0;
+  std::uint32_t acked_chunks = 0;    ///< contiguous prefix acked by the server
+  std::uint64_t resume_token = 0;    ///< server upload session (0 = none)
+  std::uint64_t base_version = 0;    ///< cloud version the plan was based on
+  std::uint64_t content_hash = 0;    ///< identity of the planned local content
+  sim_time started_at{};
+  std::string note;                  ///< abort reason, recovery disposition
+};
+
+/// How a restarted client treats in-flight journal records.
+struct recovery_options {
+  /// Resume through server sessions (pay only the un-acked suffix plus a
+  /// metadata round trip) instead of discarding progress and re-planning.
+  bool resume = true;
+  /// Ranged-upload granularity: the wire payload is shipped and acked in
+  /// chunks of this many bytes, each a recoverable unit of progress.
+  std::size_t chunk_bytes = 64 * 1024;
+};
+
+class sync_journal {
+ public:
+  /// Open a new record in state `planned`; returns its transaction id.
+  /// Supersedes (erases) any earlier aborted record for the same path — the
+  /// abort stays observable until the path is re-attempted, no longer.
+  std::uint64_t begin(std::string path, journal_kind kind,
+                      std::uint64_t payload_bytes, std::uint32_t total_chunks,
+                      std::uint64_t base_version, std::uint64_t content_hash,
+                      sim_time now);
+
+  void set_resume_token(std::uint64_t id, std::uint64_t token);
+  void mark_in_flight(std::uint64_t id);
+  /// Record that chunk `index` was acked; must be the next un-acked chunk.
+  void ack_chunk(std::uint64_t id, std::uint32_t index);
+  void commit(std::uint64_t id);
+  void abort(std::uint64_t id, std::string reason);
+
+  const journal_record* find(std::uint64_t id) const;
+  /// Records recovery must resolve (planned / in_flight / aborted), id order.
+  std::vector<journal_record> open_records() const;
+  /// Drop a record recovery has resolved (rolled forward or discarded).
+  void erase(std::uint64_t id);
+  /// Drop committed records (bounded growth); returns how many were dropped.
+  std::size_t checkpoint();
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // Durable cumulative counters — survive checkpoint() and crashes.
+  std::uint64_t begun_count() const { return begun_; }
+  std::uint64_t committed_count() const { return committed_; }
+  std::uint64_t aborted_count() const { return aborted_; }
+  /// Committed transactions (uploads + removes) for one path: the invariant
+  /// checker matches this against the cloud-side manifest version to prove
+  /// no update was lost or applied twice.
+  std::uint64_t commits_for(const std::string& path) const;
+
+  /// Keep a human-readable transition log (journal_dump, debugging failed
+  /// bench cells). Off by default — tracing allocates per transition.
+  void set_trace(bool on) { trace_enabled_ = on; }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  /// Pretty-print the live records (txn id, path, kind, state, chunk
+  /// progress, resume token) plus the cumulative counters.
+  std::string dump() const;
+
+ private:
+  journal_record& must_get(std::uint64_t id);
+  void note_transition(const journal_record& rec, const char* what);
+
+  std::map<std::uint64_t, journal_record> records_;
+  std::map<std::string, std::uint64_t> commits_by_path_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t begun_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace cloudsync

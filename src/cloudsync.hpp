@@ -19,6 +19,7 @@
 #include "client/hardware.hpp"
 #include "client/service_profile.hpp"
 #include "client/sync_engine.hpp"
+#include "client/sync_journal.hpp"
 #include "compress/compressor.hpp"
 #include "compress/huffman.hpp"
 #include "compress/lzss.hpp"
@@ -26,6 +27,7 @@
 #include "core/dedup_probe.hpp"
 #include "core/experiment.hpp"
 #include "core/fleet.hpp"
+#include "core/invariants.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/service_probe.hpp"
 #include "core/tue.hpp"

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <stdexcept>
+
 namespace cloudsync {
 
 namespace {
@@ -26,9 +28,39 @@ experiment_env::experiment_env(experiment_config cfg)
   add_station(0);
 }
 
+traffic_meter station::aggregate_meter() const {
+  traffic_meter sum;
+  for (const traffic_meter& m : retired_meters) sum.add(m);
+  if (client) sum.add(client->meter());
+  return sum;
+}
+
+std::uint64_t station::total_retries() const {
+  return retired_retries + (client ? client->retry_count() : 0);
+}
+std::uint64_t station::total_requeues() const {
+  return retired_requeues + (client ? client->requeue_count() : 0);
+}
+std::uint64_t station::total_fallbacks() const {
+  return retired_fallbacks + (client ? client->fallback_count() : 0);
+}
+std::uint64_t station::total_resumes() const {
+  return retired_resumes + (client ? client->resume_count() : 0);
+}
+std::uint64_t station::total_recovery_restarts() const {
+  return retired_recovery_restarts +
+         (client ? client->recovery_restart_count() : 0);
+}
+
 station& experiment_env::add_station(user_id user) {
   auto st = std::make_unique<station>();
   st->user = user;
+  stations_.push_back(std::move(st));
+  build_client(*stations_.back());
+  return *stations_.back();
+}
+
+void experiment_env::build_client(station& st) {
   sync_options opts;
   opts.profile = cfg_.profile;
   opts.method = cfg_.method;
@@ -37,20 +69,61 @@ station& experiment_env::add_station(user_id user) {
   opts.cache = cfg_.use_content_cache ? &content_cache::global() : nullptr;
   opts.faults = faults_.get();
   opts.retry = cfg_.retry;
-  st->client = std::make_unique<sync_client>(clock_, st->fs, cloud_, user,
-                                             std::move(opts));
-  stations_.push_back(std::move(st));
-  return *stations_.back();
+  if (cfg_.journal) {
+    opts.journal = &st.journal;
+    opts.recovery = cfg_.recovery;
+  }
+  opts.reuse_device = st.device;  // 0 on first build = register fresh
+  st.client = std::make_unique<sync_client>(clock_, st.fs, cloud_, st.user,
+                                            std::move(opts));
+  st.device = st.client->device();
+}
+
+void experiment_env::handle_crash(const client_crash& crash) {
+  for (const auto& stp : stations_) {
+    station& st = *stp;
+    if (st.client == nullptr || st.client->device() != crash.device()) {
+      continue;
+    }
+    ++st.crashes;
+    // Retire the dead incarnation: its traffic stays on the books (the
+    // invariant checker proves conservation), its counters accumulate, its
+    // in-memory sync state dies with it. The journal and filesystem are the
+    // station's durable state and survive untouched.
+    st.retired_meters.push_back(st.client->meter());
+    st.retired_retries += st.client->retry_count();
+    st.retired_requeues += st.client->requeue_count();
+    st.retired_fallbacks += st.client->fallback_count();
+    st.retired_resumes += st.client->resume_count();
+    st.retired_recovery_restarts += st.client->recovery_restart_count();
+    st.client.reset();  // cancels its clock events, detaches its watcher
+    station* stptr = &st;
+    clock_.schedule_at(clock_.now() + cfg_.restart_delay, [this, stptr] {
+      build_client(*stptr);
+      stptr->client->recover();
+    });
+    return;
+  }
+  throw std::logic_error("experiment_env: crash from unknown device");
 }
 
 void experiment_env::settle() {
   // Commits can reschedule themselves while transfers drain, so alternate
   // between running the queue and advancing past busy periods.
   for (int guard = 0; guard < 1000; ++guard) {
-    clock_.run_all();
+    try {
+      clock_.run_all();
+    } catch (const client_crash& crash) {
+      // The kill unwound through the event that was running (sim_clock pops
+      // before invoking, so the queue stays consistent); restart the station
+      // and keep settling.
+      handle_crash(crash);
+      continue;
+    }
     sim_time latest = clock_.now();
     bool pending = false;
     for (const auto& st : stations_) {
+      if (st->client == nullptr) continue;  // restart event is in the queue
       latest = std::max(latest, st->client->busy_until());
       pending = pending || st->client->has_pending();
     }
@@ -220,6 +293,71 @@ failure_run_result run_failure_experiment(const experiment_config& cfg,
   res.requeues = st.client->requeue_count();
   res.fallbacks = st.client->fallback_count();
   res.faults_injected = env.faults().injected_total();
+  return res;
+}
+
+crash_run_result run_crash_experiment(const experiment_config& cfg,
+                                      std::size_t files,
+                                      std::uint64_t file_bytes) {
+  experiment_config jcfg = cfg;
+  jcfg.journal = true;  // crash recovery is meaningless without the journal
+  experiment_env env(jcfg);
+  station& st = env.primary();
+
+  const sim_time start = env.clock().now();
+
+  // Phase 1: distinct creations, spaced so each syncs as its own commit
+  // (full-upload sessions). The fs events fire whether or not the client is
+  // alive at that instant — a crash-downed client learns about them from the
+  // recovery rescan, like a real machine rebooting after edits.
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::string path = "crash/f" + std::to_string(i);
+    const sim_time at = start + sim_time::from_sec(10.0 * (i + 1));
+    env.clock().schedule_at(at, [&env, &st, path, file_bytes] {
+      st.fs.create(path, env.gen_compressed(file_bytes), env.clock().now());
+    });
+  }
+  env.settle();
+
+  // Phase 2: one-byte modifications (delta-sync sessions where the service
+  // supports them).
+  const sim_time mid = std::max(env.clock().now(),
+                                st.client ? st.client->busy_until()
+                                          : env.clock().now());
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::string path = "crash/f" + std::to_string(i);
+    const sim_time at = mid + sim_time::from_sec(10.0 * (i + 1));
+    env.clock().schedule_at(at, [&env, &st, path] {
+      modify_random_byte(st.fs, path, env.random(), env.clock().now());
+    });
+  }
+  env.settle();
+
+  crash_run_result res;
+  const traffic_meter aggregate = st.aggregate_meter();
+  res.total_traffic = aggregate.total();
+  res.resume_traffic = aggregate.by_category(traffic_category::resume);
+  res.retry_traffic = aggregate.by_category(traffic_category::retry);
+  res.data_update_bytes = files * file_bytes + files;  // creations + 1B edits
+  res.tue = tue(res.total_traffic, res.data_update_bytes);
+  res.completion_sec =
+      ((st.client ? st.client->busy_until() : env.clock().now()) - start)
+          .sec();
+  res.crashes = st.crashes;
+  res.resumes = st.total_resumes();
+  res.recovery_restarts = st.total_recovery_restarts();
+  res.journal_begun = st.journal.begun_count();
+  res.journal_committed = st.journal.committed_count();
+  res.journal_aborted = st.journal.aborted_count();
+
+  check_convergence(st.fs, env.the_cloud(), st.user, res.invariants);
+  check_journal_quiescent(st.journal, env.the_cloud(), res.invariants);
+  check_no_duplicate_commits(st.journal, env.the_cloud(), st.user,
+                             res.invariants);
+  std::vector<const traffic_meter*> parts;
+  for (const traffic_meter& m : st.retired_meters) parts.push_back(&m);
+  if (st.client) parts.push_back(&st.client->meter());
+  check_meter_conservation(aggregate, parts, res.invariants);
   return res;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "client/sync_engine.hpp"
+#include "core/invariants.hpp"
 #include "core/tue.hpp"
 #include "fs/file_ops.hpp"
 #include "net/fault_injector.hpp"
@@ -33,14 +34,45 @@ struct experiment_config {
   fault_plan faults{};
   /// How clients retry transient faults (ignored while `faults` is disabled).
   retry_policy retry{};
+  /// Give every station a durable write-ahead journal: sync transactions are
+  /// journaled, uploads ship through resumable sessions, and settle()
+  /// becomes crash-aware (an injected client_crash destroys the station's
+  /// client and restarts it after `restart_delay`, running the recovery
+  /// pass). Required for fault_plan::crash_prob to have any effect. Off by
+  /// default — journal-less runs are byte-identical to older builds.
+  bool journal = false;
+  recovery_options recovery{};
+  sim_time restart_delay = sim_time::from_sec(5);
 };
 
 /// One client machine attached to the environment: its own sync folder and
-/// sync client, belonging to a user account.
+/// sync client, belonging to a user account. The folder, journal, and device
+/// registration are the station's durable state — they survive client
+/// crashes; the sync_client is the process, rebuilt by the harness after
+/// each injected crash.
 struct station {
   user_id user;
   memfs fs;
+  sync_journal journal;              ///< used when config.journal is set
   std::unique_ptr<sync_client> client;
+  device_id device = 0;              ///< stable across incarnations
+  std::vector<traffic_meter> retired_meters;  ///< one per dead incarnation
+  std::uint64_t crashes = 0;
+  // Counters accumulated from dead incarnations (the live client's counters
+  // are added on top when reporting).
+  std::uint64_t retired_retries = 0;
+  std::uint64_t retired_requeues = 0;
+  std::uint64_t retired_fallbacks = 0;
+  std::uint64_t retired_resumes = 0;
+  std::uint64_t retired_recovery_restarts = 0;
+
+  /// Sum of every incarnation's traffic, dead and alive.
+  traffic_meter aggregate_meter() const;
+  std::uint64_t total_retries() const;
+  std::uint64_t total_requeues() const;
+  std::uint64_t total_fallbacks() const;
+  std::uint64_t total_resumes() const;
+  std::uint64_t total_recovery_restarts() const;
 };
 
 class experiment_env {
@@ -58,7 +90,12 @@ class experiment_env {
   station& add_station(user_id user);
 
   /// Run the event loop until every pending sync completed, and make the
-  /// clock at least reach every station's busy-until point.
+  /// clock at least reach every station's busy-until point. With journaling
+  /// on, injected client crashes are caught here: the dead incarnation's
+  /// meter is retired, its client destroyed, and a restart + recovery pass
+  /// scheduled restart_delay later — then settling continues until true
+  /// quiescence (recovery itself may crash again; fault_plan::max_crashes
+  /// bounds the cascade).
   void settle();
 
   /// Bytes of sync traffic a station accumulated since `snap`.
@@ -90,6 +127,11 @@ class experiment_env {
   }
 
  private:
+  /// Retire the crashed incarnation and schedule its restart + recovery.
+  void handle_crash(const client_crash& crash);
+  /// (Re)build a station's sync_client — same device id, same journal.
+  void build_client(station& st);
+
   experiment_config cfg_;
   sim_clock clock_;
   cloud cloud_;
@@ -166,5 +208,30 @@ struct failure_run_result {
 failure_run_result run_failure_experiment(const experiment_config& cfg,
                                           std::size_t files,
                                           std::uint64_t file_bytes);
+
+/// Crash-recovery experiment: the same create-then-modify workload as
+/// run_failure_experiment, but with journaling on and the config's crash
+/// plan armed — clients die at kill sites, restart, and recover. After
+/// quiescence the full invariant suite runs (convergence, journal/session
+/// quiescence, commit counts, meter conservation); a violation is a bug, not
+/// a measurement.
+struct crash_run_result {
+  std::uint64_t total_traffic = 0;    ///< every incarnation, all categories
+  std::uint64_t resume_traffic = 0;   ///< traffic_category::resume share
+  std::uint64_t retry_traffic = 0;    ///< traffic_category::retry share
+  std::uint64_t data_update_bytes = 0;
+  double tue = 0;
+  double completion_sec = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t resumes = 0;            ///< transactions continued in place
+  std::uint64_t recovery_restarts = 0;  ///< transactions re-sent from scratch
+  std::uint64_t journal_begun = 0;
+  std::uint64_t journal_committed = 0;
+  std::uint64_t journal_aborted = 0;
+  invariant_report invariants;
+};
+crash_run_result run_crash_experiment(const experiment_config& cfg,
+                                      std::size_t files,
+                                      std::uint64_t file_bytes);
 
 }  // namespace cloudsync

@@ -1,0 +1,95 @@
+#include "core/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cloudsync {
+
+std::string invariant_report::summary() const {
+  if (violations.empty()) return "all invariants hold";
+  std::ostringstream os;
+  for (const auto& v : violations) os << v << "\n";
+  return os.str();
+}
+
+void check_convergence(const memfs& fs, const cloud& cl, user_id user,
+                       invariant_report& rep) {
+  const auto local = fs.list();
+  const auto remote = cl.metadata().list(user);
+
+  for (const auto& path : local) {
+    if (std::find(remote.begin(), remote.end(), path) == remote.end()) {
+      rep.fail("convergence: local file missing in cloud: " + path);
+    }
+  }
+  for (const auto& path : remote) {
+    if (!fs.exists(path)) {
+      rep.fail("convergence: cloud file missing locally: " + path);
+      continue;
+    }
+    const auto cloud_content = cl.file_content(user, path);
+    if (!cloud_content) {
+      rep.fail("convergence: cloud content unreadable: " + path);
+      continue;
+    }
+    const byte_view local_content = fs.read(path);
+    if (cloud_content->size() != local_content.size() ||
+        !std::equal(cloud_content->begin(), cloud_content->end(),
+                    local_content.begin())) {
+      rep.fail("convergence: content mismatch: " + path + " (local " +
+               std::to_string(local_content.size()) + " B, cloud " +
+               std::to_string(cloud_content->size()) + " B)");
+    }
+  }
+}
+
+void check_journal_quiescent(const sync_journal& journal, const cloud& cl,
+                             invariant_report& rep) {
+  for (const auto& rec : journal.open_records()) {
+    rep.fail(std::string("quiescence: open journal record: txn ") +
+             std::to_string(rec.id) + " " + rec.path + " [" +
+             to_string(rec.state) + "]");
+  }
+  if (cl.open_session_count() != 0) {
+    rep.fail("quiescence: " + std::to_string(cl.open_session_count()) +
+             " upload session(s) left open on the server");
+  }
+}
+
+void check_no_duplicate_commits(const sync_journal& journal, const cloud& cl,
+                                user_id user, invariant_report& rep) {
+  for (const auto& path : cl.metadata().list(user)) {
+    const file_manifest* man = cl.manifest(user, path);
+    if (man == nullptr) continue;
+    const std::uint64_t committed = journal.commits_for(path);
+    if (man->version != committed) {
+      rep.fail("commit count: " + path + ": cloud version " +
+               std::to_string(man->version) + " != journal commits " +
+               std::to_string(committed) +
+               (man->version > committed ? " (duplicated update)"
+                                         : " (lost update)"));
+    }
+  }
+}
+
+void check_meter_conservation(const traffic_meter& combined,
+                              const std::vector<const traffic_meter*>& parts,
+                              invariant_report& rep) {
+  for (int d = 0; d < 2; ++d) {
+    const auto dir = static_cast<direction>(d);
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(traffic_category::kCount); ++c) {
+      const auto cat = static_cast<traffic_category>(c);
+      std::uint64_t sum = 0;
+      for (const traffic_meter* m : parts) sum += m->get(dir, cat);
+      if (sum != combined.get(dir, cat)) {
+        rep.fail(std::string("meter conservation: ") + to_string(cat) +
+                 (dir == direction::up ? " up: " : " down: ") +
+                 std::to_string(sum) + " summed != " +
+                 std::to_string(combined.get(dir, cat)) + " combined");
+      }
+    }
+  }
+}
+
+}  // namespace cloudsync

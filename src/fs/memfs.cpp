@@ -31,7 +31,16 @@ const memfs::node& memfs::must_get(const std::string& path) const {
 }
 
 void memfs::notify(const fs_event& ev) {
-  for (const observer& obs : observers_) obs(ev);
+  for (const auto& [token, obs] : observers_) obs(ev);
+}
+
+void memfs::unsubscribe(std::size_t token) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == token) {
+      observers_.erase(it);
+      return;
+    }
+  }
 }
 
 void memfs::create(const std::string& path, byte_buffer content,

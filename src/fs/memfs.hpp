@@ -32,8 +32,17 @@ class memfs {
   using observer = std::function<void(const fs_event&)>;
 
   /// Register a change observer (the sync client's watcher). Multiple
-  /// observers are allowed; all receive every event.
-  void subscribe(observer obs) { observers_.push_back(std::move(obs)); }
+  /// observers are allowed; all receive every event. Returns a token for
+  /// unsubscribe().
+  std::size_t subscribe(observer obs) {
+    observers_.push_back({next_observer_id_, std::move(obs)});
+    return next_observer_id_++;
+  }
+
+  /// Remove a previously registered observer. The filesystem outlives client
+  /// incarnations in the crash harness, so a dying client must detach its
+  /// watcher. Unknown tokens are ignored.
+  void unsubscribe(std::size_t token);
 
   // -- Mutations (all notify observers) --------------------------------
 
@@ -82,7 +91,8 @@ class memfs {
   void notify(const fs_event& ev);
 
   std::map<std::string, node> files_;
-  std::vector<observer> observers_;
+  std::vector<std::pair<std::size_t, observer>> observers_;
+  std::size_t next_observer_id_ = 1;
 };
 
 }  // namespace cloudsync

@@ -11,7 +11,18 @@ const char* to_string(fault_kind k) {
     case fault_kind::transfer_abort: return "transfer abort";
     case fault_kind::server_error: return "server error";
     case fault_kind::server_throttle: return "server throttle";
+    case fault_kind::client_crash: return "client crash";
     case fault_kind::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(crash_site s) {
+  switch (s) {
+    case crash_site::after_plan: return "after plan";
+    case crash_site::mid_chunk: return "mid chunk";
+    case crash_site::before_commit: return "before commit";
+    case crash_site::kCount: break;
   }
   return "?";
 }
@@ -27,6 +38,64 @@ fault_plan fault_plan::degraded(double intensity, std::uint64_t seed) {
   p.server_error_prob = 0.05 * intensity;
   p.throttle_prob = 0.03 * intensity;
   return p;
+}
+
+fault_plan fault_plan::crashes(double prob, std::uint64_t seed) {
+  fault_plan p;
+  p.seed = seed;
+  p.crash_prob = prob;
+  return p;
+}
+
+namespace {
+/// Independent-event composition: the merged probability that at least one
+/// of the two plans fires.
+// Independent-events union, short-circuited so merging with a zero
+// probability returns the other side bit-exactly (1−(1−a)(1−0) re-rounds a,
+// which would break the merged(a, none()) == a identity).
+double combine_prob(double a, double b) {
+  if (a <= 0) return b;
+  if (b <= 0) return a;
+  return 1.0 - (1.0 - a) * (1.0 - b);
+}
+}  // namespace
+
+fault_plan fault_plan::merged(const fault_plan& a, const fault_plan& b) {
+  fault_plan m = a;
+  // Seed combine: merging with a zero-seed plan preserves the other seed, so
+  // merged(a, none()) replays a's exact schedule.
+  m.seed = a.seed ^ (b.seed * 0x9e3779b97f4a7c15ULL);
+  m.outages_per_hour = a.outages_per_hour + b.outages_per_hour;
+  // Duration/hint fields belong to whichever side uses the matching rate;
+  // with both active, take the harsher value (defaults must not leak in from
+  // an inactive side, or merging with none() would change the schedule).
+  if (a.outages_per_hour <= 0) {
+    m.outage_mean_duration = b.outage_mean_duration;
+    m.outage_horizon = b.outage_horizon;
+  } else if (b.outages_per_hour > 0) {
+    m.outage_mean_duration =
+        std::max(a.outage_mean_duration, b.outage_mean_duration);
+    m.outage_horizon = std::max(a.outage_horizon, b.outage_horizon);
+  }
+  m.reset_prob = combine_prob(a.reset_prob, b.reset_prob);
+  m.abort_prob = combine_prob(a.abort_prob, b.abort_prob);
+  m.server_error_prob = combine_prob(a.server_error_prob, b.server_error_prob);
+  m.throttle_prob = combine_prob(a.throttle_prob, b.throttle_prob);
+  if (a.throttle_prob <= 0) {
+    m.throttle_retry_after = b.throttle_retry_after;
+  } else if (b.throttle_prob > 0) {
+    m.throttle_retry_after =
+        std::max(a.throttle_retry_after, b.throttle_retry_after);
+  }
+  m.crash_prob = combine_prob(a.crash_prob, b.crash_prob);
+  if (a.crash_prob <= 0) {
+    m.max_crashes = b.max_crashes;
+  } else if (b.crash_prob > 0) {
+    m.max_crashes = std::max(a.max_crashes, b.max_crashes);
+  }
+  m.fail_first_server_ops = a.fail_first_server_ops + b.fail_first_server_ops;
+  m.fail_first_exchanges = a.fail_first_exchanges + b.fail_first_exchanges;
+  return m;
 }
 
 fault_injector::fault_injector(fault_plan plan, std::uint64_t env_seed)
@@ -103,6 +172,26 @@ std::optional<fault_kind> fault_injector::sample_server_fault() {
     return fault_kind::server_throttle;
   }
   return std::nullopt;
+}
+
+bool fault_injector::should_crash(crash_site site) {
+  if (forced_crash_armed_ && site == forced_crash_site_) {
+    if (forced_crash_skip_ > 0) {
+      --forced_crash_skip_;
+    } else {
+      forced_crash_armed_ = false;
+      count(fault_kind::client_crash);
+      ++crashes_injected_;
+      return true;
+    }
+  }
+  if (plan_.crash_prob > 0.0 && crashes_injected_ < plan_.max_crashes &&
+      rng_.chance(plan_.crash_prob)) {
+    count(fault_kind::client_crash);
+    ++crashes_injected_;
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t fault_injector::injected_total() const {

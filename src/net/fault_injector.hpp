@@ -38,10 +38,23 @@ enum class fault_kind : std::uint8_t {
   transfer_abort,    ///< connection dies mid-transfer; partial bytes wasted
   server_error,      ///< transient 5xx before the server applied anything
   server_throttle,   ///< 429 with a retry-after hint
+  client_crash,      ///< the client process dies at a kill site and restarts
   kCount
 };
 
 const char* to_string(fault_kind k);
+
+/// Kill sites of the crash-point harness: the instants inside a journaled
+/// sync transaction where an injected crash is checked for (see
+/// client/sync_journal.hpp for the journal states each site leaves behind).
+enum class crash_site : std::uint8_t {
+  after_plan,     ///< transaction journaled, nothing on the wire yet
+  mid_chunk,      ///< before sending chunk k; chunks 0..k-1 are acked
+  before_commit,  ///< all chunks acked, final commit not yet issued
+  kCount
+};
+
+const char* to_string(crash_site s);
 
 /// A typed transient failure surfaced by the net/storage layers. Retryable by
 /// construction: `at` is when the failure was detected (virtual time already
@@ -61,6 +74,27 @@ class transient_fault : public std::exception {
   fault_kind kind_;
   sim_time at_;
   sim_time retry_after_;
+};
+
+/// An injected client crash. NOT retryable in place: it unwinds the whole
+/// sync client (whose in-memory state — dirty set, shadows, connection — is
+/// lost, exactly like a killed process) and is caught by the crash-recovery
+/// harness, which restarts the station and runs the journal recovery pass.
+/// `device` identifies the station whose client died.
+class client_crash : public std::exception {
+ public:
+  client_crash(crash_site site, sim_time at, std::uint32_t device)
+      : site_(site), at_(at), device_(device) {}
+
+  crash_site site() const { return site_; }
+  sim_time at() const { return at_; }
+  std::uint32_t device() const { return device_; }
+  const char* what() const noexcept override { return to_string(site_); }
+
+ private:
+  crash_site site_;
+  sim_time at_;
+  std::uint32_t device_;
 };
 
 /// Seeded description of the faults an environment should experience.
@@ -85,6 +119,13 @@ struct fault_plan {
   double throttle_prob = 0.0;
   sim_time throttle_retry_after = sim_time::from_sec(2);
 
+  // Client crashes (the crash-point harness): at every kill site reached by
+  // a journaled sync transaction, the client dies with this probability and
+  // the harness restarts it. Bounded by `max_crashes` so hostile plans still
+  // terminate (a resumed transfer makes progress; a restarted one may not).
+  double crash_prob = 0.0;
+  int max_crashes = 64;
+
   /// Deterministic count-based faults for tests: the first N server
   /// operations / exchanges fail unconditionally, then the probabilities
   /// above take over. Lets a test pin "delta sync fails exactly 3 times".
@@ -93,7 +134,7 @@ struct fault_plan {
 
   bool enabled() const {
     return outages_per_hour > 0 || reset_prob > 0 || abort_prob > 0 ||
-           server_error_prob > 0 || throttle_prob > 0 ||
+           server_error_prob > 0 || throttle_prob > 0 || crash_prob > 0 ||
            fail_first_server_ops > 0 || fail_first_exchanges > 0;
   }
 
@@ -103,6 +144,19 @@ struct fault_plan {
   /// 1 = a badly degraded network). Used by bench/failure_tue to sweep the
   /// loss/outage axis with one knob.
   static fault_plan degraded(double intensity, std::uint64_t seed = 0);
+
+  /// A pure crash plan: client dies with probability `prob` at every kill
+  /// site. Compose with transient faults via merged().
+  static fault_plan crashes(double prob, std::uint64_t seed = 0);
+
+  /// Deterministic composition of two seeded plans (e.g. transient faults +
+  /// crash points) into one plan an experiment_env can own. Rates add,
+  /// per-event probabilities combine as independent events
+  /// (1 − (1−a)(1−b)), count-based faults add, and each duration/hint field
+  /// follows whichever side actually uses it (max when both do). Merging
+  /// with none() is the identity, so merged(a, none()) replays exactly a's
+  /// schedule.
+  static fault_plan merged(const fault_plan& a, const fault_plan& b);
 };
 
 /// Turns a fault_plan into concrete, reproducible fault decisions.
@@ -114,7 +168,7 @@ class fault_injector {
 
   bool enabled() const {
     return plan_.enabled() || remaining_forced_server_ > 0 ||
-           remaining_forced_exchange_ > 0;
+           remaining_forced_exchange_ > 0 || forced_crash_armed_;
   }
   const fault_plan& plan() const { return plan_; }
 
@@ -155,12 +209,33 @@ class fault_injector {
   void force_server_failures(int n) { remaining_forced_server_ = n; }
   void force_exchange_failures(int n) { remaining_forced_exchange_ = n; }
 
+  /// Should the client die at this kill site? Counts against max_crashes.
+  /// Consumes RNG only when the plan's crash_prob is non-zero; a forced
+  /// crash (below) fires without any draw.
+  bool should_crash(crash_site site);
+
+  /// Arm exactly one deterministic crash (tests, journal_dump): the client
+  /// dies at the (skip+1)-th opportunity at `site`. Opportunities at other
+  /// sites are not counted and never consume RNG.
+  void force_crash(crash_site site, int skip = 0) {
+    forced_crash_armed_ = true;
+    forced_crash_site_ = site;
+    forced_crash_skip_ = skip;
+  }
+
+  /// Crashes injected so far (forced + sampled).
+  int crashes_injected() const { return crashes_injected_; }
+
  private:
   fault_plan plan_;
   rng rng_;
   std::vector<std::pair<sim_time, sim_time>> outages_;  ///< sorted windows
   int remaining_forced_server_ = 0;
   int remaining_forced_exchange_ = 0;
+  bool forced_crash_armed_ = false;
+  crash_site forced_crash_site_ = crash_site::after_plan;
+  int forced_crash_skip_ = 0;
+  int crashes_injected_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(fault_kind::kCount)>
       injected_{};
 };

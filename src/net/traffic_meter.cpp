@@ -12,6 +12,7 @@ const char* to_string(traffic_category c) {
     case traffic_category::transport: return "transport";
     case traffic_category::notification: return "notification";
     case traffic_category::retry: return "retry";
+    case traffic_category::resume: return "resume";
     case traffic_category::kCount: break;
   }
   return "?";
@@ -51,6 +52,12 @@ std::uint64_t traffic_meter::overhead() const {
 }
 
 void traffic_meter::reset() { counters_.fill(0); }
+
+void traffic_meter::add(const traffic_meter& other) {
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
 
 traffic_meter::snapshot traffic_meter::snap() const { return {counters_}; }
 

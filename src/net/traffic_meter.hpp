@@ -19,6 +19,8 @@ enum class traffic_category : std::uint8_t {
   transport,     ///< TCP/IP + TLS framing and handshakes
   notification,  ///< sync notifications, status, acknowledgements
   retry,         ///< bytes wasted on failed attempts and re-sent after faults
+  resume,        ///< resumable-transfer control: session handshakes, chunk
+                 ///< acks, recovery queries (see client/sync_journal.hpp)
   kCount
 };
 
@@ -37,6 +39,11 @@ class traffic_meter {
   std::uint64_t overhead() const;
 
   void reset();
+
+  /// Fold another meter's counters into this one. The crash-recovery harness
+  /// uses this to retire a crashed client incarnation's traffic into a
+  /// run-level aggregate before the incarnation is destroyed.
+  void add(const traffic_meter& other);
 
   /// Snapshot/delta support for measuring a single operation inside a longer
   /// run: capture before, subtract after.

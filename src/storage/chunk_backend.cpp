@@ -35,6 +35,27 @@ void chunk_backend::put_full(const std::string& manifest_key,
   manifests_[manifest_key] = std::move(m);
 }
 
+void chunk_backend::put_ranges(const std::string& manifest_key,
+                               byte_view content,
+                               const std::vector<std::uint64_t>& range_bytes) {
+  chunk_manifest m;
+  m.logical_size = content.size();
+  std::uint64_t pos = 0;
+  for (const std::uint64_t len : range_bytes) {
+    if (len == 0 || pos + len > content.size()) {
+      throw std::invalid_argument("chunk_backend: bad range split");
+    }
+    m.extents.push_back(
+        {store_chunk(content.subspan(pos, len)), 0, len});
+    pos += len;
+  }
+  if (pos != content.size()) {
+    throw std::invalid_argument("chunk_backend: ranges do not cover content");
+  }
+  ref_extents(m);
+  manifests_[manifest_key] = std::move(m);
+}
+
 void chunk_backend::append_old_range(chunk_manifest& out,
                                      const chunk_manifest& old,
                                      std::uint64_t offset,

@@ -39,6 +39,13 @@ class chunk_backend {
   /// Store `content` under a new manifest, split into fixed-size chunks.
   void put_full(const std::string& manifest_key, byte_view content);
 
+  /// Store `content` split at caller-chosen range boundaries instead of this
+  /// backend's fixed granularity — the ranged-upload entry point: a resumed
+  /// session lands its remaining ranges as chunk objects without re-splitting
+  /// the prefix it already shipped. `range_bytes` must sum to content.size().
+  void put_ranges(const std::string& manifest_key, byte_view content,
+                  const std::vector<std::uint64_t>& range_bytes);
+
   /// Create `new_key`'s manifest by applying an rsync delta against
   /// `old_key`'s: copy ops become extent references into the old version's
   /// chunks (no data movement), literal ops become fresh chunk objects.

@@ -21,6 +21,43 @@ TEST(ChunkBackend, PutFullMaterializeRoundTrip) {
   EXPECT_EQ(m->logical_size, 10'000u);
 }
 
+TEST(ChunkBackend, PutRangesStoresOneChunkPerRange) {
+  object_store store;
+  chunk_backend backend(store, 4096);
+  rng r(8);
+  const byte_buffer content = random_bytes(r, 10'000);
+  // Caller-chosen boundaries (a resumed session's received ranges), not the
+  // backend's 4096-byte granularity.
+  backend.put_ranges("m1", content, {1000, 6500, 2500});
+  EXPECT_EQ(backend.materialize("m1"), content);
+  EXPECT_EQ(backend.live_chunks(), 3u);
+  const chunk_manifest* m = backend.find("m1");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->extents.size(), 3u);
+  EXPECT_EQ(m->extents[0].length, 1000u);
+  EXPECT_EQ(m->extents[1].length, 6500u);
+  EXPECT_EQ(m->extents[2].length, 2500u);
+  backend.release("m1");
+  EXPECT_EQ(backend.live_chunks(), 0u);
+}
+
+TEST(ChunkBackend, PutRangesRejectsBadSplits) {
+  object_store store;
+  chunk_backend backend(store, 4096);
+  rng r(9);
+  const byte_buffer content = random_bytes(r, 1000);
+  // Zero-length range.
+  EXPECT_THROW(backend.put_ranges("m", content, {500, 0, 500}),
+               std::invalid_argument);
+  // Past the end of the content.
+  EXPECT_THROW(backend.put_ranges("m", content, {500, 600}),
+               std::invalid_argument);
+  // Short of the end of the content.
+  EXPECT_THROW(backend.put_ranges("m", content, {500, 400}),
+               std::invalid_argument);
+  EXPECT_EQ(backend.find("m"), nullptr);
+}
+
 TEST(ChunkBackend, EmptyContent) {
   object_store store;
   chunk_backend backend(store, 4096);

@@ -153,6 +153,115 @@ TEST(FaultInjector, ForcedCountsArmAndExpire) {
 }
 
 // ---------------------------------------------------------------------------
+// Composable plans: merged() and the crash-plan primitives
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanMerged, WithNoneIsIdentity) {
+  const fault_plan a = fault_plan::degraded(0.6, /*seed=*/17);
+  const fault_plan m = fault_plan::merged(a, fault_plan::none());
+
+  EXPECT_EQ(m.seed, a.seed);
+  EXPECT_DOUBLE_EQ(m.outages_per_hour, a.outages_per_hour);
+  EXPECT_EQ(m.outage_mean_duration, a.outage_mean_duration);
+  EXPECT_EQ(m.outage_horizon, a.outage_horizon);
+  EXPECT_DOUBLE_EQ(m.reset_prob, a.reset_prob);
+  EXPECT_DOUBLE_EQ(m.abort_prob, a.abort_prob);
+  EXPECT_DOUBLE_EQ(m.server_error_prob, a.server_error_prob);
+  EXPECT_DOUBLE_EQ(m.throttle_prob, a.throttle_prob);
+  EXPECT_EQ(m.throttle_retry_after, a.throttle_retry_after);
+  EXPECT_DOUBLE_EQ(m.crash_prob, a.crash_prob);
+  EXPECT_EQ(m.fail_first_server_ops, a.fail_first_server_ops);
+  EXPECT_EQ(m.fail_first_exchanges, a.fail_first_exchanges);
+
+  // Identity must hold behaviourally too: the merged plan replays a's exact
+  // fault schedule through a fresh injector.
+  fault_injector ia(a, /*env_seed=*/5);
+  fault_injector im(m, /*env_seed=*/5);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(ia.sample_exchange_fault(), im.sample_exchange_fault());
+    EXPECT_EQ(ia.sample_server_fault(), im.sample_server_fault());
+  }
+  for (int minute = 0; minute < 120; ++minute) {
+    const sim_time t = sim_time::from_sec(minute * 60.0);
+    EXPECT_EQ(ia.outage_end(t), im.outage_end(t));
+  }
+}
+
+TEST(FaultPlanMerged, RatesAddAndProbabilitiesCombineIndependently) {
+  fault_plan a;
+  a.outages_per_hour = 2.0;
+  a.reset_prob = 0.2;
+  a.crash_prob = 0.1;
+  a.fail_first_exchanges = 3;
+  fault_plan b;
+  b.outages_per_hour = 1.0;
+  b.reset_prob = 0.5;
+  b.crash_prob = 0.3;
+  b.fail_first_exchanges = 2;
+
+  const fault_plan m = fault_plan::merged(a, b);
+  EXPECT_DOUBLE_EQ(m.outages_per_hour, 3.0);
+  // Independent events: 1 − (1−a)(1−b).
+  EXPECT_DOUBLE_EQ(m.reset_prob, 1.0 - (1.0 - 0.2) * (1.0 - 0.5));
+  EXPECT_DOUBLE_EQ(m.crash_prob, 1.0 - (1.0 - 0.1) * (1.0 - 0.3));
+  EXPECT_EQ(m.fail_first_exchanges, 5);
+  EXPECT_TRUE(m.enabled());
+}
+
+TEST(FaultPlanMerged, InactiveSideDoesNotLeakDurationDefaults) {
+  fault_plan custom;
+  custom.outages_per_hour = 1.0;
+  custom.outage_mean_duration = sim_time::from_sec(99);
+  custom.throttle_prob = 0.1;
+  custom.throttle_retry_after = sim_time::from_sec(77);
+
+  // b never uses its duration/hint fields (all its rates are zero), so its
+  // defaults must not override custom's values — in either argument order.
+  const fault_plan left = fault_plan::merged(custom, fault_plan::none());
+  const fault_plan right = fault_plan::merged(fault_plan::none(), custom);
+  EXPECT_EQ(left.outage_mean_duration, sim_time::from_sec(99));
+  EXPECT_EQ(right.outage_mean_duration, sim_time::from_sec(99));
+  EXPECT_EQ(left.throttle_retry_after, sim_time::from_sec(77));
+  EXPECT_EQ(right.throttle_retry_after, sim_time::from_sec(77));
+}
+
+TEST(FaultPlanCrashes, SampledCrashesAreDeterministicAndBounded) {
+  fault_plan plan = fault_plan::crashes(0.5, /*seed=*/21);
+  plan.max_crashes = 4;
+  EXPECT_TRUE(plan.enabled());
+
+  fault_injector a(plan, /*env_seed=*/9);
+  fault_injector b(plan, /*env_seed=*/9);
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool ca = a.should_crash(crash_site::mid_chunk);
+    EXPECT_EQ(ca, b.should_crash(crash_site::mid_chunk)) << "draw " << i;
+    fired += ca ? 1 : 0;
+  }
+  // max_crashes bounds the cascade even at 50% per site.
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(a.crashes_injected(), 4);
+  EXPECT_EQ(a.injected(fault_kind::client_crash), 4u);
+}
+
+TEST(FaultInjector, ForcedCrashFiresOnceAtItsSiteOnly) {
+  fault_injector inj(fault_plan::none(), 0);
+  inj.force_crash(crash_site::before_commit, /*skip=*/1);
+  EXPECT_TRUE(inj.enabled());
+
+  // Other sites never trigger a forced crash (and consume no RNG).
+  EXPECT_FALSE(inj.should_crash(crash_site::after_plan));
+  EXPECT_FALSE(inj.should_crash(crash_site::mid_chunk));
+  // First opportunity at the armed site is skipped, the second fires.
+  EXPECT_FALSE(inj.should_crash(crash_site::before_commit));
+  EXPECT_TRUE(inj.should_crash(crash_site::before_commit));
+  // One-shot: disarmed afterwards.
+  EXPECT_FALSE(inj.should_crash(crash_site::before_commit));
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_EQ(inj.crashes_injected(), 1);
+}
+
+// ---------------------------------------------------------------------------
 // Sync engine under faults
 // ---------------------------------------------------------------------------
 

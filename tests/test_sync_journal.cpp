@@ -1,0 +1,199 @@
+// The write-ahead sync journal: record lifecycle enforcement, supersede-on-
+// retry semantics, checkpointing, the durable per-path commit counters the
+// invariant checker relies on, and the human-readable dump.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "client/sync_journal.hpp"
+
+namespace cloudsync {
+namespace {
+
+std::uint64_t begin_upload(sync_journal& j, const std::string& path,
+                           std::uint32_t chunks = 4) {
+  return j.begin(path, journal_kind::upload_full,
+                 /*payload_bytes=*/chunks * 1000ull, chunks,
+                 /*base_version=*/0, /*content_hash=*/0xabcd,
+                 sim_time::from_sec(1));
+}
+
+TEST(SyncJournal, HappyPathLifecycle) {
+  sync_journal j;
+  EXPECT_TRUE(j.empty());
+
+  const std::uint64_t id = begin_upload(j, "a/file");
+  const journal_record* rec = j.find(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, journal_state::planned);
+  EXPECT_EQ(rec->path, "a/file");
+  EXPECT_EQ(rec->total_chunks, 4u);
+  EXPECT_EQ(rec->acked_chunks, 0u);
+  EXPECT_EQ(rec->resume_token, 0u);
+
+  j.set_resume_token(id, 77);
+  j.mark_in_flight(id);
+  EXPECT_EQ(j.find(id)->state, journal_state::in_flight);
+  EXPECT_EQ(j.find(id)->resume_token, 77u);
+
+  for (std::uint32_t i = 0; i < 4; ++i) j.ack_chunk(id, i);
+  EXPECT_EQ(j.find(id)->acked_chunks, 4u);
+
+  j.commit(id);
+  EXPECT_EQ(j.find(id)->state, journal_state::committed);
+  EXPECT_EQ(j.begun_count(), 1u);
+  EXPECT_EQ(j.committed_count(), 1u);
+  EXPECT_EQ(j.aborted_count(), 0u);
+  EXPECT_EQ(j.commits_for("a/file"), 1u);
+  EXPECT_TRUE(j.open_records().empty());
+}
+
+TEST(SyncJournal, InvalidTransitionsThrow) {
+  sync_journal j;
+  const std::uint64_t id = begin_upload(j, "p");
+
+  // A planned record has no acked chunks and cannot commit or ack.
+  EXPECT_THROW(j.ack_chunk(id, 0), std::logic_error);
+  EXPECT_THROW(j.commit(id), std::logic_error);
+
+  j.mark_in_flight(id);
+  // Chunk acks must be contiguous.
+  EXPECT_THROW(j.ack_chunk(id, 1), std::logic_error);
+  j.ack_chunk(id, 0);
+  EXPECT_THROW(j.ack_chunk(id, 0), std::logic_error);  // replay
+  j.mark_in_flight(id);  // idempotent while still in flight
+  EXPECT_EQ(j.find(id)->acked_chunks, 1u);
+
+  j.commit(id);
+  EXPECT_THROW(j.abort(id, "too late"), std::logic_error);
+  EXPECT_THROW(j.commit(id), std::logic_error);
+
+  // Unknown ids are client bugs.
+  EXPECT_THROW(j.mark_in_flight(999), std::logic_error);
+  EXPECT_THROW(j.commit(999), std::logic_error);
+}
+
+TEST(SyncJournal, AbortFromPlannedAndInFlight) {
+  sync_journal j;
+  const std::uint64_t a = begin_upload(j, "a");
+  j.abort(a, "session open failed");
+  EXPECT_EQ(j.find(a)->state, journal_state::aborted);
+  EXPECT_EQ(j.find(a)->note, "session open failed");
+
+  const std::uint64_t b = begin_upload(j, "b");
+  j.mark_in_flight(b);
+  j.abort(b, "retry budget exhausted");
+  EXPECT_EQ(j.find(b)->state, journal_state::aborted);
+  EXPECT_EQ(j.aborted_count(), 2u);
+  // Aborted records stay open (visible to recovery) until superseded.
+  EXPECT_EQ(j.open_records().size(), 2u);
+}
+
+TEST(SyncJournal, RetrySupersedesAbortedRecordForSamePath) {
+  sync_journal j;
+  const std::uint64_t a = begin_upload(j, "p");
+  j.abort(a, "gave up");
+  ASSERT_EQ(j.size(), 1u);
+
+  // The re-attempt replaces the aborted record; other paths are untouched.
+  const std::uint64_t other = begin_upload(j, "q");
+  const std::uint64_t b = begin_upload(j, "p");
+  EXPECT_EQ(j.find(a), nullptr);
+  ASSERT_NE(j.find(b), nullptr);
+  ASSERT_NE(j.find(other), nullptr);
+  EXPECT_EQ(j.size(), 2u);
+  // The durable abort counter still remembers the failure.
+  EXPECT_EQ(j.aborted_count(), 1u);
+  EXPECT_EQ(j.begun_count(), 3u);
+}
+
+TEST(SyncJournal, CheckpointDropsOnlyCommittedRecords) {
+  sync_journal j;
+  const std::uint64_t done = begin_upload(j, "done", 1);
+  j.mark_in_flight(done);
+  j.ack_chunk(done, 0);
+  j.commit(done);
+  const std::uint64_t live = begin_upload(j, "live");
+  j.mark_in_flight(live);
+  const std::uint64_t dead = begin_upload(j, "dead");
+  j.abort(dead, "x");
+
+  EXPECT_EQ(j.checkpoint(), 1u);
+  EXPECT_EQ(j.find(done), nullptr);
+  ASSERT_NE(j.find(live), nullptr);
+  ASSERT_NE(j.find(dead), nullptr);
+
+  // Counters and per-path commit history survive the checkpoint.
+  EXPECT_EQ(j.committed_count(), 1u);
+  EXPECT_EQ(j.commits_for("done"), 1u);
+  EXPECT_EQ(j.checkpoint(), 0u);
+}
+
+TEST(SyncJournal, CommitsForAccumulatesAcrossTransactions) {
+  sync_journal j;
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t id = begin_upload(j, "p", 1);
+    j.mark_in_flight(id);
+    j.ack_chunk(id, 0);
+    j.commit(id);
+    j.checkpoint();
+  }
+  EXPECT_EQ(j.commits_for("p"), 3u);
+  EXPECT_EQ(j.commits_for("never-seen"), 0u);
+}
+
+TEST(SyncJournal, OpenRecordsInIdOrder) {
+  sync_journal j;
+  const std::uint64_t a = begin_upload(j, "a");
+  const std::uint64_t b = begin_upload(j, "b");
+  const std::uint64_t c = begin_upload(j, "c");
+  j.mark_in_flight(b);
+  j.commit(b);  // committed records are not "open"
+
+  const auto open = j.open_records();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(open[0].id, a);
+  EXPECT_EQ(open[1].id, c);
+}
+
+TEST(SyncJournal, EraseResolvesARecord) {
+  sync_journal j;
+  const std::uint64_t id = begin_upload(j, "p");
+  j.erase(id);
+  EXPECT_EQ(j.find(id), nullptr);
+  EXPECT_TRUE(j.empty());
+  // Erase of an unknown id is a recovery-idempotence convenience.
+  j.erase(id);
+}
+
+TEST(SyncJournal, DumpShowsRecordsAndCounters) {
+  sync_journal j;
+  const std::uint64_t id = begin_upload(j, "docs/report.txt");
+  j.set_resume_token(id, 42);
+  j.mark_in_flight(id);
+  j.ack_chunk(id, 0);
+
+  const std::string text = j.dump();
+  EXPECT_NE(text.find("docs/report.txt"), std::string::npos);
+  EXPECT_NE(text.find("in-flight"), std::string::npos);
+  EXPECT_NE(text.find("1/4"), std::string::npos);  // chunk progress
+  EXPECT_NE(text.find("42"), std::string::npos);   // resume token
+  EXPECT_NE(text.find("begun: 1"), std::string::npos);
+}
+
+TEST(SyncJournal, TraceRecordsTransitionsWhenEnabled) {
+  sync_journal j;
+  j.set_trace(true);
+  const std::uint64_t id = begin_upload(j, "p", 1);
+  j.mark_in_flight(id);
+  j.ack_chunk(id, 0);
+  j.commit(id);
+  ASSERT_GE(j.trace().size(), 4u);
+  // Untraced journals stay allocation-free.
+  sync_journal quiet;
+  begin_upload(quiet, "p");
+  EXPECT_TRUE(quiet.trace().empty());
+}
+
+}  // namespace
+}  // namespace cloudsync
