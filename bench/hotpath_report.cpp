@@ -50,6 +50,18 @@ std::vector<job> build_jobs(bool cached) {
       return measure_text_upload_traffic(cfg, 1 * MiB);
     });
   }
+  // A second, identical round of the modification cells for the IDS-capable
+  // services: re-planning the same edit against the same shadow content is
+  // the workload the signature/delta memos exist for, and without a repeated
+  // cell the grid never revisited a key (their hit rates read 0%).
+  for (const std::uint64_t z : {256 * KiB, 1 * MiB}) {
+    for (const service_profile& s : all_services()) {
+      if (!s.method(access_method::pc_client).incremental_sync) continue;
+      jobs.push_back([cfg = cfg_for(s, access_method::pc_client), z] {
+        return measure_modification_traffic(cfg, z);
+      });
+    }
+  }
   return jobs;
 }
 
@@ -150,5 +162,18 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path);
 
   // Caching/parallelism changing any output is a correctness failure.
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+
+  // The grid repeats the IDS modification cells precisely so these two memo
+  // tiers get revisited; a zero hit count means a dead cache tier.
+  const content_cache_stats sig = signature_memo_stats();
+  const content_cache_stats del = delta_memo_stats();
+  if (sig.hits == 0 || del.hits == 0) {
+    std::fprintf(stderr,
+                 "error: dead memo tier (signature hits=%llu, delta "
+                 "hits=%llu); the repeated IDS cells should produce hits\n",
+                 (unsigned long long)sig.hits, (unsigned long long)del.hits);
+    return 1;
+  }
+  return 0;
 }

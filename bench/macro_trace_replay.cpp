@@ -33,6 +33,14 @@ int main() {
                strfmt("$%.4f", r.bill.total_usd())});
   }
   std::printf("%s\n", table.str().c_str());
+  for (const fleet_service_report& r : reports) {
+    if (r.dropped_files > 0) {
+      std::printf("note: %s: %zu trace records beyond the %zu-file cap were "
+                  "not replayed\n",
+                  r.service.c_str(), r.dropped_files,
+                  cfg.max_files_per_service);
+    }
+  }
   std::printf(
       "Reading: the services with more of the paper's four mechanisms (BDS, "
       "IDS, compression, dedup) end up with lower TUE on the same workload; "

@@ -1,6 +1,7 @@
 #include "chunking/cdc.hpp"
 
 #include <array>
+#include <bit>
 #include <cassert>
 
 namespace cloudsync {
@@ -25,6 +26,8 @@ constexpr auto kGear = make_gear_table();
 
 }  // namespace
 
+const std::uint64_t* gear_table() { return kGear.data(); }
+
 std::vector<chunk_ref> content_defined_chunks(byte_view data,
                                               cdc_params params) {
   assert(params.min_size > 0 && params.min_size <= params.avg_size &&
@@ -33,7 +36,21 @@ std::vector<chunk_ref> content_defined_chunks(byte_view data,
          "avg_size must be a power of two");
   const std::uint64_t mask = params.avg_size - 1;
 
+  // Min-size skipping: the cut test (h & mask) == 0 reads only the low
+  // log2(avg_size) bits of h, and h = Σ_j gear[data[j]] << (len−1−j), so
+  // those bits depend only on the last log2(avg_size) bytes hashed. The
+  // first test fires at offset min_size−1, so hashing can start at offset
+  // min_size − mask_bits with h = 0 and every test result — hence every
+  // boundary — is identical to hashing from the chunk start.
+  // (skip must also not move past the first test offset itself, hence the
+  // max(mask_bits, 1) clamp for degenerate 1-byte avg sizes.)
+  const std::size_t mask_bits = std::max<std::size_t>(
+      static_cast<std::size_t>(std::countr_zero(params.avg_size)), 1);
+  const std::size_t skip =
+      params.min_size > mask_bits ? params.min_size - mask_bits : 0;
+
   std::vector<chunk_ref> out;
+  out.reserve(data.size() / params.avg_size + 1);
   std::size_t start = 0;
   while (start < data.size()) {
     const std::size_t remain = data.size() - start;
@@ -42,18 +59,16 @@ std::vector<chunk_ref> content_defined_chunks(byte_view data,
       break;
     }
     const std::size_t limit = std::min(remain, params.max_size);
+    const std::uint8_t* p = data.data() + start;
     std::uint64_t h = 0;
-    std::size_t len = 0;
-    bool cut = false;
-    for (len = 0; len < limit; ++len) {
-      h = (h << 1) + kGear[data[start + len]];
+    std::size_t len;
+    for (len = skip; len < limit; ++len) {
+      h = (h << 1) + kGear[p[len]];
       if (len + 1 >= params.min_size && (h & mask) == 0) {
         ++len;
-        cut = true;
         break;
       }
     }
-    (void)cut;
     out.push_back({start, len});
     start += len;
   }

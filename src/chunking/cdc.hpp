@@ -25,4 +25,9 @@ struct cdc_params {
 std::vector<chunk_ref> content_defined_chunks(byte_view data,
                                               cdc_params params = {});
 
+/// The 256-entry gear table (deterministic, process-wide). Exposed so fused
+/// streaming pipelines can run the same cut rule incrementally and land on
+/// boundaries identical to content_defined_chunks().
+const std::uint64_t* gear_table();
+
 }  // namespace cloudsync

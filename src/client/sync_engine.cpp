@@ -466,6 +466,7 @@ const file_signature& sync_client::shadow_signature(shadow_entry& sh) const {
                                                    sign)
                  : sign();
     sh.sig_block_size = block_size;
+    sh.sig_salt = signature_salt(*sh.sig);
   }
   return *sh.sig;
 }
@@ -516,11 +517,11 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
       bp->wire = serialize_delta(bp->delta);
       return bp;
     };
-    // Key: the new content (hashed) + the old file's identity (salt), which
-    // together determine the delta exactly.
+    // Key: the new content (hashed) + the old file's identity (salt, cached
+    // alongside the signature), which together determine the delta exactly.
     plan.blueprint = opts_.cache != nullptr
-                         ? delta_memo().get_or_compute(
-                               content, signature_salt(sig), plan_delta)
+                         ? delta_memo().get_or_compute(content, sh.sig_salt,
+                                                       plan_delta)
                          : plan_delta();
     // The delta's literal regions are compressed like any upload.
     plan.payload_up =

@@ -204,6 +204,9 @@ class sync_client {
     byte_buffer content;
     std::shared_ptr<const file_signature> sig;  ///< of `content`, lazy
     std::size_t sig_block_size = 0;  ///< block size `sig` was built with
+    std::uint64_t sig_salt = 0;  ///< memo salt of `sig` (valid while sig is);
+                                 ///< recomputing it per delta walked every
+                                 ///< block of the signature again
   };
 
   /// How a planned upload reaches the cloud once its exchange succeeds.

@@ -52,12 +52,19 @@ inline std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-/// Hash-chain match finder over the input.
+/// Hash-chain match finder over the input. Chain links are 32-bit (inputs
+/// are bounded by the simulator's 2 GiB file cap, and in practice by the
+/// 2 MiB fleet clamp) and the head/prev arrays live in thread-local scratch
+/// reused across calls, so a compression call costs zero heap allocations
+/// after warm-up. `prev_` needs no clearing: chains are only entered through
+/// `head_`, and every reachable `prev_` slot was written by insert().
 class match_finder {
  public:
   match_finder(byte_view input, const level_config& cfg)
-      : input_(input), cfg_(cfg), head_(kHashSize, kNone),
-        prev_(input.size(), kNone) {}
+      : input_(input), cfg_(cfg), head_(scratch_head()),
+        prev_(scratch_prev(input.size())) {
+    head_.assign(kHashSize, kNone);
+  }
 
   struct match {
     std::size_t length = 0;
@@ -71,7 +78,7 @@ class match_finder {
     const std::size_t limit =
         pos >= kWindowSize ? pos - kWindowSize : 0;
     const std::size_t max_len = std::min(kMaxMatch, input_.size() - pos);
-    std::size_t cand = head_[hash4(input_.data() + pos)];
+    std::uint32_t cand = head_[hash4(input_.data() + pos)];
     std::size_t chain = cfg_.max_chain;
     while (cand != kNone && cand >= limit && chain-- > 0 &&
            best.length < max_len) {
@@ -99,15 +106,26 @@ class match_finder {
     if (pos + 4 > input_.size()) return;
     const std::uint32_t h = hash4(input_.data() + pos);
     prev_[pos] = head_[h];
-    head_[h] = pos;
+    head_[h] = static_cast<std::uint32_t>(pos);
   }
 
  private:
-  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  static std::vector<std::uint32_t>& scratch_head() {
+    thread_local std::vector<std::uint32_t> head;
+    return head;
+  }
+  static std::vector<std::uint32_t>& scratch_prev(std::size_t n) {
+    thread_local std::vector<std::uint32_t> prev;
+    if (prev.size() < n) prev.resize(n);
+    return prev;
+  }
+
   byte_view input_;
   const level_config& cfg_;
-  std::vector<std::size_t> head_;
-  std::vector<std::size_t> prev_;
+  std::vector<std::uint32_t>& head_;
+  std::vector<std::uint32_t>& prev_;
 };
 
 /// Token emitter with one flag byte per 8 tokens (bit set = match).

@@ -97,11 +97,17 @@ fleet_service_report replay_service(const service_profile& profile,
 std::vector<fleet_service_report> replay_trace_fleet(const fleet_config& cfg) {
   const trace_dataset ds = generate_trace(cfg.trace);
 
-  // Group records per service, capped.
+  // Group records per service, capped; count what the cap drops so the
+  // report can state how much of the trace each replay actually covered.
   std::map<std::string, std::vector<const trace_file_record*>> by_service;
+  std::map<std::string, std::size_t> dropped;
   for (const trace_file_record& rec : ds.files) {
     auto& vec = by_service[rec.service];
-    if (vec.size() < cfg.max_files_per_service) vec.push_back(&rec);
+    if (vec.size() < cfg.max_files_per_service) {
+      vec.push_back(&rec);
+    } else {
+      ++dropped[rec.service];
+    }
   }
 
   // Each per-service replay owns its entire simulation world (clock, cloud,
@@ -117,6 +123,8 @@ std::vector<fleet_service_report> replay_trace_fleet(const fleet_config& cfg) {
   pool.run_indexed(jobs.size(), [&](std::size_t i) {
     reports[i] =
         replay_service(*jobs[i], by_service.at(jobs[i]->name), cfg);
+    const auto dit = dropped.find(jobs[i]->name);
+    if (dit != dropped.end()) reports[i].dropped_files = dit->second;
   });
   return reports;
 }

@@ -26,8 +26,9 @@ struct fleet_config {
   hardware_profile hardware = hardware_profile::m1();
 
   /// Cap on files replayed per service (runtime guard; the trace's relative
-  /// service proportions are preserved up to this cap).
-  std::size_t max_files_per_service = 250;
+  /// service proportions are preserved up to this cap). Files beyond the cap
+  /// are dropped and counted in fleet_service_report::dropped_files.
+  std::size_t max_files_per_service = 2500;
 
   /// Files larger than this are clamped (the 2 GB trace outliers would
   /// dominate runtime without changing the comparison).
@@ -48,6 +49,9 @@ struct fleet_config {
 struct fleet_service_report {
   std::string service;
   std::size_t files = 0;
+  /// Trace records for this service beyond max_files_per_service — silently
+  /// dropping them hid how much of the trace a capped replay covered.
+  std::size_t dropped_files = 0;
   std::size_t users = 0;
   std::uint64_t update_bytes = 0;  ///< created + modified payload
   std::uint64_t sync_traffic = 0;

@@ -1,5 +1,7 @@
 #include "dedup/dedup_engine.hpp"
 
+#include "pipeline/byte_pipeline.hpp"
+
 namespace cloudsync {
 
 fingerprint_memo& global_fingerprint_cache() {
@@ -42,18 +44,28 @@ dedup_result dedup_engine::analyze(user_id user, byte_view data) const {
 
     case dedup_granularity::content_defined:
     case dedup_granularity::fixed_block: {
-      const auto chunks =
-          policy_.granularity == dedup_granularity::content_defined
-              ? content_defined_chunks(data, policy_.cdc)
-              : fixed_chunks(data, policy_.block_size);
+      const auto chunks = chunk_layout(data);
       res.fingerprints_sent = chunks.size();
-      for (const chunk_ref& c : chunks) {
-        if (index_.contains(scope_for(user),
-                            fp(slice(data, c)))) {
-          res.duplicate_bytes += c.size;
-        } else {
-          res.new_bytes += c.size;
-          res.new_chunks.push_back(c);
+      if (memo_ == nullptr) {
+        // No fingerprint memo: fuse the per-chunk hashing into one walk of
+        // the buffer instead of re-entering sha256 per lookup.
+        const auto fps = chunk_digests(data, chunks);
+        for (std::size_t i = 0; i < chunks.size(); ++i) {
+          if (index_.contains(scope_for(user), fps[i])) {
+            res.duplicate_bytes += chunks[i].size;
+          } else {
+            res.new_bytes += chunks[i].size;
+            res.new_chunks.push_back(chunks[i]);
+          }
+        }
+      } else {
+        for (const chunk_ref& c : chunks) {
+          if (index_.contains(scope_for(user), fp(slice(data, c)))) {
+            res.duplicate_bytes += c.size;
+          } else {
+            res.new_bytes += c.size;
+            res.new_chunks.push_back(c);
+          }
         }
       }
       res.whole_file_duplicate = !data.empty() && res.new_bytes == 0;

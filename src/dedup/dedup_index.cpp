@@ -2,6 +2,12 @@
 
 namespace cloudsync {
 
+dedup_index::dedup_index() {
+  // Sizing hint: a fleet replay touches tens of user scopes per service;
+  // pre-bucketing keeps the outer map from rehashing mid-replay.
+  scopes_.reserve(64);
+}
+
 bool dedup_index::contains(user_id scope, const fingerprint& fp) const {
   const auto sit = scopes_.find(scope);
   if (sit == scopes_.end()) return false;
@@ -9,20 +15,18 @@ bool dedup_index::contains(user_id scope, const fingerprint& fp) const {
 }
 
 void dedup_index::add(user_id scope, const fingerprint& fp) {
-  ++scopes_[scope][fp];
+  scopes_.try_emplace(scope).first->second.add(fp);
 }
 
 void dedup_index::remove(user_id scope, const fingerprint& fp) {
   const auto sit = scopes_.find(scope);
   if (sit == scopes_.end()) return;
-  const auto it = sit->second.find(fp);
-  if (it == sit->second.end()) return;
-  if (--it->second == 0) sit->second.erase(it);
+  sit->second.remove(fp);
 }
 
 std::size_t dedup_index::unique_count(user_id scope) const {
   const auto sit = scopes_.find(scope);
-  return sit == scopes_.end() ? 0 : sit->second.size();
+  return sit == scopes_.end() ? 0 : sit->second.unique_count();
 }
 
 }  // namespace cloudsync

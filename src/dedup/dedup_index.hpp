@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "dedup/fingerprint.hpp"
 
@@ -12,10 +14,126 @@ namespace cloudsync {
 
 using user_id = std::uint32_t;
 
+/// Flat open-addressed fingerprint → refcount table: one contiguous slot
+/// array per scope (linear probing on the digest's uniform prefix64) instead
+/// of a node-based unordered_map. A fleet replay performs millions of
+/// containment probes against these shards; the flat layout keeps each probe
+/// to one or two adjacent cache lines and the pre-sized capacity avoids
+/// rehash storms while services churn commits.
+class fingerprint_shard {
+ public:
+  explicit fingerprint_shard(std::size_t expected_unique = 1024) {
+    rehash(slots_for(expected_unique));
+  }
+
+  bool contains(const fingerprint& fp) const {
+    const slot* s = find(fp);
+    return s != nullptr;
+  }
+
+  void add(const fingerprint& fp) {
+    if ((live_ + dead_ + 1) * 8 >= slots_.size() * 7) grow();
+    const std::uint64_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(fp.prefix64() & mask);
+    std::size_t insert_at = slots_.size();
+    for (;; i = (i + 1) & mask) {
+      slot& s = slots_[i];
+      if (s.state == kEmpty) {
+        if (insert_at == slots_.size()) insert_at = i;
+        break;
+      }
+      if (s.state == kDead) {
+        if (insert_at == slots_.size()) insert_at = i;
+        continue;
+      }
+      if (s.fp == fp) {
+        ++s.count;
+        return;
+      }
+    }
+    slot& s = slots_[insert_at];
+    if (s.state == kDead) --dead_;
+    s.fp = fp;
+    s.count = 1;
+    s.state = kLive;
+    ++live_;
+  }
+
+  /// Decrement; erases the entry when the count reaches zero. Removing an
+  /// absent fingerprint is a no-op (delete of an unsynced file).
+  void remove(const fingerprint& fp) {
+    slot* s = find(fp);
+    if (s == nullptr) return;
+    if (--s->count == 0) {
+      s->state = kDead;
+      --live_;
+      ++dead_;
+    }
+  }
+
+  std::size_t unique_count() const { return live_; }
+
+  /// Sizing hint: pre-allocate for `n` unique fingerprints.
+  void reserve(std::size_t n) {
+    const std::size_t want = slots_for(n);
+    if (want > slots_.size()) rehash(want);
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0, kLive = 1, kDead = 2;
+
+  struct slot {
+    fingerprint fp;
+    std::uint64_t count = 0;
+    std::uint8_t state = kEmpty;
+  };
+
+  /// Power-of-two slot count keeping load under ~0.7 for n live entries.
+  static std::size_t slots_for(std::size_t n) {
+    std::size_t slots = 16;
+    while (n * 8 >= slots * 7) slots <<= 1;
+    return slots;
+  }
+
+  const slot* find(const fingerprint& fp) const {
+    const std::uint64_t mask = slots_.size() - 1;
+    for (std::size_t i = static_cast<std::size_t>(fp.prefix64() & mask);;
+         i = (i + 1) & mask) {
+      const slot& s = slots_[i];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kLive && s.fp == fp) return &s;
+    }
+  }
+  slot* find(const fingerprint& fp) {
+    return const_cast<slot*>(std::as_const(*this).find(fp));
+  }
+
+  void grow() { rehash(slots_.size() * 2); }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<slot> old = std::move(slots_);
+    slots_.assign(new_slots, slot{});
+    dead_ = 0;
+    const std::uint64_t mask = new_slots - 1;
+    for (const slot& s : old) {
+      if (s.state != kLive) continue;
+      std::size_t i = static_cast<std::size_t>(s.fp.prefix64() & mask);
+      while (slots_[i].state == kLive) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<slot> slots_;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;  ///< tombstones (re-usable on insert)
+};
+
 /// Scoped fingerprint set. Scope 0 is the global (cross-user) namespace;
 /// per-user entries live under the user's own scope.
 class dedup_index {
  public:
+  dedup_index();
+
   bool contains(user_id scope, const fingerprint& fp) const;
 
   /// Increment the reference count for fp in scope.
@@ -29,8 +147,7 @@ class dedup_index {
   std::size_t total_scopes() const { return scopes_.size(); }
 
  private:
-  std::unordered_map<user_id, std::unordered_map<fingerprint, std::uint64_t>>
-      scopes_;
+  std::unordered_map<user_id, fingerprint_shard> scopes_;
 };
 
 }  // namespace cloudsync

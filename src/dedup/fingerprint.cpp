@@ -1,16 +1,12 @@
 #include "dedup/fingerprint.hpp"
 
+#include "pipeline/byte_pipeline.hpp"
+
 namespace cloudsync {
 
 std::vector<fingerprint> block_fingerprints(byte_view data,
                                             std::size_t block_size) {
-  std::vector<fingerprint> out;
-  const auto chunks = fixed_chunks(data, block_size);
-  out.reserve(chunks.size());
-  for (const chunk_ref& c : chunks) {
-    out.push_back(fingerprint_of(slice(data, c)));
-  }
-  return out;
+  return chunk_digests(data, fixed_chunks(data, block_size));
 }
 
 }  // namespace cloudsync

@@ -1,5 +1,6 @@
 #include "fs/memfs.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cloudsync {
@@ -14,18 +15,18 @@ const char* to_string(fs_event::kind k) {
   return "?";
 }
 
-memfs::node& memfs::must_get(const std::string& path) {
+memfs::node& memfs::must_get(std::string_view path) {
   const auto it = files_.find(path);
   if (it == files_.end()) {
-    throw std::invalid_argument("memfs: no such file: " + path);
+    throw std::invalid_argument("memfs: no such file: " + std::string(path));
   }
   return it->second;
 }
 
-const memfs::node& memfs::must_get(const std::string& path) const {
+const memfs::node& memfs::must_get(std::string_view path) const {
   const auto it = files_.find(path);
   if (it == files_.end()) {
-    throw std::invalid_argument("memfs: no such file: " + path);
+    throw std::invalid_argument("memfs: no such file: " + std::string(path));
   }
   return it->second;
 }
@@ -106,23 +107,23 @@ void memfs::rename(const std::string& from, const std::string& to,
   notify({fs_event::kind::renamed, to, from, now, sz});
 }
 
-bool memfs::exists(const std::string& path) const {
+bool memfs::exists(std::string_view path) const {
   return files_.contains(path);
 }
 
-byte_view memfs::read(const std::string& path) const {
+byte_view memfs::read(std::string_view path) const {
   return must_get(path).content;
 }
 
-std::uint64_t memfs::size(const std::string& path) const {
+std::uint64_t memfs::size(std::string_view path) const {
   return must_get(path).content.size();
 }
 
-sim_time memfs::mtime(const std::string& path) const {
+sim_time memfs::mtime(std::string_view path) const {
   return must_get(path).mtime;
 }
 
-std::uint64_t memfs::version(const std::string& path) const {
+std::uint64_t memfs::version(std::string_view path) const {
   return must_get(path).version;
 }
 
@@ -130,6 +131,7 @@ std::vector<std::string> memfs::list() const {
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, _] : files_) out.push_back(path);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -6,13 +6,14 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/bytes.hpp"
 #include "util/sim_time.hpp"
+#include "util/string_key.hpp"
 
 namespace cloudsync {
 
@@ -67,14 +68,16 @@ class memfs {
 
   // -- Queries -----------------------------------------------------------
 
-  bool exists(const std::string& path) const;
+  bool exists(std::string_view path) const;
   /// View of the current content. Throws if missing. The view is invalidated
   /// by the next mutation of the same file.
-  byte_view read(const std::string& path) const;
-  std::uint64_t size(const std::string& path) const;
-  sim_time mtime(const std::string& path) const;
-  std::uint64_t version(const std::string& path) const;
+  byte_view read(std::string_view path) const;
+  std::uint64_t size(std::string_view path) const;
+  sim_time mtime(std::string_view path) const;
+  std::uint64_t version(std::string_view path) const;
 
+  /// All paths, sorted (the map is unordered; callers — rescan, invariant
+  /// checks — rely on a stable order).
   std::vector<std::string> list() const;
   std::size_t file_count() const { return files_.size(); }
   std::uint64_t total_bytes() const;
@@ -86,11 +89,14 @@ class memfs {
     std::uint64_t version = 0;
   };
 
-  node& must_get(const std::string& path);
-  const node& must_get(const std::string& path) const;
+  node& must_get(std::string_view path);
+  const node& must_get(std::string_view path) const;
   void notify(const fs_event& ev);
 
-  std::map<std::string, node> files_;
+  /// Hot lookups (read/exists/size on every sync decision) take one hash
+  /// probe instead of an O(log n) string-compare walk; string_view lookups
+  /// never allocate. list() sorts on demand.
+  std::unordered_map<std::string, node, string_key_hash, string_key_eq> files_;
   std::vector<std::pair<std::size_t, observer>> observers_;
   std::size_t next_observer_id_ = 1;
 };

@@ -1,5 +1,7 @@
 #include "storage/metadata_service.hpp"
 
+#include <algorithm>
+
 #include "net/fault_injector.hpp"
 
 namespace cloudsync {
@@ -42,7 +44,7 @@ bool metadata_service::mark_deleted(user_id user, device_id source,
 }
 
 const file_manifest* metadata_service::lookup(user_id user,
-                                              const std::string& path) const {
+                                              std::string_view path) const {
   const auto uit = users_.find(user);
   if (uit == users_.end()) return nullptr;
   const auto mit = uit->second.manifests.find(path);
@@ -83,6 +85,7 @@ std::vector<std::string> metadata_service::list(user_id user) const {
   for (const auto& [path, man] : uit->second.manifests) {
     if (!man.deleted) out.push_back(path);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

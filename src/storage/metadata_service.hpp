@@ -8,10 +8,13 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dedup/dedup_index.hpp"  // for user_id
 #include "util/sim_time.hpp"
+#include "util/string_key.hpp"
 
 namespace cloudsync {
 
@@ -50,7 +53,7 @@ class metadata_service {
   bool mark_deleted(user_id user, device_id source, const std::string& path,
                     sim_time at);
 
-  const file_manifest* lookup(user_id user, const std::string& path) const;
+  const file_manifest* lookup(user_id user, std::string_view path) const;
 
   /// Drain pending notifications for a device. With a fault injector
   /// attached, the poll may be rejected with a thrown `transient_fault`
@@ -63,19 +66,25 @@ class metadata_service {
   void set_fault_injector(fault_injector* faults) { faults_ = faults; }
   std::size_t pending_notifications(user_id user, device_id dev) const;
 
-  /// Live (non-deleted) paths for a user.
+  /// Live (non-deleted) paths for a user, sorted (the map is unordered).
   std::vector<std::string> list(user_id user) const;
 
  private:
   struct user_state {
-    std::map<std::string, file_manifest> manifests;
+    /// Per-path lookup/commit is the hot metadata op; hashed with
+    /// allocation-free string_view probes. list() sorts on demand.
+    std::unordered_map<std::string, file_manifest, string_key_hash,
+                       string_key_eq>
+        manifests;
+    /// Ordered: fan_out walks the queues and notification order across
+    /// devices must stay deterministic.
     std::map<device_id, std::deque<change_notification>> device_queues;
   };
 
   void fan_out(user_state& st, device_id source,
                const change_notification& note);
 
-  std::map<user_id, user_state> users_;
+  std::unordered_map<user_id, user_state> users_;
   device_id next_device_ = 1;
   fault_injector* faults_ = nullptr;
 };

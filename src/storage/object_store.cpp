@@ -1,5 +1,7 @@
 #include "storage/object_store.hpp"
 
+#include <algorithm>
+
 namespace cloudsync {
 
 void object_store::put(const std::string& key, byte_buffer data) {
@@ -10,7 +12,7 @@ void object_store::put(const std::string& key, byte_buffer data) {
   rec.deleted = false;
 }
 
-std::optional<byte_view> object_store::get(const std::string& key) const {
+std::optional<byte_view> object_store::get(std::string_view key) const {
   ++stats_.gets;
   const auto it = objects_.find(key);
   if (it == objects_.end() || it->second.deleted ||
@@ -22,13 +24,13 @@ std::optional<byte_view> object_store::get(const std::string& key) const {
   return byte_view{latest};
 }
 
-bool object_store::head(const std::string& key) const {
+bool object_store::head(std::string_view key) const {
   ++stats_.heads;
   const auto it = objects_.find(key);
   return it != objects_.end() && !it->second.deleted;
 }
 
-bool object_store::remove(const std::string& key) {
+bool object_store::remove(std::string_view key) {
   ++stats_.deletes;
   const auto it = objects_.find(key);
   if (it == objects_.end() || it->second.deleted) return false;
@@ -36,22 +38,25 @@ bool object_store::remove(const std::string& key) {
   return true;
 }
 
-std::vector<std::string> object_store::list(const std::string& prefix) const {
+std::vector<std::string> object_store::list(std::string_view prefix) const {
   ++stats_.lists;
   std::vector<std::string> out;
-  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    if (!it->second.deleted) out.push_back(it->first);
+  for (const auto& [key, rec] : objects_) {
+    if (!rec.deleted && std::string_view{key}.substr(0, prefix.size()) ==
+                            prefix) {
+      out.push_back(key);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::size_t object_store::version_count(const std::string& key) const {
+std::size_t object_store::version_count(std::string_view key) const {
   const auto it = objects_.find(key);
   return it == objects_.end() ? 0 : it->second.versions.size();
 }
 
-std::optional<byte_view> object_store::get_version(const std::string& key,
+std::optional<byte_view> object_store::get_version(std::string_view key,
                                                    std::size_t version) const {
   const auto it = objects_.find(key);
   if (it == objects_.end() || version >= it->second.versions.size()) {
@@ -60,7 +65,7 @@ std::optional<byte_view> object_store::get_version(const std::string& key,
   return byte_view{it->second.versions[version]};
 }
 
-bool object_store::undelete(const std::string& key) {
+bool object_store::undelete(std::string_view key) {
   const auto it = objects_.find(key);
   if (it == objects_.end() || !it->second.deleted) return false;
   it->second.deleted = false;

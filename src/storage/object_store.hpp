@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/string_key.hpp"
 
 namespace cloudsync {
 
@@ -39,25 +41,25 @@ class object_store {
   void put(const std::string& key, byte_buffer data);
 
   /// Latest live version, or nullopt if absent/tombstoned.
-  std::optional<byte_view> get(const std::string& key) const;
+  std::optional<byte_view> get(std::string_view key) const;
 
   /// True if the key exists and is live.
-  bool head(const std::string& key) const;
+  bool head(std::string_view key) const;
 
   /// Tombstone the key. Content is retained for version rollback.
   /// Returns false if the key was absent or already deleted.
-  bool remove(const std::string& key);
+  bool remove(std::string_view key);
 
-  /// All live keys with the given prefix.
-  std::vector<std::string> list(const std::string& prefix) const;
+  /// All live keys with the given prefix, sorted (the map is unordered).
+  std::vector<std::string> list(std::string_view prefix) const;
 
   /// Version history (live or not). Index 0 is the oldest.
-  std::size_t version_count(const std::string& key) const;
-  std::optional<byte_view> get_version(const std::string& key,
+  std::size_t version_count(std::string_view key) const;
+  std::optional<byte_view> get_version(std::string_view key,
                                        std::size_t version) const;
 
   /// Restore a tombstoned key to its latest retained version.
-  bool undelete(const std::string& key);
+  bool undelete(std::string_view key);
 
   /// Bytes of live (latest, non-tombstoned) objects.
   std::uint64_t live_bytes() const;
@@ -73,7 +75,11 @@ class object_store {
     bool deleted = false;
   };
 
-  std::map<std::string, record> objects_;
+  /// GET/HEAD per stored block dominate replayed traffic; a hash probe with
+  /// heterogeneous string_view lookup beats the ordered map's per-level
+  /// string compares. list() filters then sorts.
+  std::unordered_map<std::string, record, string_key_hash, string_key_eq>
+      objects_;
   mutable backend_op_stats stats_;
 };
 

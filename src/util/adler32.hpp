@@ -15,6 +15,12 @@ namespace cloudsync {
 /// One-shot weak checksum of a block (rsync's a/b split packed into 32 bits).
 std::uint32_t weak_checksum(byte_view block);
 
+/// Streaming form: fold `data` into running (a, b) sums, exactly as if the
+/// bytes had been fed to the naive per-byte loop. Lets fused pipelines
+/// interleave the weak checksum with other kernels over the same tile;
+/// pack the result as (b << 16) | (a & 0xffff).
+void weak_accumulate(byte_view data, std::uint32_t& a, std::uint32_t& b);
+
 /// Rolling window over a fixed block size.
 ///
 ///   rolling_checksum rc(block_size);

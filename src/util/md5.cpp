@@ -37,10 +37,16 @@ inline std::uint32_t rotl(std::uint32_t v, int s) {
 }
 
 inline std::uint32_t load_le32(const std::uint8_t* p) {
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+#else
   return static_cast<std::uint32_t>(p[0]) |
          static_cast<std::uint32_t>(p[1]) << 8 |
          static_cast<std::uint32_t>(p[2]) << 16 |
          static_cast<std::uint32_t>(p[3]) << 24;
+#endif
 }
 
 inline void store_le32(std::uint8_t* p, std::uint32_t v) {
@@ -54,34 +60,56 @@ inline void store_le32(std::uint8_t* p, std::uint32_t v) {
 
 md5_hasher::md5_hasher() { std::memcpy(state_, kInit, sizeof(state_)); }
 
+// Four explicit 16-step groups (RFC 1321 FF/GG/HH/II) with the per-round
+// branches and register shuffle of the naive loop unrolled away; identical
+// arithmetic, identical digests.
 void md5_hasher::process_block(const std::uint8_t* block) {
   std::uint32_t m[16];
   for (int i = 0; i < 16; ++i) m[i] = load_le32(block + 4 * i);
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
 
-  for (int i = 0; i < 64; ++i) {
-    std::uint32_t f;
-    int g;
-    if (i < 16) {
-      f = (b & c) | (~b & d);
-      g = i;
-    } else if (i < 32) {
-      f = (d & b) | (~d & c);
-      g = (5 * i + 1) & 15;
-    } else if (i < 48) {
-      f = b ^ c ^ d;
-      g = (3 * i + 5) & 15;
-    } else {
-      f = c ^ (b | ~d);
-      g = (7 * i) & 15;
-    }
-    const std::uint32_t tmp = d;
-    d = c;
-    c = b;
-    b = b + rotl(a + f + kSine[i] + m[g], kShift[i]);
-    a = tmp;
+#define CLOUDSYNC_MD5_STEP(F, a, b, c, d, g, i)                           \
+  a = b + rotl(a + (F) + kSine[i] + m[g], kShift[i])
+#define CLOUDSYNC_MD5_F ((b & c) | (~b & d))
+#define CLOUDSYNC_MD5_G ((d & b) | (~d & c))
+#define CLOUDSYNC_MD5_H (b ^ c ^ d)
+#define CLOUDSYNC_MD5_I (c ^ (b | ~d))
+
+  for (int i = 0; i < 16; i += 4) {
+    CLOUDSYNC_MD5_STEP(CLOUDSYNC_MD5_F, a, b, c, d, i + 0, i + 0);
+    CLOUDSYNC_MD5_STEP((a & b) | (~a & c), d, a, b, c, i + 1, i + 1);
+    CLOUDSYNC_MD5_STEP((d & a) | (~d & b), c, d, a, b, i + 2, i + 2);
+    CLOUDSYNC_MD5_STEP((c & d) | (~c & a), b, c, d, a, i + 3, i + 3);
   }
+  for (int i = 16; i < 32; i += 4) {
+    CLOUDSYNC_MD5_STEP(CLOUDSYNC_MD5_G, a, b, c, d, (5 * (i + 0) + 1) & 15,
+                       i + 0);
+    CLOUDSYNC_MD5_STEP((c & a) | (~c & b), d, a, b, c, (5 * (i + 1) + 1) & 15,
+                       i + 1);
+    CLOUDSYNC_MD5_STEP((b & d) | (~b & a), c, d, a, b, (5 * (i + 2) + 1) & 15,
+                       i + 2);
+    CLOUDSYNC_MD5_STEP((a & c) | (~a & d), b, c, d, a, (5 * (i + 3) + 1) & 15,
+                       i + 3);
+  }
+  for (int i = 32; i < 48; i += 4) {
+    CLOUDSYNC_MD5_STEP(CLOUDSYNC_MD5_H, a, b, c, d, (3 * (i + 0) + 5) & 15,
+                       i + 0);
+    CLOUDSYNC_MD5_STEP(a ^ b ^ c, d, a, b, c, (3 * (i + 1) + 5) & 15, i + 1);
+    CLOUDSYNC_MD5_STEP(d ^ a ^ b, c, d, a, b, (3 * (i + 2) + 5) & 15, i + 2);
+    CLOUDSYNC_MD5_STEP(c ^ d ^ a, b, c, d, a, (3 * (i + 3) + 5) & 15, i + 3);
+  }
+  for (int i = 48; i < 64; i += 4) {
+    CLOUDSYNC_MD5_STEP(CLOUDSYNC_MD5_I, a, b, c, d, (7 * (i + 0)) & 15, i + 0);
+    CLOUDSYNC_MD5_STEP(b ^ (a | ~c), d, a, b, c, (7 * (i + 1)) & 15, i + 1);
+    CLOUDSYNC_MD5_STEP(a ^ (d | ~b), c, d, a, b, (7 * (i + 2)) & 15, i + 2);
+    CLOUDSYNC_MD5_STEP(d ^ (c | ~a), b, c, d, a, (7 * (i + 3)) & 15, i + 3);
+  }
+#undef CLOUDSYNC_MD5_STEP
+#undef CLOUDSYNC_MD5_F
+#undef CLOUDSYNC_MD5_G
+#undef CLOUDSYNC_MD5_H
+#undef CLOUDSYNC_MD5_I
 
   state_[0] += a;
   state_[1] += b;

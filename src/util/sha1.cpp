@@ -34,38 +34,85 @@ sha1_hasher::sha1_hasher() {
   state_[4] = 0xc3d2e1f0u;
 }
 
+// The 80 rounds unrolled in five-register rotation with the schedule kept as
+// a 16-word ring (computed just-in-time) instead of an 80-word array. Same
+// mod-2^32 arithmetic as the FIPS loop, so digests are bit-identical.
 void sha1_hasher::process_block(const std::uint8_t* block) {
-  std::uint32_t w[80];
+  std::uint32_t w[16];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 80; ++i) {
-    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
-  }
 
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
                 e = state_[4];
 
-  for (int i = 0; i < 80; ++i) {
-    std::uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5a827999u;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ed9eba1u;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8f1bbcdcu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xca62c1d6u;
-    }
-    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = rotl(b, 30);
-    b = a;
-    a = tmp;
+#define CLOUDSYNC_SHA1_W(j)                                          \
+  (w[(j) & 15] = rotl(w[((j) - 3) & 15] ^ w[((j) - 8) & 15] ^        \
+                          w[((j) - 14) & 15] ^ w[(j) & 15],          \
+                      1))
+#define CLOUDSYNC_SHA1_RND(a, b, c, d, e, f, k, wi)                  \
+  {                                                                  \
+    e += rotl(a, 5) + (f) + (k) + (wi);                              \
+    b = rotl(b, 30);                                                 \
   }
+
+  for (int i = 0; i < 15; i += 5) {
+    CLOUDSYNC_SHA1_RND(a, b, c, d, e, (b & c) | (~b & d), 0x5a827999u,
+                       w[i + 0]);
+    CLOUDSYNC_SHA1_RND(e, a, b, c, d, (a & b) | (~a & c), 0x5a827999u,
+                       w[i + 1]);
+    CLOUDSYNC_SHA1_RND(d, e, a, b, c, (e & a) | (~e & b), 0x5a827999u,
+                       w[i + 2]);
+    CLOUDSYNC_SHA1_RND(c, d, e, a, b, (d & e) | (~d & a), 0x5a827999u,
+                       w[i + 3]);
+    CLOUDSYNC_SHA1_RND(b, c, d, e, a, (c & d) | (~c & e), 0x5a827999u,
+                       w[i + 4]);
+  }
+  CLOUDSYNC_SHA1_RND(a, b, c, d, e, (b & c) | (~b & d), 0x5a827999u, w[15]);
+  CLOUDSYNC_SHA1_RND(e, a, b, c, d, (a & b) | (~a & c), 0x5a827999u,
+                     CLOUDSYNC_SHA1_W(16));
+  CLOUDSYNC_SHA1_RND(d, e, a, b, c, (e & a) | (~e & b), 0x5a827999u,
+                     CLOUDSYNC_SHA1_W(17));
+  CLOUDSYNC_SHA1_RND(c, d, e, a, b, (d & e) | (~d & a), 0x5a827999u,
+                     CLOUDSYNC_SHA1_W(18));
+  CLOUDSYNC_SHA1_RND(b, c, d, e, a, (c & d) | (~c & e), 0x5a827999u,
+                     CLOUDSYNC_SHA1_W(19));
+  for (int i = 20; i < 40; i += 5) {
+    CLOUDSYNC_SHA1_RND(a, b, c, d, e, b ^ c ^ d, 0x6ed9eba1u,
+                       CLOUDSYNC_SHA1_W(i + 0));
+    CLOUDSYNC_SHA1_RND(e, a, b, c, d, a ^ b ^ c, 0x6ed9eba1u,
+                       CLOUDSYNC_SHA1_W(i + 1));
+    CLOUDSYNC_SHA1_RND(d, e, a, b, c, e ^ a ^ b, 0x6ed9eba1u,
+                       CLOUDSYNC_SHA1_W(i + 2));
+    CLOUDSYNC_SHA1_RND(c, d, e, a, b, d ^ e ^ a, 0x6ed9eba1u,
+                       CLOUDSYNC_SHA1_W(i + 3));
+    CLOUDSYNC_SHA1_RND(b, c, d, e, a, c ^ d ^ e, 0x6ed9eba1u,
+                       CLOUDSYNC_SHA1_W(i + 4));
+  }
+  for (int i = 40; i < 60; i += 5) {
+    CLOUDSYNC_SHA1_RND(a, b, c, d, e, (b & c) | (b & d) | (c & d), 0x8f1bbcdcu,
+                       CLOUDSYNC_SHA1_W(i + 0));
+    CLOUDSYNC_SHA1_RND(e, a, b, c, d, (a & b) | (a & c) | (b & c), 0x8f1bbcdcu,
+                       CLOUDSYNC_SHA1_W(i + 1));
+    CLOUDSYNC_SHA1_RND(d, e, a, b, c, (e & a) | (e & b) | (a & b), 0x8f1bbcdcu,
+                       CLOUDSYNC_SHA1_W(i + 2));
+    CLOUDSYNC_SHA1_RND(c, d, e, a, b, (d & e) | (d & a) | (e & a), 0x8f1bbcdcu,
+                       CLOUDSYNC_SHA1_W(i + 3));
+    CLOUDSYNC_SHA1_RND(b, c, d, e, a, (c & d) | (c & e) | (d & e), 0x8f1bbcdcu,
+                       CLOUDSYNC_SHA1_W(i + 4));
+  }
+  for (int i = 60; i < 80; i += 5) {
+    CLOUDSYNC_SHA1_RND(a, b, c, d, e, b ^ c ^ d, 0xca62c1d6u,
+                       CLOUDSYNC_SHA1_W(i + 0));
+    CLOUDSYNC_SHA1_RND(e, a, b, c, d, a ^ b ^ c, 0xca62c1d6u,
+                       CLOUDSYNC_SHA1_W(i + 1));
+    CLOUDSYNC_SHA1_RND(d, e, a, b, c, e ^ a ^ b, 0xca62c1d6u,
+                       CLOUDSYNC_SHA1_W(i + 2));
+    CLOUDSYNC_SHA1_RND(c, d, e, a, b, d ^ e ^ a, 0xca62c1d6u,
+                       CLOUDSYNC_SHA1_W(i + 3));
+    CLOUDSYNC_SHA1_RND(b, c, d, e, a, c ^ d ^ e, 0xca62c1d6u,
+                       CLOUDSYNC_SHA1_W(i + 4));
+  }
+#undef CLOUDSYNC_SHA1_RND
+#undef CLOUDSYNC_SHA1_W
 
   state_[0] += a;
   state_[1] += b;

@@ -28,10 +28,16 @@ inline std::uint32_t rotr(std::uint32_t v, int s) {
 }
 
 inline std::uint32_t load_be32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap32(v);
+#else
   return static_cast<std::uint32_t>(p[0]) << 24 |
          static_cast<std::uint32_t>(p[1]) << 16 |
          static_cast<std::uint32_t>(p[2]) << 8 |
          static_cast<std::uint32_t>(p[3]);
+#endif
 }
 
 inline void store_be32(std::uint8_t* p, std::uint32_t v) {
@@ -55,45 +61,87 @@ sha256_hasher::sha256_hasher() {
   state_[7] = 0x5be0cd19u;
 }
 
-void sha256_hasher::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+// Compression rounds unrolled via register rotation, with the message
+// schedule kept as a rolling 16-word ring instead of a 64-word array. Every
+// operation is the same mod-2^32 arithmetic as the FIPS reference loop, only
+// regrouped, so digests are bit-identical.
+void sha256_hasher::process_blocks(const std::uint8_t* p, std::size_t blocks) {
+  std::uint32_t s0 = state_[0], s1 = state_[1], s2 = state_[2], s3 = state_[3];
+  std::uint32_t s4 = state_[4], s5 = state_[5], s6 = state_[6], s7 = state_[7];
+
+  while (blocks-- > 0) {
+    std::uint32_t w[16];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(p + 4 * i);
+    p += 64;
+
+    std::uint32_t a = s0, b = s1, c = s2, d = s3;
+    std::uint32_t e = s4, f = s5, g = s6, h = s7;
+
+#define CLOUDSYNC_SHA256_RND(a, b, c, d, e, f, g, h, i, wi)               \
+  {                                                                       \
+    const std::uint32_t t1 = h + (rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)) + \
+                             ((e & f) ^ (~e & g)) + kRound[i] + (wi);     \
+    const std::uint32_t t2 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) +   \
+                             ((a & b) ^ (a & c) ^ (b & c));               \
+    d += t1;                                                              \
+    h = t1 + t2;                                                          \
+  }
+#define CLOUDSYNC_SHA256_W(j)                                              \
+  (w[(j) & 15] += (rotr(w[((j) - 15) & 15], 7) ^ rotr(w[((j) - 15) & 15], 18) ^ \
+                   (w[((j) - 15) & 15] >> 3)) +                            \
+                  w[((j) - 7) & 15] +                                      \
+                  (rotr(w[((j) - 2) & 15], 17) ^ rotr(w[((j) - 2) & 15], 19) ^ \
+                   (w[((j) - 2) & 15] >> 10)))
+
+    for (int i = 0; i < 16; i += 8) {
+      CLOUDSYNC_SHA256_RND(a, b, c, d, e, f, g, h, i + 0, w[i + 0]);
+      CLOUDSYNC_SHA256_RND(h, a, b, c, d, e, f, g, i + 1, w[i + 1]);
+      CLOUDSYNC_SHA256_RND(g, h, a, b, c, d, e, f, i + 2, w[i + 2]);
+      CLOUDSYNC_SHA256_RND(f, g, h, a, b, c, d, e, i + 3, w[i + 3]);
+      CLOUDSYNC_SHA256_RND(e, f, g, h, a, b, c, d, i + 4, w[i + 4]);
+      CLOUDSYNC_SHA256_RND(d, e, f, g, h, a, b, c, i + 5, w[i + 5]);
+      CLOUDSYNC_SHA256_RND(c, d, e, f, g, h, a, b, i + 6, w[i + 6]);
+      CLOUDSYNC_SHA256_RND(b, c, d, e, f, g, h, a, i + 7, w[i + 7]);
+    }
+    for (int i = 16; i < 64; i += 8) {
+      CLOUDSYNC_SHA256_RND(a, b, c, d, e, f, g, h, i + 0,
+                           CLOUDSYNC_SHA256_W(i + 0));
+      CLOUDSYNC_SHA256_RND(h, a, b, c, d, e, f, g, i + 1,
+                           CLOUDSYNC_SHA256_W(i + 1));
+      CLOUDSYNC_SHA256_RND(g, h, a, b, c, d, e, f, i + 2,
+                           CLOUDSYNC_SHA256_W(i + 2));
+      CLOUDSYNC_SHA256_RND(f, g, h, a, b, c, d, e, i + 3,
+                           CLOUDSYNC_SHA256_W(i + 3));
+      CLOUDSYNC_SHA256_RND(e, f, g, h, a, b, c, d, i + 4,
+                           CLOUDSYNC_SHA256_W(i + 4));
+      CLOUDSYNC_SHA256_RND(d, e, f, g, h, a, b, c, i + 5,
+                           CLOUDSYNC_SHA256_W(i + 5));
+      CLOUDSYNC_SHA256_RND(c, d, e, f, g, h, a, b, i + 6,
+                           CLOUDSYNC_SHA256_W(i + 6));
+      CLOUDSYNC_SHA256_RND(b, c, d, e, f, g, h, a, i + 7,
+                           CLOUDSYNC_SHA256_W(i + 7));
+    }
+#undef CLOUDSYNC_SHA256_RND
+#undef CLOUDSYNC_SHA256_W
+
+    s0 += a;
+    s1 += b;
+    s2 += c;
+    s3 += d;
+    s4 += e;
+    s5 += f;
+    s6 += g;
+    s7 += h;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kRound[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  state_[4] = s4;
+  state_[5] = s5;
+  state_[6] = s6;
+  state_[7] = s7;
 }
 
 sha256_hasher& sha256_hasher::update(byte_view data) {
@@ -106,14 +154,14 @@ sha256_hasher& sha256_hasher::update(byte_view data) {
     buffer_len_ += take;
     off = take;
     if (buffer_len_ == 64) {
-      process_block(buffer_);
+      process_blocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
 
-  while (off + 64 <= data.size()) {
-    process_block(data.data() + off);
-    off += 64;
+  if (const std::size_t whole = (data.size() - off) / 64; whole > 0) {
+    process_blocks(data.data() + off, whole);
+    off += whole * 64;
   }
 
   if (off < data.size()) {
@@ -138,7 +186,7 @@ sha256_digest sha256_hasher::finish() {
   store_be32(len_bytes, static_cast<std::uint32_t>(bit_len >> 32));
   store_be32(len_bytes + 4, static_cast<std::uint32_t>(bit_len));
   std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
-  process_block(buffer_);
+  process_blocks(buffer_, 1);
 
   sha256_digest out;
   for (int i = 0; i < 8; ++i) store_be32(out.bytes.data() + 4 * i, state_[i]);

@@ -20,7 +20,7 @@ class sha256_hasher {
   sha256_digest finish();
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
 
   std::uint32_t state_[8];
   std::uint64_t total_len_ = 0;

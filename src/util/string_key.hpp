@@ -1,0 +1,40 @@
+// Heterogeneous string keying for hash maps on hot paths.
+//
+// `std::unordered_map<std::string, V, string_key_hash, string_key_eq>`
+// accepts std::string_view (and const char*) lookups without materializing a
+// temporary std::string, which is what the per-file lookup paths in memfs /
+// object_store / metadata_service hit thousands of times per replayed file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace cloudsync {
+
+struct string_key_hash {
+  using is_transparent = void;
+
+  // FNV-1a: short sync-folder paths hash in a handful of cycles.
+  static std::size_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  std::size_t operator()(std::string_view s) const { return fnv1a(s); }
+  std::size_t operator()(const std::string& s) const {
+    return fnv1a(std::string_view{s});
+  }
+  std::size_t operator()(const char* s) const {
+    return fnv1a(std::string_view{s});
+  }
+};
+
+using string_key_eq = std::equal_to<>;
+
+}  // namespace cloudsync
