@@ -48,14 +48,13 @@ workload_result run_mixed_workload(const service_profile& profile) {
   }
 
   // 4. A duplicate of an existing file (dedup target).
-  const byte_buffer dup(st.fs.read("report.txt").begin(),
-                        st.fs.read("report.txt").end());
+  const byte_buffer dup = st.fs.read("report.txt").flatten();
   st.fs.create("report_copy.txt", dup, env.clock().now());
   update += dup.size();
   env.settle();
 
   // 5. A "2 KB / 2 sec" stream to 256 KB (defer target).
-  st.fs.create("notes.md", {}, env.clock().now());
+  st.fs.create("notes.md", byte_buffer{}, env.clock().now());
   const sim_time base = env.clock().now();
   for (int i = 1; i <= 128; ++i) {
     env.clock().schedule_at(base + sim_time::from_sec(2.0 * i), [&env, &st] {

@@ -61,7 +61,7 @@ int main() {
   cl.store().undelete(latest_key);
   const auto restored = cl.store().get(latest_key);
   pc.fs.create("thesis_restored.tex",
-               byte_buffer(restored->begin(), restored->end()),
+               restored->retain(),
                env.clock().now());
   env.settle();
   std::printf("\nrestored from retained version: \"%s\"\n",

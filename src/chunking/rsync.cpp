@@ -1,5 +1,6 @@
 #include "chunking/rsync.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <unordered_map>
@@ -199,6 +200,34 @@ byte_buffer apply_delta(byte_view old_data, const file_delta& delta) {
     throw std::runtime_error("apply_delta: reconstructed size mismatch");
   }
   return out;
+}
+
+content_ref apply_delta_ref(const content_ref& old_data,
+                            const file_delta& delta) {
+  const std::size_t bs = delta.block_size;
+  const std::size_t old_size = old_data.size();
+  const std::size_t old_blocks =
+      bs > 0 ? (old_size + bs - 1) / bs : 0;
+
+  content_ref::builder out;
+  for (const delta_op& op : delta.ops) {
+    if (op.op == delta_op::kind::literal) {
+      out.append_bytes(op.bytes);
+      continue;
+    }
+    if (op.block_index + op.block_count > old_blocks) {
+      throw std::runtime_error("apply_delta: block index out of range");
+    }
+    const std::size_t start = static_cast<std::size_t>(op.block_index) * bs;
+    const std::size_t end = std::min<std::size_t>(
+        old_size,
+        static_cast<std::size_t>(op.block_index + op.block_count) * bs);
+    out.append(old_data, start, end - start);
+  }
+  if (out.size() != delta.new_file_size) {
+    throw std::runtime_error("apply_delta: reconstructed size mismatch");
+  }
+  return out.build();
 }
 
 namespace {

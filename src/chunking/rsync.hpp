@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "store/content_ref.hpp"
 #include "util/bytes.hpp"
 #include "util/digest.hpp"
 
@@ -60,6 +61,12 @@ file_delta compute_delta(const file_signature& sig, byte_view new_data);
 /// Reconstruct the new file from the old file content and a delta.
 /// Throws std::runtime_error if the delta references blocks out of range.
 byte_buffer apply_delta(byte_view old_data, const file_delta& delta);
+
+/// Rope-sharing reconstruction: copy ops become sub-ranges of the old rope
+/// (no bytes move), only literal ops intern fresh content — so a version
+/// chain built by deltas costs O(changed bytes), not O(file size).
+content_ref apply_delta_ref(const content_ref& old_data,
+                            const file_delta& delta);
 
 /// Wire format (what the client actually uploads): varint-framed ops with a
 /// CRC-32 trailer.

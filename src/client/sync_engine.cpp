@@ -283,7 +283,7 @@ sim_time sync_client::commit_batch(
                                                : journal_kind::upload_full;
         txn = opts_.journal->begin(
             path, kind, plan.payload_up, 0, base,
-            chg.remove ? 0 : content_hash64(fs_.read(path)), t);
+            chg.remove ? 0 : fs_.read(path).hash64(), t);
         maybe_crash(crash_site::after_plan, t);
         opts_.journal->mark_in_flight(txn);
       }
@@ -454,16 +454,30 @@ std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
   return opts_.cache->shipped_size(content, level, &wire_payload_size);
 }
 
+std::uint64_t sync_client::shipped_size(const content_ref& content,
+                                        int level) const {
+  if (level <= 0 || content.empty()) return content.size();
+  const auto compute = [&] {
+    return wire_payload_size(content.flatten(), level);
+  };
+  if (opts_.cache == nullptr) return compute();
+  // hash64() matches content_hash64 of the flat bytes, so rope and flat
+  // lookups hit the same cache entries.
+  return opts_.cache->shipped_size_keyed(content.hash64(), content.size(),
+                                         level, compute);
+}
+
 const file_signature& sync_client::shadow_signature(shadow_entry& sh) const {
   const std::size_t block_size = opts_.profile.delta_chunk_size;
   if (!sh.sig || sh.sig_block_size != block_size) {
     auto sign = [&]() -> signature_ptr {
       return std::make_shared<const file_signature>(
-          compute_signature(sh.content, block_size));
+          compute_signature(sh.content.flatten(), block_size));
     };
     sh.sig = opts_.cache != nullptr
-                 ? signature_memo().get_or_compute(sh.content, block_size,
-                                                   sign)
+                 ? signature_memo().get_or_compute_keyed(
+                       sh.content.hash64(), sh.content.size(), block_size,
+                       sign)
                  : sign();
     sh.sig_block_size = block_size;
     sh.sig_salt = signature_salt(*sh.sig);
@@ -477,7 +491,7 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
   const method_profile& mp = opts_.profile.method(opts_.method);
   upload_plan plan;
 
-  const byte_view content = fs_.read(path);
+  const content_ref content = fs_.read(path);
   const file_manifest* man = cloud_.manifest(user_, path);
   const bool in_cloud = man != nullptr && !man->deleted;
   const auto shadow_it = shadow_.find(path);
@@ -491,8 +505,7 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
     if (base != base_version_.end() && man->version > base->second) {
       const std::string conflict = path + " (conflicted copy)";
       if (!fs_.exists(conflict)) {
-        fs_.create(conflict, byte_buffer(content.begin(), content.end()),
-                   at);
+        fs_.create(conflict, content.retain(), at);
       }
       ++conflicts_;
       return plan;  // nothing shipped for the contested path
@@ -513,15 +526,16 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
     const file_signature& sig = shadow_signature(sh);
     auto plan_delta = [&]() -> blueprint_ptr {
       auto bp = std::make_shared<delta_blueprint>();
-      bp->delta = compute_delta(sig, content);
+      bp->delta = compute_delta(sig, content.flatten());
       bp->wire = serialize_delta(bp->delta);
       return bp;
     };
     // Key: the new content (hashed) + the old file's identity (salt, cached
     // alongside the signature), which together determine the delta exactly.
     plan.blueprint = opts_.cache != nullptr
-                         ? delta_memo().get_or_compute(content, sh.sig_salt,
-                                                       plan_delta)
+                         ? delta_memo().get_or_compute_keyed(
+                               content.hash64(), content.size(), sh.sig_salt,
+                               plan_delta)
                          : plan_delta();
     // The delta's literal regions are compressed like any upload.
     plan.payload_up =
@@ -539,7 +553,8 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
     plan.metadata_up += res.fingerprints_sent * kFingerprintWireBytes;
     plan.metadata_down += res.fingerprints_sent * kFingerprintAnswerBytes;
     for (const chunk_ref& c : res.new_chunks) {
-      payload += shipped_size(slice(content, c), mp.upload_compression_level);
+      payload += shipped_size(content.substr(c.offset, c.size),
+                              mp.upload_compression_level);
     }
   } else {
     payload = shipped_size(content, mp.upload_compression_level);
@@ -554,13 +569,11 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
 void sync_client::apply_upload(const std::string& path,
                                const upload_plan& plan, sim_time at) {
   if (plan.act == upload_action::none) return;
-  const byte_view content = fs_.read(path);
+  const content_ref content = fs_.read(path);
   if (plan.act == upload_action::delta) {
     cloud_.apply_file_delta(user_, device_, path, plan.blueprint->delta, at);
   } else {
-    cloud_.put_file(user_, device_, path,
-                    byte_buffer(content.begin(), content.end()),
-                    plan.payload_up, at);
+    cloud_.put_file(user_, device_, path, content, plan.payload_up, at);
   }
   // The commit landed — nothing below can throw, so a retried transaction
   // never observes a half-applied one.
@@ -571,26 +584,25 @@ void sync_client::apply_upload(const std::string& path,
   }
   base_version_[path] = cloud_.manifest(user_, path)->version;
   shadow_entry& sh = shadow_[path];
-  sh.content.assign(content.begin(), content.end());  // reuses capacity
+  sh.content = content.retain();
   sh.sig.reset();  // the memoized signature no longer matches
 }
 
 void sync_client::apply_upload_session(const std::string& path,
                                        const upload_plan& plan,
                                        resume_token token, sim_time at) {
-  const byte_view content = fs_.read(path);
+  const content_ref content = fs_.read(path);
   if (plan.act == upload_action::delta) {
     cloud_.finalize_session_delta(token, user_, device_, path,
                                   plan.blueprint->delta, at);
   } else {
-    cloud_.finalize_session_put(token, user_, device_, path,
-                                byte_buffer(content.begin(), content.end()),
+    cloud_.finalize_session_put(token, user_, device_, path, content,
                                 plan.payload_up, at);
   }
   if (plan.dedup_commit) cloud_.dedup().commit(user_, content);
   base_version_[path] = cloud_.manifest(user_, path)->version;
   shadow_entry& sh = shadow_[path];
-  sh.content.assign(content.begin(), content.end());
+  sh.content = content.retain();
   sh.sig.reset();
 }
 
@@ -672,7 +684,7 @@ sim_time sync_client::journaled_upload(const std::string& path,
       plan.act == upload_action::delta ? journal_kind::upload_delta
                                        : journal_kind::upload_full,
       plan.payload_up, chunk_count(plan.payload_up, opts_.recovery.chunk_bytes),
-      base, content_hash64(fs_.read(path)), t);
+      base, fs_.read(path).hash64(), t);
   maybe_crash(crash_site::after_plan, t);
 
   // Open the upload session (a small control exchange).
@@ -837,16 +849,12 @@ sim_time sync_client::run_exchange(sim_time at, const exchange_spec& spec,
 
 void sync_client::download(const std::string& path) {
   const method_profile& mp = opts_.profile.method(opts_.method);
-  // byte_view plumbing: the whole-object substrate serves a zero-copy view
-  // of the stored object; only the chunk substrate must materialize into an
-  // owned buffer (which we then move into the local fs instead of copying).
-  std::optional<byte_view> view = cloud_.file_content_view(user_, path);
-  std::optional<byte_buffer> owned;
-  if (!view) {
-    owned = cloud_.file_content(user_, path);
-    if (!owned) return;
-  }
-  const byte_view content = view ? *view : byte_view{*owned};
+  // Rope plumbing: both storage substrates hand back a content_ref that
+  // shares the stored chunks — no copy on the read path. The handle stays
+  // valid regardless of later store mutations (it pins its chunks).
+  const std::optional<content_ref> remote = cloud_.file_content(user_, path);
+  if (!remote) return;
+  const content_ref& content = *remote;
 
   const std::uint64_t payload =
       shipped_size(content, mp.download_compression_level);
@@ -867,20 +875,18 @@ void sync_client::download(const std::string& path) {
     return;
   }
 
-  // Adopt the remote version as the synced state first (the shadow copy must
-  // happen before `owned` is moved into the fs below), then materialise it
+  // Adopt the remote version as the synced state, then materialise it
   // locally (suppressed: our own write must not re-enter the upload
-  // pipeline).
+  // pipeline). retain() shares chunks in CoW mode and deep-copies in flat
+  // mode, so each layer's ownership semantics are preserved either way.
   shadow_entry& sh = shadow_[path];
-  sh.content.assign(content.begin(), content.end());
+  sh.content = content.retain();
   sh.sig.reset();
-  byte_buffer local = owned ? std::move(*owned)
-                            : byte_buffer(content.begin(), content.end());
   applying_remote_ = true;
   if (fs_.exists(path)) {
-    fs_.write(path, std::move(local), clock_.now());
+    fs_.write(path, content.retain(), clock_.now());
   } else {
-    fs_.create(path, std::move(local), clock_.now());
+    fs_.create(path, content.retain(), clock_.now());
   }
   applying_remote_ = false;
   const file_manifest* man = cloud_.manifest(user_, path);
@@ -927,9 +933,7 @@ std::size_t sync_client::poll_remote_changes() {
       // (the Dropbox behaviour).
       const std::string conflict = note.path + " (conflicted copy)";
       if (!fs_.exists(conflict)) {
-        const byte_view local = fs_.read(note.path);
-        fs_.create(conflict, byte_buffer(local.begin(), local.end()),
-                   clock_.now());
+        fs_.create(conflict, fs_.read(note.path).retain(), clock_.now());
       }
       drop_entry_estimate(note.path);
       dirty_.erase(note.path);
@@ -1014,7 +1018,7 @@ sim_time sync_client::recover_in_flight(const journal_record& rec,
   // be what the journal recorded and the cloud must still be at the plan's
   // base version. Anything else → discard; the rescan re-plans from scratch.
   if (!fs_.exists(rec.path) ||
-      content_hash64(fs_.read(rec.path)) != rec.content_hash) {
+      fs_.read(rec.path).hash64() != rec.content_hash) {
     discard();
     return t;
   }
@@ -1037,7 +1041,7 @@ sim_time sync_client::recover_in_flight(const journal_record& rec,
       return t;
     }
     shadow_entry& sh = shadow_[rec.path];
-    sh.content = std::move(*base_content);
+    sh.content = base_content->retain();
     sh.sig.reset();
     base_version_[rec.path] = cur;
     plan = plan_upload(rec.path, t);
@@ -1093,18 +1097,16 @@ void sync_client::rescan_after_recovery() {
   for (const std::string& path : fs_.list()) {
     const file_manifest* man = cloud_.manifest(user_, path);
     const bool in_cloud = man != nullptr && !man->deleted;
+    const content_ref local = fs_.read(path);
     bool in_sync = false;
     if (in_cloud) {
       const auto remote = cloud_.file_content(user_, path);
-      const byte_view local = fs_.read(path);
-      in_sync = remote && remote->size() == local.size() &&
-                std::equal(remote->begin(), remote->end(), local.begin());
+      in_sync = remote && remote->equal(local);
     }
     if (in_sync) {
       // Adopt as the synced state (a local disk read, not a download).
-      const byte_view local = fs_.read(path);
       shadow_entry& sh = shadow_[path];
-      sh.content.assign(local.begin(), local.end());
+      sh.content = local.retain();
       sh.sig.reset();
       base_version_[path] = man->version;
       continue;

@@ -201,7 +201,7 @@ class sync_client {
   /// re-signs a shadow only after it actually changes, not on every commit.
   /// The signature is shared with the process-wide memo when caching is on.
   struct shadow_entry {
-    byte_buffer content;
+    content_ref content;
     std::shared_ptr<const file_signature> sig;  ///< of `content`, lazy
     std::size_t sig_block_size = 0;  ///< block size `sig` was built with
     std::uint64_t sig_salt = 0;  ///< memo salt of `sig` (valid while sig is);
@@ -264,6 +264,9 @@ class sync_client {
   /// Wire-payload size of `content` under compression `level`, with a fast
   /// path that skips compressing incompressible data (as real clients do).
   std::uint64_t shipped_size(byte_view content, int level) const;
+  /// Rope variant: memoized under the same (content hash, size, level) key
+  /// as the flat overload; the compressor only sees flat bytes on a miss.
+  std::uint64_t shipped_size(const content_ref& content, int level) const;
 
   /// One sync transaction: run the exchange, then `apply` (server-side
   /// commit), retrying transient faults under the retry policy. Successful

@@ -217,7 +217,7 @@ append_experiment_result run_append_experiment(const experiment_config& cfg,
   experiment_env env(cfg);
   station& st = env.primary();
   const std::string path = "exp6/doc.dat";
-  st.fs.create(path, {}, env.clock().now());
+  st.fs.create(path, byte_buffer{}, env.clock().now());
   env.settle();
 
   const auto snap = st.client->meter().snap();

@@ -1,10 +1,14 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <unordered_map>
 
 #include "core/parallel_runner.hpp"
+#include "store/content_ref.hpp"
+#include "store/content_store.hpp"
+#include "util/content_cache.hpp"
 
 namespace cloudsync {
 
@@ -13,12 +17,33 @@ namespace {
 /// Deterministic content for a trace record: seeded by the record's content
 /// identity so exact duplicates get byte-identical files, sized and shaped
 /// to match the recorded size and compression ratio.
-byte_buffer record_content(const trace_file_record& rec,
+///
+/// In CoW mode, records with the same content identity alias one process-wide
+/// lazy ref — the bytes are generated from the seed on first read and every
+/// duplicate shares the same chunks, so fleet memory is O(unique bytes). In
+/// flat mode each call generates a private buffer, reproducing the historical
+/// per-file duplication (that is the baseline the bench compares against).
+content_ref record_content(const trace_file_record& rec,
                            std::uint64_t size_cap) {
   const std::uint64_t size = std::min(rec.original_size, size_cap);
-  rng content_rng(rec.full_md5.prefix64());
-  return synthetic_payload(content_rng, static_cast<std::size_t>(size),
-                           rec.compression_ratio());
+  const std::uint64_t seed = rec.full_md5.prefix64();
+  const double ratio = rec.compression_ratio();
+  auto generate = [seed, size, ratio] {
+    rng content_rng(seed);
+    return synthetic_payload(content_rng, static_cast<std::size_t>(size),
+                             ratio);
+  };
+  if (content_store::global().mode() == content_mode::flat) {
+    return content_ref::from_buffer(generate());
+  }
+  // Identity memo: key is everything `generate` depends on, so a hit is the
+  // same logical bytes. Thread-safe — parallel per-service replays share it.
+  static content_memo<content_ref> memo(64 * 1024);
+  std::uint64_t ratio_bits = 0;
+  std::memcpy(&ratio_bits, &ratio, sizeof(ratio_bits));
+  return memo.get_or_compute_keyed(mix64(seed), size, ratio_bits, [&] {
+    return content_ref::lazy(static_cast<std::size_t>(size), generate);
+  });
 }
 
 fleet_service_report replay_service(const service_profile& profile,
@@ -89,6 +114,8 @@ fleet_service_report replay_service(const service_profile& profile,
   report.mean_staleness_sec = staleness.mean();
   report.bill = price_traffic(down_bytes, up_bytes, report.commits,
                               cfg.price);
+  report.backend_retained_bytes = env.the_cloud().store().stats().retained_bytes;
+  report.backend_live_bytes = env.the_cloud().store().stats().live_bytes;
   return report;
 }
 

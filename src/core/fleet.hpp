@@ -10,6 +10,7 @@
 // us what the fleet would have paid.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,12 +28,15 @@ struct fleet_config {
 
   /// Cap on files replayed per service (runtime guard; the trace's relative
   /// service proportions are preserved up to this cap). Files beyond the cap
-  /// are dropped and counted in fleet_service_report::dropped_files.
-  std::size_t max_files_per_service = 2500;
+  /// are dropped and counted in fleet_service_report::dropped_files. With
+  /// the CoW content store keeping memory O(unique bytes), the default is
+  /// the whole trace; benches that want the historical scope set it lower.
+  std::size_t max_files_per_service = SIZE_MAX;
 
   /// Files larger than this are clamped (the 2 GB trace outliers would
-  /// dominate runtime without changing the comparison).
-  std::uint64_t file_size_cap = 2 * MiB;
+  /// dominate runtime without changing the comparison). Raised from 2 MiB
+  /// once file contents became shared lazy ropes instead of per-file copies.
+  std::uint64_t file_size_cap = 64 * MiB;
 
   /// Trace timestamps are divided by this factor so months of user activity
   /// replay in a bounded number of simulated hours.
@@ -56,6 +60,10 @@ struct fleet_service_report {
   std::uint64_t update_bytes = 0;  ///< created + modified payload
   std::uint64_t sync_traffic = 0;
   std::uint64_t commits = 0;
+  /// Backend gauges at the end of the replay (backend_op_stats): bytes the
+  /// store retains including version history, and bytes in live objects.
+  std::uint64_t backend_retained_bytes = 0;
+  std::uint64_t backend_live_bytes = 0;
   double mean_staleness_sec = 0;
   traffic_bill bill;  ///< provider-side cost of this replay
 

@@ -32,10 +32,8 @@ void check_convergence(const memfs& fs, const cloud& cl, user_id user,
       rep.fail("convergence: cloud content unreadable: " + path);
       continue;
     }
-    const byte_view local_content = fs.read(path);
-    if (cloud_content->size() != local_content.size() ||
-        !std::equal(cloud_content->begin(), cloud_content->end(),
-                    local_content.begin())) {
+    const content_ref local_content = fs.read(path);
+    if (!cloud_content->equal(local_content)) {
       rep.fail("convergence: content mismatch: " + path + " (local " +
                std::to_string(local_content.size()) + " B, cloud " +
                std::to_string(cloud_content->size()) + " B)");

@@ -15,7 +15,7 @@ namespace {
 bool stream_fully_batched(const experiment_config& cfg, double period_sec) {
   experiment_env env(cfg);
   station& st = env.primary();
-  st.fs.create("probe/defer.dat", {}, env.clock().now());
+  st.fs.create("probe/defer.dat", byte_buffer{}, env.clock().now());
   env.settle();
   const std::uint64_t before = st.client->commit_count();
   for (int i = 1; i <= 16; ++i) {

@@ -18,6 +18,7 @@
 
 #include "chunking/cdc.hpp"
 #include "dedup/dedup_index.hpp"
+#include "store/content_ref.hpp"
 #include "util/content_cache.hpp"
 
 namespace cloudsync {
@@ -67,19 +68,30 @@ class dedup_engine {
 
   /// Compare `data` against the index without modifying it.
   dedup_result analyze(user_id user, byte_view data) const;
+  /// Rope entry point: chunk layout and fingerprints are computed by walking
+  /// segments in place (no flatten); results and memo keys are identical to
+  /// the flat overload on the same logical bytes.
+  dedup_result analyze(user_id user, const content_ref& data) const;
 
   /// Register `data`'s fingerprints as stored (after a successful upload).
   void commit(user_id user, byte_view data);
+  void commit(user_id user, const content_ref& data);
 
   /// Un-register (cloud-side garbage collection after a real deletion).
   void retract(user_id user, byte_view data);
+  void retract(user_id user, const content_ref& data);
 
  private:
   /// Block layout under the active granularity (fixed or content-defined).
   std::vector<chunk_ref> chunk_layout(byte_view data) const;
+  std::vector<chunk_ref> chunk_layout(const content_ref& data) const;
 
   /// fingerprint_of(), memoized when a cache is attached.
   fingerprint fp(byte_view data) const;
+  /// Streaming fingerprint of a rope sub-range; memoized under the same key
+  /// as fp() on the flat bytes.
+  fingerprint fp_range(const content_ref& data, std::size_t off,
+                       std::size_t len) const;
 
   user_id scope_for(user_id user) const {
     return policy_.cross_user ? 0 : user + 1;  // 0 is the global namespace

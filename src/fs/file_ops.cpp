@@ -69,15 +69,16 @@ void clear_generation_memo() { generation_memo().clear(); }
 
 std::size_t modify_random_byte(memfs& fs, const std::string& path, rng& r,
                                sim_time now) {
-  const byte_view content = fs.read(path);
+  const content_ref content = fs.read(path);
   if (content.empty()) {
     throw std::invalid_argument("modify_random_byte: empty file");
   }
   const std::size_t off = r.uniform(content.size());
+  const std::uint8_t current = content.at(off);
   std::uint8_t replacement;
   do {
     replacement = static_cast<std::uint8_t>(r.next());
-  } while (replacement == content[off]);
+  } while (replacement == current);
   fs.patch(path, off, byte_view{&replacement, 1}, now);
   return off;
 }

@@ -44,7 +44,7 @@ void memfs::unsubscribe(std::size_t token) {
   }
 }
 
-void memfs::create(const std::string& path, byte_buffer content,
+void memfs::create(const std::string& path, content_ref content,
                    sim_time now) {
   if (files_.contains(path)) {
     throw std::invalid_argument("memfs: already exists: " + path);
@@ -58,7 +58,7 @@ void memfs::create(const std::string& path, byte_buffer content,
   notify({fs_event::kind::created, path, {}, now, sz});
 }
 
-void memfs::write(const std::string& path, byte_buffer content,
+void memfs::write(const std::string& path, content_ref content,
                   sim_time now) {
   node& n = must_get(path);
   n.content = std::move(content);
@@ -69,7 +69,7 @@ void memfs::write(const std::string& path, byte_buffer content,
 
 void memfs::append(const std::string& path, byte_view data, sim_time now) {
   node& n = must_get(path);
-  cloudsync::append(n.content, data);
+  n.content = n.content.appended(data);
   n.mtime = now;
   ++n.version;
   notify({fs_event::kind::modified, path, {}, now, n.content.size()});
@@ -81,8 +81,7 @@ void memfs::patch(const std::string& path, std::size_t offset, byte_view data,
   if (offset + data.size() > n.content.size()) {
     throw std::out_of_range("memfs: patch beyond end of file");
   }
-  std::copy(data.begin(), data.end(),
-            n.content.begin() + static_cast<std::ptrdiff_t>(offset));
+  n.content = n.content.patched(offset, data);
   n.mtime = now;
   ++n.version;
   notify({fs_event::kind::modified, path, {}, now, n.content.size()});
@@ -111,7 +110,7 @@ bool memfs::exists(std::string_view path) const {
   return files_.contains(path);
 }
 
-byte_view memfs::read(std::string_view path) const {
+content_ref memfs::read(std::string_view path) const {
   return must_get(path).content;
 }
 

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/content_ref.hpp"
 #include "util/bytes.hpp"
 #include "util/sim_time.hpp"
 #include "util/string_key.hpp"
@@ -48,10 +49,18 @@ class memfs {
   // -- Mutations (all notify observers) --------------------------------
 
   /// Create a new file. Throws std::invalid_argument if it already exists.
-  void create(const std::string& path, byte_buffer content, sim_time now);
+  /// The content_ref overload shares the caller's chunks (CoW); the
+  /// byte_buffer overload interns the bytes first.
+  void create(const std::string& path, content_ref content, sim_time now);
+  void create(const std::string& path, byte_buffer content, sim_time now) {
+    create(path, content_ref::from_buffer(std::move(content)), now);
+  }
 
   /// Replace the whole content of an existing file.
-  void write(const std::string& path, byte_buffer content, sim_time now);
+  void write(const std::string& path, content_ref content, sim_time now);
+  void write(const std::string& path, byte_buffer content, sim_time now) {
+    write(path, content_ref::from_buffer(std::move(content)), now);
+  }
 
   /// Append bytes to an existing file.
   void append(const std::string& path, byte_view data, sim_time now);
@@ -69,9 +78,10 @@ class memfs {
   // -- Queries -----------------------------------------------------------
 
   bool exists(std::string_view path) const;
-  /// View of the current content. Throws if missing. The view is invalidated
-  /// by the next mutation of the same file.
-  byte_view read(std::string_view path) const;
+  /// Handle to the current content. Throws if missing. The handle stays valid
+  /// across later mutations of the file (it pins the chunks it references) —
+  /// unlike the byte_view this used to return, which a mutation could detach.
+  content_ref read(std::string_view path) const;
   std::uint64_t size(std::string_view path) const;
   sim_time mtime(std::string_view path) const;
   std::uint64_t version(std::string_view path) const;
@@ -84,7 +94,7 @@ class memfs {
 
  private:
   struct node {
-    byte_buffer content;
+    content_ref content;
     sim_time mtime{};
     std::uint64_t version = 0;
   };

@@ -145,4 +145,30 @@ std::vector<sha256_digest> chunk_digests(
   return out;
 }
 
+content_report analyze_content(const content_ref& data,
+                               const content_request& req) {
+  byte_pipeline pipe(req);
+  // Segments arrive in logical order; the tiling contract makes any split
+  // equivalent, so feeding rope segments directly needs no flatten.
+  data.walk([&](byte_view seg) {
+    for (std::size_t off = 0; off < seg.size(); off += kTile) {
+      pipe.feed(seg.subspan(off, std::min(kTile, seg.size() - off)));
+    }
+  });
+  return pipe.finish();
+}
+
+std::vector<sha256_digest> chunk_digests(
+    const content_ref& data, const std::vector<chunk_ref>& layout) {
+  std::vector<sha256_digest> out;
+  out.reserve(layout.size());
+  for (const chunk_ref& c : layout) {
+    sha256_hasher h;
+    data.walk_range(c.offset, c.size,
+                    [&](byte_view seg) { h.update(seg); });
+    out.push_back(h.finish());
+  }
+  return out;
+}
+
 }  // namespace cloudsync

@@ -20,6 +20,7 @@
 
 #include "chunking/cdc.hpp"
 #include "chunking/fixed_chunker.hpp"
+#include "store/content_ref.hpp"
 #include "util/bytes.hpp"
 #include "util/digest.hpp"
 #include "util/md5.hpp"
@@ -94,9 +95,19 @@ class byte_pipeline {
 /// One-shot convenience over a complete buffer.
 content_report analyze_content(byte_view data, const content_request& req);
 
+/// Rope entry point: feeds the rope's segments in place — no flatten. The
+/// pipeline's tiling contract makes every output bit-identical to the flat
+/// call on the same logical bytes.
+content_report analyze_content(const content_ref& data,
+                               const content_request& req);
+
 /// Fused fingerprinting of a precomputed chunk layout: each chunk is walked
 /// once, producing the same digests as sha256(slice(data, c)) per chunk.
 std::vector<sha256_digest> chunk_digests(byte_view data,
+                                         const std::vector<chunk_ref>& layout);
+
+/// Rope variant: streams each chunk's range over the rope segments.
+std::vector<sha256_digest> chunk_digests(const content_ref& data,
                                          const std::vector<chunk_ref>& layout);
 
 }  // namespace cloudsync

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "chunking/fixed_chunker.hpp"
-
 namespace cloudsync {
 
 chunk_backend::chunk_backend(object_store& store, std::size_t chunk_size)
@@ -14,9 +12,9 @@ chunk_backend::chunk_backend(object_store& store, std::size_t chunk_size)
   }
 }
 
-std::string chunk_backend::store_chunk(byte_view data) {
+std::string chunk_backend::store_chunk(const content_ref& data) {
   const std::string key = "chunk/" + std::to_string(next_chunk_id_++);
-  store_.put(key, byte_buffer(data.begin(), data.end()));
+  store_.put(key, data);
   return key;
 }
 
@@ -25,18 +23,21 @@ void chunk_backend::ref_extents(const chunk_manifest& m) {
 }
 
 void chunk_backend::put_full(const std::string& manifest_key,
-                             byte_view content) {
+                             const content_ref& content) {
   chunk_manifest m;
   m.logical_size = content.size();
-  for (const chunk_ref& c : fixed_chunks(content, chunk_size_)) {
-    m.extents.push_back({store_chunk(slice(content, c)), 0, c.size});
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t len = std::min(chunk_size_, content.size() - pos);
+    m.extents.push_back({store_chunk(content.substr(pos, len)), 0, len});
+    pos += len;
   }
   ref_extents(m);
   manifests_[manifest_key] = std::move(m);
 }
 
 void chunk_backend::put_ranges(const std::string& manifest_key,
-                               byte_view content,
+                               const content_ref& content,
                                const std::vector<std::uint64_t>& range_bytes) {
   chunk_manifest m;
   m.logical_size = content.size();
@@ -46,7 +47,7 @@ void chunk_backend::put_ranges(const std::string& manifest_key,
       throw std::invalid_argument("chunk_backend: bad range split");
     }
     m.extents.push_back(
-        {store_chunk(content.subspan(pos, len)), 0, len});
+        {store_chunk(content.substr(pos, len)), 0, len});
     pos += len;
   }
   if (pos != content.size()) {
@@ -114,9 +115,12 @@ void chunk_backend::apply_delta(const std::string& old_key,
       append_old_range(next, old, start, end - start);
     } else {
       // Fresh bytes: split into chunk-sized objects.
-      for (const chunk_ref& c : fixed_chunks(op.bytes, chunk_size_)) {
-        next.extents.push_back(
-            {store_chunk(slice(op.bytes, c)), 0, c.size});
+      const content_ref lit = content_ref::from_bytes(op.bytes);
+      std::size_t pos = 0;
+      while (pos < lit.size()) {
+        const std::size_t len = std::min(chunk_size_, lit.size() - pos);
+        next.extents.push_back({store_chunk(lit.substr(pos, len)), 0, len});
+        pos += len;
       }
     }
   }
@@ -131,23 +135,22 @@ void chunk_backend::apply_delta(const std::string& old_key,
   manifests_[new_key] = std::move(next);
 }
 
-byte_buffer chunk_backend::materialize(const std::string& manifest_key) const {
+content_ref chunk_backend::materialize(const std::string& manifest_key) const {
   const auto it = manifests_.find(manifest_key);
   if (it == manifests_.end()) {
     throw std::runtime_error("chunk_backend: unknown manifest " +
                              manifest_key);
   }
-  byte_buffer out;
-  out.reserve(it->second.logical_size);
+  content_ref::builder out;
   for (const chunk_extent& e : it->second.extents) {
     const auto chunk = store_.get(e.object_key);
     if (!chunk || e.offset + e.length > chunk->size()) {
       throw std::runtime_error("chunk_backend: missing or short chunk " +
                                e.object_key);
     }
-    append(out, chunk->subspan(e.offset, e.length));
+    out.append(*chunk, e.offset, e.length);
   }
-  return out;
+  return out.build();
 }
 
 void chunk_backend::release(const std::string& manifest_key) {

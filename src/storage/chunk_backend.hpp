@@ -37,14 +37,23 @@ class chunk_backend {
   chunk_backend(object_store& store, std::size_t chunk_size);
 
   /// Store `content` under a new manifest, split into fixed-size chunks.
-  void put_full(const std::string& manifest_key, byte_view content);
+  /// Chunk objects are substrings of the caller's rope — no byte copies; a
+  /// dedup-held chunk and the file it came from alias the same store chunks.
+  void put_full(const std::string& manifest_key, const content_ref& content);
+  void put_full(const std::string& manifest_key, byte_view content) {
+    put_full(manifest_key, content_ref::from_bytes(content));
+  }
 
   /// Store `content` split at caller-chosen range boundaries instead of this
   /// backend's fixed granularity — the ranged-upload entry point: a resumed
   /// session lands its remaining ranges as chunk objects without re-splitting
   /// the prefix it already shipped. `range_bytes` must sum to content.size().
-  void put_ranges(const std::string& manifest_key, byte_view content,
+  void put_ranges(const std::string& manifest_key, const content_ref& content,
                   const std::vector<std::uint64_t>& range_bytes);
+  void put_ranges(const std::string& manifest_key, byte_view content,
+                  const std::vector<std::uint64_t>& range_bytes) {
+    put_ranges(manifest_key, content_ref::from_bytes(content), range_bytes);
+  }
 
   /// Create `new_key`'s manifest by applying an rsync delta against
   /// `old_key`'s: copy ops become extent references into the old version's
@@ -54,8 +63,9 @@ class chunk_backend {
   void apply_delta(const std::string& old_key, const std::string& new_key,
                    const file_delta& delta);
 
-  /// Reassemble the full content of a manifest (charges backend reads).
-  byte_buffer materialize(const std::string& manifest_key) const;
+  /// Reassemble the full content of a manifest (charges backend reads). The
+  /// result shares the stored chunks — assembly moves handles, not bytes.
+  content_ref materialize(const std::string& manifest_key) const;
 
   /// Drop a manifest; chunks reaching zero references are deleted from the
   /// object store. Unknown keys are a no-op.
@@ -68,7 +78,7 @@ class chunk_backend {
   std::size_t live_chunks() const { return refs_.size(); }
 
  private:
-  std::string store_chunk(byte_view data);
+  std::string store_chunk(const content_ref& data);
   void append_old_range(chunk_manifest& out, const chunk_manifest& old,
                         std::uint64_t offset, std::uint64_t length);
   void ref_extents(const chunk_manifest& m);

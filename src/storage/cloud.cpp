@@ -53,14 +53,15 @@ std::string cloud::object_key(user_id user, const std::string& path,
 }
 
 void cloud::put_file(user_id user, device_id source, const std::string& path,
-                     byte_buffer content, std::uint64_t stored_size,
+                     const content_ref& content, std::uint64_t stored_size,
                      sim_time now) {
   check_server_fault(now);
-  put_file_unchecked(user, source, path, std::move(content), stored_size, now);
+  put_file_unchecked(user, source, path, content, stored_size, now);
 }
 
 void cloud::put_file_unchecked(user_id user, device_id source,
-                               const std::string& path, byte_buffer content,
+                               const std::string& path,
+                               const content_ref& content,
                                std::uint64_t stored_size, sim_time now,
                                std::uint32_t session_chunks) {
   const file_manifest* old = meta_.lookup(user, path);
@@ -83,7 +84,7 @@ void cloud::put_file_unchecked(user_id user, device_id source,
     if (old && !old->deleted) chunks_->release(old->object_key);
   } else {
     // RESTful update: PUT new version, DELETE superseded object.
-    store_.put(man.object_key, std::move(content));
+    store_.put(man.object_key, content);
     if (old && !old->deleted) store_.remove(old->object_key);
   }
 
@@ -117,13 +118,14 @@ void cloud::apply_file_delta_unchecked(user_id user, device_id source,
     chunks_->apply_delta(old->object_key, man.object_key, delta);
     chunks_->release(old->object_key);
   } else {
-    // Mid-layer transformation of MODIFY: GET + patch + PUT + DELETE.
+    // Mid-layer transformation of MODIFY: GET + patch + PUT + DELETE. The
+    // patched version shares every unchanged block with its predecessor, so
+    // the retained history costs O(changed bytes) per version.
     const auto old_content = store_.get(old->object_key);
     if (!old_content) {
       throw std::runtime_error("cloud: backing object missing: " + path);
     }
-    byte_buffer next = apply_delta(*old_content, delta);
-    store_.put(man.object_key, std::move(next));
+    store_.put(man.object_key, apply_delta_ref(*old_content, delta));
     store_.remove(old->object_key);
   }
 
@@ -189,14 +191,14 @@ void cloud::close_session(resume_token token) {
 
 void cloud::finalize_session_put(resume_token token, user_id user,
                                  device_id source, const std::string& path,
-                                 byte_buffer content, std::uint64_t stored_size,
-                                 sim_time now) {
+                                 const content_ref& content,
+                                 std::uint64_t stored_size, sim_time now) {
   // Fault-check before closing the session: a rejected finalize leaves the
   // session (and its acked chunks) intact for the retry.
   check_server_fault(now);
   const std::uint32_t session_chunks = must_session(token).status.total_chunks;
   close_session(token);
-  put_file_unchecked(user, source, path, std::move(content), stored_size, now,
+  put_file_unchecked(user, source, path, content, stored_size, now,
                      session_chunks);
 }
 
@@ -217,23 +219,13 @@ void cloud::abandon_upload_session(resume_token token) {
   sessions_.erase(token);
 }
 
-std::optional<byte_buffer> cloud::file_content(user_id user,
+std::optional<content_ref> cloud::file_content(user_id user,
                                                const std::string& path) const {
   const file_manifest* man = meta_.lookup(user, path);
   if (man == nullptr || man->deleted) return std::nullopt;
   if (chunks_) {
     return chunks_->materialize(man->object_key);
   }
-  const auto view = store_.get(man->object_key);
-  if (!view) return std::nullopt;
-  return byte_buffer(view->begin(), view->end());
-}
-
-std::optional<byte_view> cloud::file_content_view(
-    user_id user, const std::string& path) const {
-  if (chunks_) return std::nullopt;  // manifests need materialization
-  const file_manifest* man = meta_.lookup(user, path);
-  if (man == nullptr || man->deleted) return std::nullopt;
   return store_.get(man->object_key);
 }
 

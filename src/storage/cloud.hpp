@@ -63,9 +63,16 @@ class cloud {
 
   /// Full-file commit: replaces (or creates) `path` with `content`.
   /// `stored_size` is the representation size the client shipped (compressed
-  /// payload or deduplicated remainder) — kept for accounting.
+  /// payload or deduplicated remainder) — kept for accounting. The stored
+  /// version shares the caller's chunks (CoW).
   void put_file(user_id user, device_id source, const std::string& path,
-                byte_buffer content, std::uint64_t stored_size, sim_time now);
+                const content_ref& content, std::uint64_t stored_size,
+                sim_time now);
+  void put_file(user_id user, device_id source, const std::string& path,
+                byte_buffer content, std::uint64_t stored_size, sim_time now) {
+    put_file(user, source, path, content_ref::from_buffer(std::move(content)),
+             stored_size, now);
+  }
 
   /// IDS commit. Whole-object substrate: GET the old object, patch, PUT the
   /// new version, DELETE the old one. Chunk substrate: PUT new chunks and
@@ -104,8 +111,15 @@ class cloud {
 
   /// Commit the session as a full-file PUT. Requires all chunks acked.
   void finalize_session_put(resume_token token, user_id user, device_id source,
-                            const std::string& path, byte_buffer content,
+                            const std::string& path, const content_ref& content,
                             std::uint64_t stored_size, sim_time now);
+  void finalize_session_put(resume_token token, user_id user, device_id source,
+                            const std::string& path, byte_buffer content,
+                            std::uint64_t stored_size, sim_time now) {
+    finalize_session_put(token, user, source, path,
+                         content_ref::from_buffer(std::move(content)),
+                         stored_size, now);
+  }
 
   /// Commit the session as an IDS delta. Requires all chunks acked.
   void finalize_session_delta(resume_token token, user_id user,
@@ -132,15 +146,12 @@ class cloud {
   }
 
   /// Canonical (uncompressed) content of the current version, if live.
-  std::optional<byte_buffer> file_content(user_id user,
+  /// Whole-object substrate: a handle aliasing the stored version. Chunk
+  /// substrate: a rope assembled over the stored chunks. Either way no bytes
+  /// are copied, and the handle stays valid across later commits (it pins
+  /// the chunks it references) — the old byte_view accessor could dangle.
+  std::optional<content_ref> file_content(user_id user,
                                           const std::string& path) const;
-
-  /// Zero-copy view of the current version's content when the substrate
-  /// keeps whole objects; nullopt when the file is absent/deleted or the
-  /// chunk substrate is active (materialize via file_content() instead).
-  /// The view is invalidated by the next commit to the same path.
-  std::optional<byte_view> file_content_view(user_id user,
-                                             const std::string& path) const;
 
   const file_manifest* manifest(user_id user, const std::string& path) const {
     return meta_.lookup(user, path);
@@ -178,7 +189,7 @@ class cloud {
   // object (put_ranges) instead of re-buffering the payload and re-splitting
   // it at the backend's fixed granularity.
   void put_file_unchecked(user_id user, device_id source,
-                          const std::string& path, byte_buffer content,
+                          const std::string& path, const content_ref& content,
                           std::uint64_t stored_size, sim_time now,
                           std::uint32_t session_chunks = 0);
   void apply_file_delta_unchecked(user_id user, device_id source,

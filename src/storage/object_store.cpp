@@ -4,24 +4,29 @@
 
 namespace cloudsync {
 
-void object_store::put(const std::string& key, byte_buffer data) {
+void object_store::put(const std::string& key, const content_ref& data) {
   ++stats_.puts;
   stats_.bytes_written += data.size();
   record& rec = objects_[key];
-  rec.versions.push_back(std::move(data));
+  if (!rec.deleted && !rec.versions.empty()) {
+    stats_.live_bytes -= rec.versions.back().size();
+  }
+  rec.versions.push_back(data.retain());
   rec.deleted = false;
+  stats_.retained_bytes += data.size();
+  stats_.live_bytes += data.size();
 }
 
-std::optional<byte_view> object_store::get(std::string_view key) const {
+std::optional<content_ref> object_store::get(std::string_view key) const {
   ++stats_.gets;
   const auto it = objects_.find(key);
   if (it == objects_.end() || it->second.deleted ||
       it->second.versions.empty()) {
     return std::nullopt;
   }
-  const byte_buffer& latest = it->second.versions.back();
+  const content_ref& latest = it->second.versions.back();
   stats_.bytes_read += latest.size();
-  return byte_view{latest};
+  return latest;
 }
 
 bool object_store::head(std::string_view key) const {
@@ -35,6 +40,9 @@ bool object_store::remove(std::string_view key) {
   const auto it = objects_.find(key);
   if (it == objects_.end() || it->second.deleted) return false;
   it->second.deleted = true;
+  if (!it->second.versions.empty()) {
+    stats_.live_bytes -= it->second.versions.back().size();
+  }
   return true;
 }
 
@@ -56,20 +64,35 @@ std::size_t object_store::version_count(std::string_view key) const {
   return it == objects_.end() ? 0 : it->second.versions.size();
 }
 
-std::optional<byte_view> object_store::get_version(std::string_view key,
-                                                   std::size_t version) const {
+std::optional<content_ref> object_store::get_version(
+    std::string_view key, std::size_t version) const {
   const auto it = objects_.find(key);
   if (it == objects_.end() || version >= it->second.versions.size()) {
     return std::nullopt;
   }
-  return byte_view{it->second.versions[version]};
+  return it->second.versions[version];
 }
 
 bool object_store::undelete(std::string_view key) {
   const auto it = objects_.find(key);
   if (it == objects_.end() || !it->second.deleted) return false;
   it->second.deleted = false;
+  if (!it->second.versions.empty()) {
+    stats_.live_bytes += it->second.versions.back().size();
+  }
   return true;
+}
+
+std::uint64_t object_store::compact_history() {
+  std::uint64_t freed = 0;
+  for (auto& [_, rec] : objects_) {
+    while (rec.versions.size() > 1) {
+      freed += rec.versions.front().size();
+      rec.versions.erase(rec.versions.begin());
+    }
+  }
+  stats_.retained_bytes -= freed;
+  return freed;
 }
 
 std::uint64_t object_store::live_bytes() const {
@@ -85,7 +108,7 @@ std::uint64_t object_store::live_bytes() const {
 std::uint64_t object_store::retained_bytes() const {
   std::uint64_t t = 0;
   for (const auto& [_, rec] : objects_) {
-    for (const byte_buffer& v : rec.versions) t += v.size();
+    for (const content_ref& v : rec.versions) t += v.size();
   }
   return t;
 }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/content_ref.hpp"
 #include "util/bytes.hpp"
 #include "util/string_key.hpp"
 
@@ -29,6 +30,12 @@ struct backend_op_stats {
   std::uint64_t lists = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
+  /// Gauge: logical bytes across every retained version (live, historical,
+  /// and tombstoned) — the §4.2 fake-deletion footprint that bytes_written
+  /// alone hides. Maintained incrementally; shrinks only on compact_history.
+  std::uint64_t retained_bytes = 0;
+  /// Gauge: logical bytes of latest, non-tombstoned versions only.
+  std::uint64_t live_bytes = 0;
 
   std::uint64_t total_ops() const {
     return puts + gets + deletes + heads + lists;
@@ -37,11 +44,16 @@ struct backend_op_stats {
 
 class object_store {
  public:
-  /// Store a new version under `key` (un-deletes a tombstoned key).
-  void put(const std::string& key, byte_buffer data);
+  /// Store a new version under `key` (un-deletes a tombstoned key). The
+  /// stored version shares the caller's chunks in CoW mode (retain()).
+  void put(const std::string& key, const content_ref& data);
+  void put(const std::string& key, byte_buffer data) {
+    put(key, content_ref::from_buffer(std::move(data)));
+  }
 
-  /// Latest live version, or nullopt if absent/tombstoned.
-  std::optional<byte_view> get(std::string_view key) const;
+  /// Latest live version, or nullopt if absent/tombstoned. Returns a handle,
+  /// not a view: it stays valid however the store mutates afterwards.
+  std::optional<content_ref> get(std::string_view key) const;
 
   /// True if the key exists and is live.
   bool head(std::string_view key) const;
@@ -55,23 +67,36 @@ class object_store {
 
   /// Version history (live or not). Index 0 is the oldest.
   std::size_t version_count(std::string_view key) const;
-  std::optional<byte_view> get_version(std::string_view key,
-                                       std::size_t version) const;
+  std::optional<content_ref> get_version(std::string_view key,
+                                         std::size_t version) const;
 
   /// Restore a tombstoned key to its latest retained version.
   bool undelete(std::string_view key);
 
-  /// Bytes of live (latest, non-tombstoned) objects.
+  /// Drop every retained version except the latest of each key (tombstoned
+  /// keys keep their latest for undelete). Chunks only referenced by the
+  /// dropped versions are freed by their refcounts. Returns logical bytes
+  /// released.
+  std::uint64_t compact_history();
+
+  /// Bytes of live (latest, non-tombstoned) objects (recomputed; the stats()
+  /// gauge tracks the same quantity incrementally).
   std::uint64_t live_bytes() const;
-  /// Bytes including retained history and tombstoned content.
+  /// Bytes including retained history and tombstoned content (recomputed).
   std::uint64_t retained_bytes() const;
 
   const backend_op_stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Reset counters; the retained/live gauges describe current contents, so
+  /// they are re-derived rather than zeroed.
+  void reset_stats() {
+    stats_ = {};
+    stats_.retained_bytes = retained_bytes();
+    stats_.live_bytes = live_bytes();
+  }
 
  private:
   struct record {
-    std::vector<byte_buffer> versions;
+    std::vector<content_ref> versions;
     bool deleted = false;
   };
 

@@ -1,5 +1,6 @@
 #include "util/content_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace cloudsync {
@@ -30,6 +31,54 @@ std::uint64_t content_hash64(byte_view data) {
   }
   for (; i < data.size(); ++i) {
     h = (h ^ data[i]) * kPrime;
+  }
+  return mix64(h);
+}
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+void content_hasher64::stride(const std::uint8_t* p) {
+  std::uint64_t lane[4];
+  std::memcpy(lane, p, 32);
+  h0_ = (h0_ ^ lane[0]) * kFnvPrime;
+  h1_ = (h1_ ^ lane[1]) * kFnvPrime;
+  h2_ = (h2_ ^ lane[2]) * kFnvPrime;
+  h3_ = (h3_ ^ lane[3]) * kFnvPrime;
+}
+
+void content_hasher64::update(byte_view data) {
+  std::size_t i = 0;
+  if (carry_len_ > 0) {
+    const std::size_t take = std::min<std::size_t>(32 - carry_len_,
+                                                   data.size());
+    std::memcpy(carry_ + carry_len_, data.data(), take);
+    carry_len_ += take;
+    i = take;
+    if (carry_len_ < 32) return;
+    stride(carry_);
+    carry_len_ = 0;
+  }
+  for (; i + 32 <= data.size(); i += 32) stride(data.data() + i);
+  const std::size_t rem = data.size() - i;
+  if (rem > 0) std::memcpy(carry_, data.data() + i, rem);
+  carry_len_ = rem;
+}
+
+std::uint64_t content_hasher64::finish() const {
+  // Identical tail handling to content_hash64: the carry is exactly the
+  // sub-32-byte remainder the batch loop leaves behind.
+  std::uint64_t h =
+      mix64(h0_) ^ mix64(h1_ + 1) ^ mix64(h2_ + 2) ^ mix64(h3_ + 3);
+  std::size_t i = 0;
+  for (; i + 8 <= carry_len_; i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, carry_ + i, 8);
+    h = (h ^ lane) * kFnvPrime;
+  }
+  for (; i < carry_len_; ++i) {
+    h = (h ^ carry_[i]) * kFnvPrime;
   }
   return mix64(h);
 }

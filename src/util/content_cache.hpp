@@ -37,6 +37,28 @@ namespace cloudsync {
 /// the compressor/digest runs it stands in for.
 std::uint64_t content_hash64(byte_view data);
 
+/// Streaming equivalent of content_hash64: feed bytes in any split and
+/// finish() returns exactly content_hash64 of the concatenation. Lets rope-
+/// backed content (content_ref) reproduce every memo key the flat byte path
+/// computes — wire-size cache, signature/delta memos, journal content hashes —
+/// without flattening the rope first.
+class content_hasher64 {
+ public:
+  void update(byte_view data);
+  /// Hash of everything fed so far (does not consume state).
+  std::uint64_t finish() const;
+
+ private:
+  void stride(const std::uint8_t* p);
+
+  std::uint64_t h0_ = 0xcbf29ce484222325ULL;
+  std::uint64_t h1_ = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h2_ = 0xc2b2ae3d27d4eb4fULL;
+  std::uint64_t h3_ = 0x165667b19e3779f9ULL;
+  std::uint8_t carry_[32] = {};  ///< partial stride awaiting 32 bytes
+  std::size_t carry_len_ = 0;
+};
+
 /// splitmix64 finalizer — useful for building salts from several inputs.
 inline std::uint64_t mix64(std::uint64_t h) {
   h ^= h >> 30;
@@ -194,6 +216,18 @@ class content_cache {
     return sizes_.get_or_compute(
         content, static_cast<std::uint64_t>(level),
         [&] { return compute(content, level); });
+  }
+
+  /// Keyed variant for rope-backed content: `key_hash` must equal
+  /// content_hash64 of the flat bytes, so rope and flat callers share
+  /// entries for the same logical content.
+  template <typename Fn>
+  std::uint64_t shipped_size_keyed(std::uint64_t key_hash,
+                                   std::uint64_t length, int level,
+                                   Fn&& compute) {
+    return sizes_.get_or_compute_keyed(key_hash, length,
+                                       static_cast<std::uint64_t>(level),
+                                       std::forward<Fn>(compute));
   }
 
   std::optional<std::uint64_t> find_size(byte_view content, int level) {

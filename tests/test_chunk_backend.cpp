@@ -61,7 +61,7 @@ TEST(ChunkBackend, PutRangesRejectsBadSplits) {
 TEST(ChunkBackend, EmptyContent) {
   object_store store;
   chunk_backend backend(store, 4096);
-  backend.put_full("empty", {});
+  backend.put_full("empty", byte_view{});
   EXPECT_TRUE(backend.materialize("empty").empty());
   EXPECT_EQ(backend.live_chunks(), 0u);
 }

@@ -167,10 +167,10 @@ TEST(DedupEngine, RetractForgetsContent) {
 
 TEST(DedupEngine, EmptyFile) {
   dedup_engine eng({dedup_granularity::full_file, 4 * MiB, false});
-  const dedup_result res = eng.analyze(1, {});
+  const dedup_result res = eng.analyze(1, byte_view{});
   EXPECT_EQ(res.new_bytes, 0u);
   EXPECT_FALSE(res.whole_file_duplicate);
-  EXPECT_NO_THROW(eng.commit(1, {}));
+  EXPECT_NO_THROW(eng.commit(1, byte_view{}));
 }
 
 TEST(DedupEngine, ContentDefinedSurvivesPrefixShift) {

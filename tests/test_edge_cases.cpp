@@ -117,7 +117,7 @@ TEST(EngineEdge, PollWithNoChangesCostsOnlyThePoll) {
 TEST(EngineEdge, EmptyFileSyncs) {
   experiment_env env(experiment_config{google_drive()});
   station& st = env.primary();
-  st.fs.create("empty.txt", {}, env.clock().now());
+  st.fs.create("empty.txt", byte_buffer{}, env.clock().now());
   env.settle();
   const auto content = env.the_cloud().file_content(0, "empty.txt");
   ASSERT_TRUE(content.has_value());

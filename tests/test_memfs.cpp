@@ -24,8 +24,8 @@ TEST(Memfs, CreateReadDelete) {
 
 TEST(Memfs, CreateDuplicateThrows) {
   memfs fs;
-  fs.create("a", {}, at(1));
-  EXPECT_THROW(fs.create("a", {}, at(2)), std::invalid_argument);
+  fs.create("a", byte_buffer{}, at(1));
+  EXPECT_THROW(fs.create("a", byte_buffer{}, at(2)), std::invalid_argument);
 }
 
 TEST(Memfs, MissingFileThrows) {
@@ -76,8 +76,8 @@ TEST(Memfs, Rename) {
 
 TEST(Memfs, RenameOntoExistingThrows) {
   memfs fs;
-  fs.create("a", {}, at(1));
-  fs.create("b", {}, at(1));
+  fs.create("a", byte_buffer{}, at(1));
+  fs.create("b", byte_buffer{}, at(1));
   EXPECT_THROW(fs.rename("a", "b", at(2)), std::invalid_argument);
 }
 
@@ -119,7 +119,7 @@ TEST(Memfs, MultipleObservers) {
   int count1 = 0, count2 = 0;
   fs.subscribe([&](const fs_event&) { ++count1; });
   fs.subscribe([&](const fs_event&) { ++count2; });
-  fs.create("a", {}, at(1));
+  fs.create("a", byte_buffer{}, at(1));
   EXPECT_EQ(count1, 1);
   EXPECT_EQ(count2, 1);
 }
@@ -139,9 +139,9 @@ TEST(FileOps, ModifyRandomByteActuallyChanges) {
   memfs fs;
   rng r(2);
   fs.create("f", make_compressed_file(r, 100), at(1));
-  const byte_buffer before(fs.read("f").begin(), fs.read("f").end());
+  const byte_buffer before = fs.read("f").flatten();
   const std::size_t off = modify_random_byte(fs, "f", r, at(2));
-  const byte_view after = fs.read("f");
+  const byte_buffer after = fs.read("f").flatten();
   EXPECT_NE(after[off], before[off]);
   // Exactly one byte differs.
   std::size_t diffs = 0;
@@ -152,14 +152,14 @@ TEST(FileOps, ModifyRandomByteActuallyChanges) {
 TEST(FileOps, ModifyEmptyFileThrows) {
   memfs fs;
   rng r(3);
-  fs.create("f", {}, at(1));
+  fs.create("f", byte_buffer{}, at(1));
   EXPECT_THROW(modify_random_byte(fs, "f", r, at(2)), std::invalid_argument);
 }
 
 TEST(FileOps, AppendRandom) {
   memfs fs;
   rng r(4);
-  fs.create("f", {}, at(1));
+  fs.create("f", byte_buffer{}, at(1));
   append_random(fs, "f", r, 1024, at(2));
   append_random(fs, "f", r, 1024, at(3));
   EXPECT_EQ(fs.size("f"), 2048u);

@@ -64,9 +64,9 @@ TEST(ObjectStore, PutAfterDeleteRevives) {
 
 TEST(ObjectStore, ListByPrefix) {
   object_store store;
-  store.put("u1/a", {});
-  store.put("u1/b", {});
-  store.put("u2/c", {});
+  store.put("u1/a", byte_buffer{});
+  store.put("u1/b", byte_buffer{});
+  store.put("u2/c", byte_buffer{});
   store.remove("u1/b");
   EXPECT_EQ(store.list("u1/"), (std::vector<std::string>{"u1/a"}));
   EXPECT_EQ(store.list("").size(), 2u);
@@ -81,6 +81,40 @@ TEST(ObjectStore, ByteAccounting) {
   store.remove("b");
   EXPECT_EQ(store.live_bytes(), 150u);
   EXPECT_EQ(store.retained_bytes(), 300u);
+}
+
+TEST(ObjectStore, GaugesTrackPutsRemovesAndUndeletes) {
+  object_store store;
+  store.put("a", byte_buffer(100, 1));
+  store.put("a", byte_buffer(150, 2));  // history: 100 retained, 150 live
+  store.put("b", byte_buffer(50, 3));
+  EXPECT_EQ(store.stats().retained_bytes, 300u);
+  EXPECT_EQ(store.stats().live_bytes, 200u);
+  store.remove("b");
+  EXPECT_EQ(store.stats().retained_bytes, 300u);  // tombstoned, not freed
+  EXPECT_EQ(store.stats().live_bytes, 150u);
+  store.undelete("b");
+  EXPECT_EQ(store.stats().live_bytes, 200u);
+  // The incremental gauges agree with the recomputed-from-scratch values.
+  EXPECT_EQ(store.stats().retained_bytes, store.retained_bytes());
+  EXPECT_EQ(store.stats().live_bytes, store.live_bytes());
+}
+
+TEST(ObjectStore, CompactHistoryKeepsLatestIncludingTombstones) {
+  object_store store;
+  store.put("a", byte_buffer(100, 1));
+  store.put("a", byte_buffer(150, 2));
+  store.put("b", byte_buffer(50, 3));
+  store.put("b", byte_buffer(60, 4));
+  store.remove("b");
+  EXPECT_EQ(store.compact_history(), 150u);  // a's v1 + b's v1
+  EXPECT_EQ(store.stats().retained_bytes, 210u);
+  EXPECT_EQ(store.version_count("a"), 1u);
+  // Live data and the tombstoned latest version both survive.
+  EXPECT_EQ(to_string(*store.get("a")), std::string(150, 2));
+  store.undelete("b");
+  EXPECT_EQ(store.get("b")->size(), 60u);
+  EXPECT_EQ(store.compact_history(), 0u);  // idempotent
 }
 
 TEST(ObjectStore, BackendOpStats) {

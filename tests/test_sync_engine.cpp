@@ -203,7 +203,7 @@ TEST(SyncEngine, FixedDeferBatchesRapidUpdates) {
   // Google Drive defers 4.2 s: five appends 1 s apart → one commit.
   experiment_env env(cfg_for(google_drive()));
   station& st = env.primary();
-  st.fs.create("doc", {}, env.clock().now());
+  st.fs.create("doc", byte_buffer{}, env.clock().now());
   env.settle();
   const std::uint64_t commits_before = st.client->commit_count();
 
@@ -222,7 +222,7 @@ TEST(SyncEngine, NoDeferSyncsEachUpdate) {
   // time → five separate commits.
   experiment_env env(cfg_for(box()));
   station& st = env.primary();
-  st.fs.create("doc", {}, env.clock().now());
+  st.fs.create("doc", byte_buffer{}, env.clock().now());
   env.settle();
   const std::uint64_t commits_before = st.client->commit_count();
 
@@ -239,7 +239,7 @@ TEST(SyncEngine, SlowCommitEngineBatchesFastStreams) {
   // Box's ~6 s commit processing coalesces a 1-per-second stream.
   experiment_env env(cfg_for(box()));
   station& st = env.primary();
-  st.fs.create("doc", {}, env.clock().now());
+  st.fs.create("doc", byte_buffer{}, env.clock().now());
   env.settle();
   const std::uint64_t commits_before = st.client->commit_count();
   for (int i = 1; i <= 12; ++i) {
@@ -261,7 +261,7 @@ TEST(SyncEngine, SlowNetworkBatchesNaturally) {
   cfg.link = link_config::beijing();
   experiment_env env(cfg);
   station& st = env.primary();
-  st.fs.create("doc", {}, env.clock().now());
+  st.fs.create("doc", byte_buffer{}, env.clock().now());
   env.settle();
   const std::uint64_t commits_before = st.client->commit_count();
 

@@ -26,9 +26,9 @@ TEST(Watcher, QueuesEventsInOrder) {
 TEST(Watcher, DrainResetsQueueNotHistory) {
   memfs fs;
   watcher w(fs);
-  fs.create("a", {}, at(1));
+  fs.create("a", byte_buffer{}, at(1));
   w.drain();
-  fs.create("b", {}, at(2));
+  fs.create("b", byte_buffer{}, at(2));
   EXPECT_EQ(w.pending(), 1u);
   EXPECT_EQ(w.total_observed(), 2u);
 }
@@ -37,7 +37,7 @@ TEST(Watcher, PeekDoesNotConsume) {
   memfs fs;
   watcher w(fs);
   EXPECT_EQ(w.peek(), nullptr);
-  fs.create("a", {}, at(1));
+  fs.create("a", byte_buffer{}, at(1));
   ASSERT_NE(w.peek(), nullptr);
   EXPECT_EQ(w.peek()->path, "a");
   EXPECT_EQ(w.pending(), 1u);
@@ -45,17 +45,17 @@ TEST(Watcher, PeekDoesNotConsume) {
 
 TEST(Watcher, MissesEventsBeforeConstruction) {
   memfs fs;
-  fs.create("old", {}, at(1));
+  fs.create("old", byte_buffer{}, at(1));
   watcher w(fs);
   EXPECT_TRUE(w.empty());
-  fs.create("new", {}, at(2));
+  fs.create("new", byte_buffer{}, at(2));
   EXPECT_EQ(w.pending(), 1u);
 }
 
 TEST(Watcher, ClearDiscards) {
   memfs fs;
   watcher w(fs);
-  fs.create("a", {}, at(1));
+  fs.create("a", byte_buffer{}, at(1));
   w.clear();
   EXPECT_TRUE(w.empty());
   EXPECT_EQ(w.total_observed(), 1u);
@@ -66,7 +66,7 @@ TEST(Watcher, CoexistsWithOtherObservers) {
   int direct = 0;
   fs.subscribe([&](const fs_event&) { ++direct; });
   watcher w(fs);
-  fs.create("a", {}, at(1));
+  fs.create("a", byte_buffer{}, at(1));
   EXPECT_EQ(direct, 1);
   EXPECT_EQ(w.pending(), 1u);
 }
