@@ -1,0 +1,277 @@
+// Sharded multi-tenant sync server at scale: one process serving thousands
+// of concurrent sessions, swept across shard counts, driver threads, user
+// populations, and arrival rates.
+//
+// Two grids:
+//   - identity grid: the same wave replayed under {1 shard, N shards} x
+//     {1 thread, 4 threads} must produce byte-identical per-session traffic
+//     and dedup outcomes (results_identity_hash over user-sorted results,
+//     wall timings excluded). This is the determinism contract: sharding and
+//     driver interleaving are performance knobs, never semantic ones.
+//   - scale grid: populations from 10k to 1M users with a fixed arrival
+//     fraction, 1 shard vs hardware-width shards; reports session
+//     throughput, p50/p99 latency, queue peaks, and per-shard lock
+//     contention.
+//
+// All legs run in-process (no fork — the binary must stay ThreadSanitizer-
+// clean), each against a freshly constructed sync_server.
+//
+// Writes BENCH_server.json (or argv[1]). `--small` runs a reduced grid — the
+// sanitizer CI leg. Exit status is the self-check verdict: identity always
+// gated; the shard-scaling speedup check only gates on hosts with >= 4
+// cores (narrower hosts report the ratio but cannot demonstrate it).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/parallel_runner.hpp"
+#include "server/session.hpp"
+#include "server/sync_server.hpp"
+#include "util/stats.hpp"
+
+using namespace cloudsync;
+
+namespace {
+
+struct leg_result {
+  double wall_ms = 0;
+  double throughput = 0;  ///< sessions per second
+  double p50_ms = 0, p99_ms = 0;
+  double mean_queue_wait_ms = 0;
+  std::uint64_t identity = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t uploads = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_contentions = 0;
+  std::uint64_t admission_waits = 0;
+  std::uint32_t queue_depth_peak = 0;
+  std::uint32_t in_flight_peak = 0;
+  std::uint64_t failed = 0;
+};
+
+leg_result run_leg(const workload_params& wp, std::uint32_t shards,
+                   unsigned threads) {
+  const auto work = make_session_workloads(wp);
+  server_config cfg;
+  cfg.shards = shards;
+  cfg.admission_limit = 64;
+  sync_server srv(cfg);
+
+  parallel_runner pool(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = parallel_map_n<session_result>(
+      pool, work.size(),
+      [&](std::size_t i) { return run_session(srv, work[i]); });
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  leg_result r;
+  r.wall_ms = wall_ms;
+  r.sessions = results.size();
+  r.throughput =
+      wall_ms > 0 ? 1e3 * static_cast<double>(results.size()) / wall_ms : 0;
+  r.identity = results_identity_hash(results);
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  running_stats queue_wait;
+  for (const session_result& sr : results) {
+    latencies.push_back(static_cast<double>(sr.latency_ns) / 1e6);
+    queue_wait.add(static_cast<double>(sr.queue_wait_ns) / 1e6);
+    r.uploads += sr.files_uploaded;
+    r.dedup_hits += sr.dedup_hits;
+    r.payload_bytes += sr.meter.by_category(traffic_category::payload);
+    r.failed += sr.failed ? 1 : 0;
+  }
+  const empirical_cdf cdf(std::move(latencies));
+  r.p50_ms = cdf.quantile(0.5);
+  r.p99_ms = cdf.quantile(0.99);
+  r.mean_queue_wait_ms = queue_wait.mean();
+
+  const shard_stats agg = srv.stats().aggregate();
+  r.lock_acquisitions = agg.lock_acquisitions;
+  r.lock_contentions = agg.lock_contentions;
+  r.admission_waits = agg.admission_waits;
+  r.queue_depth_peak = agg.queue_depth_peak;
+  r.in_flight_peak = agg.in_flight_peak;
+  return r;
+}
+
+void json_leg(std::ostream& os, const leg_result& r, const char* indent) {
+  os << indent << "\"wall_ms\": " << r.wall_ms << ",\n"
+     << indent << "\"throughput_sessions_per_s\": " << r.throughput << ",\n"
+     << indent << "\"p50_latency_ms\": " << r.p50_ms << ",\n"
+     << indent << "\"p99_latency_ms\": " << r.p99_ms << ",\n"
+     << indent << "\"mean_queue_wait_ms\": " << r.mean_queue_wait_ms << ",\n"
+     << indent << "\"identity\": \"" << r.identity << "\",\n"
+     << indent << "\"sessions\": " << r.sessions << ",\n"
+     << indent << "\"uploads\": " << r.uploads << ",\n"
+     << indent << "\"dedup_hits\": " << r.dedup_hits << ",\n"
+     << indent << "\"payload_bytes\": " << r.payload_bytes << ",\n"
+     << indent << "\"lock_acquisitions\": " << r.lock_acquisitions << ",\n"
+     << indent << "\"lock_contentions\": " << r.lock_contentions << ",\n"
+     << indent << "\"admission_waits\": " << r.admission_waits << ",\n"
+     << indent << "\"queue_depth_peak\": " << r.queue_depth_peak << ",\n"
+     << indent << "\"in_flight_peak\": " << r.in_flight_peak << ",\n"
+     << indent << "\"failed_sessions\": " << r.failed << "\n";
+}
+
+workload_params grid_params(std::uint32_t population, double arrival_rate,
+                            std::uint32_t session_cap, bool small) {
+  workload_params p;
+  p.seed = 20'140'601;  // the paper's trace collection year/month
+  p.user_population = population;
+  p.sessions = std::min<std::uint32_t>(
+      session_cap, std::max<std::uint32_t>(
+                       1, static_cast<std::uint32_t>(
+                              static_cast<double>(population) * arrival_rate)));
+  p.files_per_session = 4;
+  p.mean_file_bytes = small ? 1024 : 4096;
+  p.identity_pool = 512;
+  p.p_pool_identity = 0.6;
+  p.p_repeat_in_session = 0.1;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_server.json";
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t wide_shards = std::max(4u, hw);
+  bench::print_section("Sharded sync server: identity legs");
+
+  // --- Identity grid: shard count and driver threads must be invisible ---
+  const workload_params idp = grid_params(small ? 1'000 : 10'000, 0.2,
+                                          small ? 200 : 2'000, small);
+  struct id_leg {
+    const char* name;
+    std::uint32_t shards;
+    unsigned threads;
+    leg_result r;
+  };
+  std::vector<id_leg> id_legs = {
+      {"shards1_threads1", 1, 1, {}},
+      {"shardsN_threads1", wide_shards, 1, {}},
+      {"shardsN_threads4", wide_shards, 4, {}},
+      {"shards1_threads4", 1, 4, {}},
+  };
+  for (id_leg& leg : id_legs) {
+    leg.r = run_leg(idp, leg.shards, leg.threads);
+    std::printf("  %-18s shards=%-3u threads=%u  wall=%8.1f ms  id=%016llx\n",
+                leg.name, leg.shards, leg.threads, leg.r.wall_ms,
+                static_cast<unsigned long long>(leg.r.identity));
+  }
+  bool identity_ok = true;
+  for (const id_leg& leg : id_legs) {
+    if (leg.r.identity != id_legs.front().r.identity) identity_ok = false;
+    if (leg.r.failed != 0) identity_ok = false;
+  }
+  std::printf("  identity check: %s\n", identity_ok ? "OK" : "FAILED");
+
+  // --- Scale grid: populations x arrival rates, 1 shard vs wide ---
+  bench::print_section("Sharded sync server: fleet scale grid");
+  struct cell {
+    std::uint32_t population;
+    double rate;
+    std::uint32_t shards;
+    unsigned threads;
+    leg_result r;
+  };
+  std::vector<cell> cells;
+  const std::vector<std::uint32_t> pops =
+      small ? std::vector<std::uint32_t>{1'000, 10'000}
+            : std::vector<std::uint32_t>{10'000, 100'000, 1'000'000};
+  const std::vector<double> rates =
+      small ? std::vector<double>{0.05} : std::vector<double>{0.01, 0.05};
+  const std::uint32_t cap = small ? 500 : 10'000;
+  // Oversubscribed drivers keep every shard busy even while some sessions
+  // block at admission.
+  const unsigned drive = std::max(4u, hw);
+  for (const std::uint32_t pop : pops) {
+    for (const double rate : rates) {
+      for (const std::uint32_t shards : {1u, wide_shards}) {
+        cells.push_back({pop, rate, shards, drive, {}});
+      }
+    }
+  }
+  for (cell& c : cells) {
+    c.r = run_leg(grid_params(c.population, c.rate, cap, small), c.shards,
+                  c.threads);
+    std::printf(
+        "  pop=%-9u rate=%.2f shards=%-3u  %7.0f sess/s  p50=%6.2f ms  "
+        "p99=%6.2f ms  contested=%llu/%llu\n",
+        c.population, c.rate, c.shards, c.r.throughput, c.r.p50_ms, c.r.p99_ms,
+        static_cast<unsigned long long>(c.r.lock_contentions),
+        static_cast<unsigned long long>(c.r.lock_acquisitions));
+  }
+
+  // Scaling self-check: wide shards must beat one serialized shard on the
+  // 10k-population cells — but only a host with real parallelism can show
+  // it; narrower hosts report the ratio without gating.
+  double worst_speedup = 1e9;
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const cell& one = cells[i];
+    const cell& wide = cells[i + 1];
+    if (one.population != 10'000) continue;
+    if (one.r.throughput > 0) {
+      worst_speedup =
+          std::min(worst_speedup, wide.r.throughput / one.r.throughput);
+    }
+  }
+  if (worst_speedup > 1e8) worst_speedup = 1.0;  // grid had no 10k cells
+  const bool scaling_gated = hw >= 4;
+  const bool scaling_ok = !scaling_gated || worst_speedup >= 1.5;
+  std::printf("\n  shard scaling (10k grid): worst %u-shard speedup %.2fx %s\n",
+              wide_shards, worst_speedup,
+              scaling_gated ? (scaling_ok ? "(OK)" : "(FAILED, need >= 1.5x)")
+                            : "(report-only: host too narrow to gate)");
+
+  // --- JSON report ---
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"server_scale_report\",\n"
+      << "  \"small\": " << (small ? "true" : "false") << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      << "  \"wide_shards\": " << wide_shards << ",\n"
+      << "  \"identity_ok\": " << (identity_ok ? "true" : "false") << ",\n"
+      << "  \"scaling_gated\": " << (scaling_gated ? "true" : "false") << ",\n"
+      << "  \"worst_wide_shard_speedup\": " << worst_speedup << ",\n"
+      << "  \"identity_legs\": {\n";
+  for (std::size_t i = 0; i < id_legs.size(); ++i) {
+    out << "    \"" << id_legs[i].name << "\": {\n"
+        << "      \"shards\": " << id_legs[i].shards << ",\n"
+        << "      \"threads\": " << id_legs[i].threads << ",\n";
+    json_leg(out, id_legs[i].r, "      ");
+    out << "    }" << (i + 1 < id_legs.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"scale_grid\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out << "    {\n      \"population\": " << cells[i].population << ",\n"
+        << "      \"arrival_rate\": " << cells[i].rate << ",\n"
+        << "      \"shards\": " << cells[i].shards << ",\n"
+        << "      \"threads\": " << cells[i].threads << ",\n";
+    json_leg(out, cells[i].r, "      ");
+    out << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("\n  wrote %s\n", out_path);
+
+  return identity_ok && scaling_ok ? 0 : 1;
+}

@@ -1,32 +1,70 @@
 #include "dedup/dedup_index.hpp"
 
+#include <mutex>
+
 namespace cloudsync {
 
-dedup_index::dedup_index() {
+dedup_index::dedup_index(std::size_t scope_capacity_hint)
+    : scope_capacity_hint_(scope_capacity_hint) {
   // Sizing hint: a fleet replay touches tens of user scopes per service;
   // pre-bucketing keeps the outer map from rehashing mid-replay.
   scopes_.reserve(64);
 }
 
-bool dedup_index::contains(user_id scope, const fingerprint& fp) const {
+fingerprint_shard* dedup_index::find_scope(user_id scope) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto sit = scopes_.find(scope);
-  if (sit == scopes_.end()) return false;
-  return sit->second.contains(fp);
+  return sit == scopes_.end() ? nullptr : sit->second.get();
+}
+
+bool dedup_index::contains(user_id scope, const fingerprint& fp) const {
+  const fingerprint_shard* s = find_scope(scope);
+  return s != nullptr && s->contains(fp);
 }
 
 void dedup_index::add(user_id scope, const fingerprint& fp) {
-  scopes_.try_emplace(scope).first->second.add(fp);
+  if (fingerprint_shard* s = find_scope(scope)) {
+    s->add(fp);
+    return;
+  }
+  // First touch of this scope: create it under the exclusive directory lock.
+  // The shard mutation itself is still covered by the caller's per-scope
+  // serialization; the lock only protects the directory insert.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = scopes_[scope];
+  if (!slot) {
+    slot = std::make_unique<fingerprint_shard>(scope_capacity_hint_);
+  }
+  slot->add(fp);
 }
 
 void dedup_index::remove(user_id scope, const fingerprint& fp) {
-  const auto sit = scopes_.find(scope);
-  if (sit == scopes_.end()) return;
-  sit->second.remove(fp);
+  if (fingerprint_shard* s = find_scope(scope)) s->remove(fp);
+}
+
+void dedup_index::create_scope(user_id scope, std::size_t expected_unique) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = scopes_[scope];
+  if (!slot) {
+    slot = std::make_unique<fingerprint_shard>(expected_unique);
+  } else {
+    slot->reserve(expected_unique);
+  }
+}
+
+bool dedup_index::drop_scope(user_id scope) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return scopes_.erase(scope) != 0;
 }
 
 std::size_t dedup_index::unique_count(user_id scope) const {
-  const auto sit = scopes_.find(scope);
-  return sit == scopes_.end() ? 0 : sit->second.unique_count();
+  const fingerprint_shard* s = find_scope(scope);
+  return s == nullptr ? 0 : s->unique_count();
+}
+
+std::size_t dedup_index::total_scopes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return scopes_.size();
 }
 
 }  // namespace cloudsync

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -130,9 +132,22 @@ class fingerprint_shard {
 
 /// Scoped fingerprint set. Scope 0 is the global (cross-user) namespace;
 /// per-user entries live under the user's own scope.
+///
+/// Concurrency contract (what the sharded sync server relies on): the scope
+/// DIRECTORY is internally synchronized — scopes may be created, looked up,
+/// and dropped from any thread — but each scope's fingerprint_shard is NOT:
+/// all operations touching one scope (contains/add/remove/unique_count) must
+/// be externally serialized per scope. The sync server satisfies this by
+/// owning every user scope from exactly one server shard and running that
+/// shard's work under its stripe lock; the single-threaded experiment envs
+/// satisfy it trivially. Operations on DISTINCT scopes are safe concurrently
+/// (scopes are held by pointer, so directory rehashes never move them).
 class dedup_index {
  public:
-  dedup_index();
+  /// `scope_capacity_hint` pre-sizes each lazily-created scope. The default
+  /// suits tens of heavily-used scopes (experiment replays); the multi-tenant
+  /// server passes a small hint so a million thin user scopes stay thin.
+  explicit dedup_index(std::size_t scope_capacity_hint = 1024);
 
   bool contains(user_id scope, const fingerprint& fp) const;
 
@@ -143,11 +158,27 @@ class dedup_index {
   /// absent fingerprint is a no-op (delete of an unsynced file).
   void remove(user_id scope, const fingerprint& fp);
 
+  /// Pre-create `scope` sized for `expected_unique` fingerprints (grows an
+  /// existing scope's reservation instead). Safe from any thread.
+  void create_scope(user_id scope, std::size_t expected_unique);
+
+  /// Tear a scope down (tenant eviction / account purge). Returns false if
+  /// the scope never existed. The caller must have quiesced the scope first —
+  /// dropping a scope another thread is actively probing is a contract
+  /// violation, exactly like any other per-scope race.
+  bool drop_scope(user_id scope);
+
   std::size_t unique_count(user_id scope) const;
-  std::size_t total_scopes() const { return scopes_.size(); }
+  std::size_t total_scopes() const;
 
  private:
-  std::unordered_map<user_id, fingerprint_shard> scopes_;
+  /// nullptr when absent. Shared lock: the caller may then operate on the
+  /// scope under its own per-scope serialization; the pointee never moves.
+  fingerprint_shard* find_scope(user_id scope) const;
+
+  mutable std::shared_mutex mu_;  ///< guards the directory, not the scopes
+  std::unordered_map<user_id, std::unique_ptr<fingerprint_shard>> scopes_;
+  std::size_t scope_capacity_hint_;
 };
 
 }  // namespace cloudsync

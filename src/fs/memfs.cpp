@@ -55,6 +55,7 @@ void memfs::create(const std::string& path, content_ref content,
   n.version = 1;
   const std::uint64_t sz = n.content.size();
   files_.emplace(path, std::move(n));
+  paths_.invalidate();
   notify({fs_event::kind::created, path, {}, now, sz});
 }
 
@@ -90,6 +91,7 @@ void memfs::patch(const std::string& path, std::size_t offset, byte_view data,
 void memfs::remove(const std::string& path, sim_time now) {
   must_get(path);
   files_.erase(path);
+  paths_.invalidate();
   notify({fs_event::kind::removed, path, {}, now, 0});
 }
 
@@ -103,6 +105,7 @@ void memfs::rename(const std::string& from, const std::string& to,
   n.mtime = now;
   const std::uint64_t sz = n.content.size();
   files_.emplace(to, std::move(n));
+  paths_.invalidate();
   notify({fs_event::kind::renamed, to, from, now, sz});
 }
 
@@ -127,11 +130,10 @@ std::uint64_t memfs::version(std::string_view path) const {
 }
 
 std::vector<std::string> memfs::list() const {
-  std::vector<std::string> out;
-  out.reserve(files_.size());
-  for (const auto& [path, _] : files_) out.push_back(path);
-  std::sort(out.begin(), out.end());
-  return out;
+  return paths_.get([this](std::vector<std::string>& out) {
+    out.reserve(files_.size());
+    for (const auto& [path, _] : files_) out.push_back(path);
+  });
 }
 
 std::uint64_t memfs::total_bytes() const {

@@ -14,6 +14,7 @@
 #include "store/content_ref.hpp"
 #include "util/bytes.hpp"
 #include "util/sim_time.hpp"
+#include "util/sorted_cache.hpp"
 #include "util/string_key.hpp"
 
 namespace cloudsync {
@@ -105,8 +106,11 @@ class memfs {
 
   /// Hot lookups (read/exists/size on every sync decision) take one hash
   /// probe instead of an O(log n) string-compare walk; string_view lookups
-  /// never allocate. list() sorts on demand.
+  /// never allocate. list() serves from a generation-keyed sorted snapshot,
+  /// invalidated only when the path set changes (create/remove/rename —
+  /// content writes keep it valid).
   std::unordered_map<std::string, node, string_key_hash, string_key_eq> files_;
+  sorted_snapshot_cache<std::string> paths_;
   std::vector<std::pair<std::size_t, observer>> observers_;
   std::size_t next_observer_id_ = 1;
 };

@@ -76,6 +76,8 @@ class chunk_backend {
   std::size_t chunk_size() const { return chunk_size_; }
   /// Number of live (referenced) chunk objects.
   std::size_t live_chunks() const { return refs_.size(); }
+  /// Number of stored manifests (the sharded server's occupancy gauge).
+  std::size_t manifest_count() const { return manifests_.size(); }
 
  private:
   std::string store_chunk(const content_ref& data);

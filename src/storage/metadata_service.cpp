@@ -19,14 +19,28 @@ void metadata_service::fan_out(user_state& st, device_id source,
   }
 }
 
-void metadata_service::commit(user_id user, device_id source,
-                              const std::string& path,
-                              file_manifest manifest) {
-  user_state& st = users_[user];
+void metadata_service::apply_commit(user_state& st, device_id source,
+                                    const std::string& path,
+                                    file_manifest manifest) {
   const change_notification note{path, manifest.version, manifest.deleted,
                                  manifest.modified_at};
   st.manifests[path] = std::move(manifest);
+  st.live_paths.invalidate();
   fan_out(st, source, note);
+}
+
+void metadata_service::commit(user_id user, device_id source,
+                              const std::string& path,
+                              file_manifest manifest) {
+  apply_commit(users_[user], source, path, std::move(manifest));
+}
+
+void metadata_service::commit_batch(user_id user, device_id source,
+                                    std::vector<manifest_commit> commits) {
+  user_state& st = users_[user];
+  for (manifest_commit& c : commits) {
+    apply_commit(st, source, c.path, std::move(c.manifest));
+  }
 }
 
 bool metadata_service::mark_deleted(user_id user, device_id source,
@@ -38,6 +52,7 @@ bool metadata_service::mark_deleted(user_id user, device_id source,
   mit->second.deleted = true;
   mit->second.modified_at = at;
   ++mit->second.version;
+  uit->second.live_paths.invalidate();
   fan_out(uit->second, source,
           {path, mit->second.version, true, at});
   return true;
@@ -79,14 +94,15 @@ std::size_t metadata_service::pending_notifications(user_id user,
 }
 
 std::vector<std::string> metadata_service::list(user_id user) const {
-  std::vector<std::string> out;
   const auto uit = users_.find(user);
-  if (uit == users_.end()) return out;
-  for (const auto& [path, man] : uit->second.manifests) {
-    if (!man.deleted) out.push_back(path);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  if (uit == users_.end()) return {};
+  const user_state& st = uit->second;
+  return st.live_paths.get([&st](std::vector<std::string>& out) {
+    out.reserve(st.manifests.size());
+    for (const auto& [path, man] : st.manifests) {
+      if (!man.deleted) out.push_back(path);
+    }
+  });
 }
 
 }  // namespace cloudsync

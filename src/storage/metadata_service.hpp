@@ -14,6 +14,7 @@
 
 #include "dedup/dedup_index.hpp"  // for user_id
 #include "util/sim_time.hpp"
+#include "util/sorted_cache.hpp"
 #include "util/string_key.hpp"
 
 namespace cloudsync {
@@ -38,6 +39,14 @@ struct change_notification {
   sim_time at{};
 };
 
+/// One entry of a batched metadata commit RPC: the unit the sharded sync
+/// server ships — a session commits every file of its sync transaction in a
+/// single round trip instead of one RPC per file.
+struct manifest_commit {
+  std::string path;
+  file_manifest manifest;
+};
+
 class metadata_service {
  public:
   /// Register a device for a user; returns its notification queue id.
@@ -47,6 +56,13 @@ class metadata_service {
   /// device of the same user.
   void commit(user_id user, device_id source, const std::string& path,
               file_manifest manifest);
+
+  /// Apply a whole batch of commits in one call — the server half of the
+  /// batched metadata RPC. Equivalent to commit() per entry (one notification
+  /// each, in batch order); the point is one RPC envelope and one user-state
+  /// lookup for the whole sync transaction.
+  void commit_batch(user_id user, device_id source,
+                    std::vector<manifest_commit> commits);
 
   /// Mark deleted (attribute change only — content retained).
   /// Returns false if the path is unknown or already deleted.
@@ -72,10 +88,12 @@ class metadata_service {
  private:
   struct user_state {
     /// Per-path lookup/commit is the hot metadata op; hashed with
-    /// allocation-free string_view probes. list() sorts on demand.
+    /// allocation-free string_view probes. list() serves from a sorted
+    /// snapshot of the live paths, invalidated by commits and deletions.
     std::unordered_map<std::string, file_manifest, string_key_hash,
                        string_key_eq>
         manifests;
+    sorted_snapshot_cache<std::string> live_paths;
     /// Ordered: fan_out walks the queues and notification order across
     /// devices must stay deterministic.
     std::map<device_id, std::deque<change_notification>> device_queues;
@@ -83,6 +101,8 @@ class metadata_service {
 
   void fan_out(user_state& st, device_id source,
                const change_notification& note);
+  void apply_commit(user_state& st, device_id source, const std::string& path,
+                    file_manifest manifest);
 
   std::unordered_map<user_id, user_state> users_;
   device_id next_device_ = 1;

@@ -10,6 +10,9 @@ void object_store::put(const std::string& key, const content_ref& data) {
   record& rec = objects_[key];
   if (!rec.deleted && !rec.versions.empty()) {
     stats_.live_bytes -= rec.versions.back().size();
+  } else {
+    // The key joins the live set (fresh create or un-delete).
+    live_keys_.invalidate();
   }
   rec.versions.push_back(data.retain());
   rec.deleted = false;
@@ -40,6 +43,7 @@ bool object_store::remove(std::string_view key) {
   const auto it = objects_.find(key);
   if (it == objects_.end() || it->second.deleted) return false;
   it->second.deleted = true;
+  live_keys_.invalidate();
   if (!it->second.versions.empty()) {
     stats_.live_bytes -= it->second.versions.back().size();
   }
@@ -48,14 +52,23 @@ bool object_store::remove(std::string_view key) {
 
 std::vector<std::string> object_store::list(std::string_view prefix) const {
   ++stats_.lists;
+  const std::vector<std::string>& live =
+      live_keys_.get([this](std::vector<std::string>& out) {
+        out.reserve(objects_.size());
+        for (const auto& [key, rec] : objects_) {
+          if (!rec.deleted) out.push_back(key);
+        }
+      });
+  // The snapshot is sorted, so the prefix's matches are one contiguous run.
+  auto first = std::lower_bound(live.begin(), live.end(), prefix,
+                                [](const std::string& key, std::string_view p) {
+                                  return std::string_view{key} < p;
+                                });
   std::vector<std::string> out;
-  for (const auto& [key, rec] : objects_) {
-    if (!rec.deleted && std::string_view{key}.substr(0, prefix.size()) ==
-                            prefix) {
-      out.push_back(key);
-    }
+  for (auto it = first; it != live.end(); ++it) {
+    if (std::string_view{*it}.substr(0, prefix.size()) != prefix) break;
+    out.push_back(*it);
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -77,6 +90,7 @@ bool object_store::undelete(std::string_view key) {
   const auto it = objects_.find(key);
   if (it == objects_.end() || !it->second.deleted) return false;
   it->second.deleted = false;
+  live_keys_.invalidate();
   if (!it->second.versions.empty()) {
     stats_.live_bytes += it->second.versions.back().size();
   }

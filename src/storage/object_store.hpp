@@ -16,6 +16,7 @@
 
 #include "store/content_ref.hpp"
 #include "util/bytes.hpp"
+#include "util/sorted_cache.hpp"
 #include "util/string_key.hpp"
 
 namespace cloudsync {
@@ -85,6 +86,10 @@ class object_store {
   /// Bytes including retained history and tombstoned content (recomputed).
   std::uint64_t retained_bytes() const;
 
+  /// Number of known keys (live + tombstoned) — the cheap occupancy gauge
+  /// the sharded server's stats snapshot reads.
+  std::size_t key_count() const { return objects_.size(); }
+
   const backend_op_stats& stats() const { return stats_; }
   /// Reset counters; the retained/live gauges describe current contents, so
   /// they are re-derived rather than zeroed.
@@ -102,9 +107,11 @@ class object_store {
 
   /// GET/HEAD per stored block dominate replayed traffic; a hash probe with
   /// heterogeneous string_view lookup beats the ordered map's per-level
-  /// string compares. list() filters then sorts.
+  /// string compares. list() serves from a generation-keyed sorted snapshot
+  /// of the live keys, invalidated by liveness changes (put/remove/undelete).
   std::unordered_map<std::string, record, string_key_hash, string_key_eq>
       objects_;
+  sorted_snapshot_cache<std::string> live_keys_;
   mutable backend_op_stats stats_;
 };
 

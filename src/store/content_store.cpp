@@ -26,7 +26,10 @@ store_chunk::~store_chunk() {
 byte_view store_chunk::bytes() const {
   assert(alive_ == kAliveMagic &&
          "store_chunk read after its last handle dropped (use-after-detach)");
-  if (fill_) {
+  // `filled_` is the only cross-thread fast-path guard; `fill_` is touched
+  // solely inside the call_once region, so concurrent readers of a shared
+  // lazy chunk never race on the generator slot.
+  if (!filled_.load(std::memory_order_acquire)) {
     std::call_once(once_, [this] {
       byte_buffer b = fill_();
       if (b.size() != size_) {
@@ -42,11 +45,13 @@ byte_view store_chunk::bytes() const {
 }
 
 bool store_chunk::materialized() const {
-  return !fill_ || filled_.load(std::memory_order_acquire);
+  return filled_.load(std::memory_order_acquire);
 }
 
 chunk_handle content_store::finish_chunk(std::unique_ptr<store_chunk> c) {
   c->owner_ = this;
+  // Eager chunks are born materialized; filled_==false implies fill_ is set.
+  if (!c->fill_) c->filled_.store(true, std::memory_order_release);
   chunks_.fetch_add(1, std::memory_order_relaxed);
   if (c->materialized()) note_materialized(c->size_);
   return chunk_handle(c.release());

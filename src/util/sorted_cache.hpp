@@ -1,0 +1,49 @@
+// Generation-keyed sorted snapshot for unordered-map list() paths.
+//
+// PR 4 moved the storage maps (memfs, object_store, metadata_service) to
+// unordered_map and preserved the original ordered outputs by sorting inside
+// every list() call — an O(n log n) sort on each call even when nothing
+// changed in between, and list() is called repeatedly by rescan loops,
+// invariant checks, and the sharded server's stats snapshots. This helper
+// caches one sorted snapshot and re-fills it only after the owner reports a
+// mutation (invalidate()).
+//
+// Not internally synchronized: a const list() may refill the cache, so the
+// owner's locking discipline (single-threaded experiment env, or the sync
+// server's per-shard lock) must cover readers too — the same contract the
+// owners' mutable op-stats counters already rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cloudsync {
+
+template <typename T>
+class sorted_snapshot_cache {
+ public:
+  /// The owner mutated the underlying key set; the next get() re-fills.
+  void invalidate() { ++generation_; }
+
+  /// The sorted snapshot for the current generation. `fill` receives an
+  /// empty vector and appends the unsorted items; it runs only when the
+  /// generation moved since the last call.
+  template <typename Fill>
+  const std::vector<T>& get(Fill&& fill) const {
+    if (filled_generation_ != generation_) {
+      items_.clear();
+      fill(items_);
+      std::sort(items_.begin(), items_.end());
+      filled_generation_ = generation_;
+    }
+    return items_;
+  }
+
+ private:
+  std::uint64_t generation_ = 1;
+  mutable std::uint64_t filled_generation_ = 0;  ///< 0 = never filled
+  mutable std::vector<T> items_;
+};
+
+}  // namespace cloudsync

@@ -1,0 +1,148 @@
+// Concurrency contract of dedup_index: the scope DIRECTORY is internally
+// synchronized (create/lookup/drop from any thread) while each scope's
+// fingerprint_shard is externally serialized by its owner. These tests model
+// the sharded sync server's usage — every thread owns a disjoint set of user
+// scopes and hammers them while the directory churns underneath — and are the
+// load the tsan preset is expected to keep clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dedup/dedup_index.hpp"
+#include "util/bytes.hpp"
+
+namespace cloudsync {
+namespace {
+
+fingerprint fp_of(std::uint64_t n) {
+  const std::string s = "fp-" + std::to_string(n);
+  return fingerprint_of(as_bytes(s));
+}
+
+TEST(DedupConcurrent, DisjointScopesFromManyThreads) {
+  dedup_index idx(8);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kScopesPerThread = 16;
+  constexpr std::uint64_t kFpsPerScope = 64;
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Thread t owns scopes [t*kScopesPerThread, (t+1)*kScopesPerThread):
+      // per-scope ops are serialized (single owner), directory ops race freely.
+      for (std::uint32_t s = 0; s < kScopesPerThread; ++s) {
+        const user_id scope = 1 + t * kScopesPerThread + s;
+        for (std::uint64_t f = 0; f < kFpsPerScope; ++f) {
+          const fingerprint fp = fp_of(scope * 1000 + f);
+          EXPECT_FALSE(idx.contains(scope, fp));
+          idx.add(scope, fp);
+          idx.add(scope, fp);  // refcount 2
+          EXPECT_TRUE(idx.contains(scope, fp));
+          idx.remove(scope, fp);
+          EXPECT_TRUE(idx.contains(scope, fp));  // still one reference
+        }
+        EXPECT_EQ(idx.unique_count(scope), kFpsPerScope);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(idx.total_scopes(), kThreads * kScopesPerThread);
+}
+
+TEST(DedupConcurrent, CreateTeardownRacesWithForeignScopeTraffic) {
+  dedup_index idx(8);
+  constexpr unsigned kChurners = 2;
+  constexpr unsigned kWorkers = 2;
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+
+  // Churner threads create and drop their own disposable scopes — pure
+  // directory traffic (rehashes included) racing against the workers.
+  std::vector<std::thread> churn;
+  for (unsigned c = 0; c < kChurners; ++c) {
+    churn.emplace_back([&, c] {
+      const user_id base = 10'000 + c * 1'000;
+      for (int r = 0; r < kRounds; ++r) {
+        const user_id scope = base + (r % 97);
+        idx.create_scope(scope, 4);
+        idx.add(scope, fp_of(scope + r));
+        EXPECT_TRUE(idx.drop_scope(scope));
+        EXPECT_FALSE(idx.contains(scope, fp_of(scope + r)));
+      }
+    });
+  }
+
+  // Worker threads keep their long-lived scopes busy while the directory
+  // churns: scope pointers must stay stable across the concurrent rehashes.
+  std::vector<std::thread> workers;
+  std::vector<std::uint64_t> adds(kWorkers, 0);
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&, t] {
+      const user_id scope = 1 + t;
+      idx.create_scope(scope, 64);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const fingerprint fp = fp_of(scope * 1'000'000 + n);
+        idx.add(scope, fp);
+        EXPECT_TRUE(idx.contains(scope, fp));
+        ++n;
+      }
+      adds[t] = n;
+    });
+  }
+
+  for (auto& c : churn) c.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    EXPECT_EQ(idx.unique_count(1 + t), adds[t]);
+  }
+  // Disposable scopes all dropped; long-lived ones remain.
+  EXPECT_EQ(idx.total_scopes(), kWorkers);
+}
+
+TEST(DedupConcurrent, CreateScopeIsIdempotentAndGrowsReservation) {
+  dedup_index idx;
+  idx.create_scope(5, 4);
+  idx.add(5, fp_of(1));
+  idx.create_scope(5, 4096);  // grow in place — existing entries survive
+  EXPECT_TRUE(idx.contains(5, fp_of(1)));
+  EXPECT_EQ(idx.unique_count(5), 1u);
+}
+
+TEST(DedupConcurrent, DropScopeReturnsFalseForUnknown) {
+  dedup_index idx;
+  EXPECT_FALSE(idx.drop_scope(404));
+  idx.create_scope(404, 4);
+  EXPECT_TRUE(idx.drop_scope(404));
+  EXPECT_FALSE(idx.drop_scope(404));
+}
+
+TEST(DedupConcurrent, ConcurrentFirstTouchOfManyScopes) {
+  // add() on a brand-new scope takes the exclusive directory path; many
+  // threads doing first-touches concurrently must not lose creations.
+  dedup_index idx(4);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kScopes = 128;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint32_t s = t; s < kScopes; s += kThreads) {
+        idx.add(1 + s, fp_of(s));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(idx.total_scopes(), kScopes);
+  for (std::uint32_t s = 0; s < kScopes; ++s) {
+    EXPECT_TRUE(idx.contains(1 + s, fp_of(s)));
+  }
+}
+
+}  // namespace
+}  // namespace cloudsync

@@ -90,6 +90,23 @@ TEST(Memfs, ListAndTotals) {
   EXPECT_EQ(fs.total_bytes(), 3u);
 }
 
+TEST(Memfs, ListCacheFollowsPathSetChanges) {
+  // list() is served from a sorted snapshot invalidated only by path-set
+  // changes (create/remove/rename); content writes must not stale it.
+  memfs fs;
+  fs.create("c", to_buffer("1"), at(1));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"c"}));
+  fs.write("c", to_buffer("rewritten"), at(2));  // cache stays valid
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"c"}));
+  fs.create("a", to_buffer("2"), at(3));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"a", "c"}));
+  fs.rename("c", "b", at(4));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"a", "b"}));
+  fs.remove("a", at(5));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"b"}));  // cached hit
+}
+
 TEST(Memfs, ObserverSeesAllEvents) {
   memfs fs;
   std::vector<fs_event> events;

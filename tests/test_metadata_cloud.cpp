@@ -65,6 +65,42 @@ TEST(MetadataService, ListSkipsDeleted) {
   EXPECT_EQ(meta.list(1), (std::vector<std::string>{"b"}));
 }
 
+TEST(MetadataService, ListCacheInvalidatedByCommitsAndDeletions) {
+  metadata_service meta;
+  const device_id d = meta.register_device(1);
+  meta.commit(1, d, "b", {"o1", 1, 1, 1, at(1), false});
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"b"}));  // cached hit
+  meta.commit(1, d, "a", {"o2", 1, 1, 1, at(2), false});
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"a", "b"}));
+  meta.mark_deleted(1, d, "a", at(3));
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"b"}));
+  // Re-commit of a deleted path revives it in the listing.
+  meta.commit(1, d, "a", {"o3", 1, 1, 2, at(4), false});
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"a", "b"}));
+  // Per-user caches are independent.
+  EXPECT_TRUE(meta.list(2).empty());
+}
+
+TEST(MetadataService, CommitBatchMatchesPerFileCommits) {
+  metadata_service meta;
+  const device_id d1 = meta.register_device(1);
+  const device_id d2 = meta.register_device(1);
+  std::vector<manifest_commit> batch;
+  batch.push_back({"x", {"ox", 5, 5, 1, at(1), false}});
+  batch.push_back({"y", {"oy", 6, 6, 1, at(1), false}});
+  meta.commit_batch(1, d1, std::move(batch));
+  // One notification per entry, in batch order, source device excluded.
+  EXPECT_EQ(meta.pending_notifications(1, d1), 0u);
+  const auto notes = meta.fetch_notifications(1, d2);
+  ASSERT_EQ(notes.size(), 2u);
+  EXPECT_EQ(notes[0].path, "x");
+  EXPECT_EQ(notes[1].path, "y");
+  EXPECT_EQ(meta.list(1), (std::vector<std::string>{"x", "y"}));
+  ASSERT_NE(meta.lookup(1, "x"), nullptr);
+  EXPECT_EQ(meta.lookup(1, "x")->object_key, "ox");
+}
+
 TEST(Cloud, PutAndContent) {
   cloud cl;
   const device_id dev = cl.attach_device(1);

@@ -138,5 +138,44 @@ TEST(ObjectStore, BackendOpStats) {
   EXPECT_EQ(store.stats().total_ops(), 0u);
 }
 
+TEST(ObjectStore, ListCacheTracksLivenessChanges) {
+  // list() serves from a generation-keyed sorted snapshot; every liveness
+  // change (put of a new key, remove, undelete, revive-by-put) must
+  // invalidate it, and repeated lists between changes must stay coherent.
+  object_store store;
+  store.put("b", to_buffer("1"));
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"b"}));  // cached hit
+  store.put("a", to_buffer("2"));
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"a", "b"}));
+  // Re-putting a live key keeps the live set unchanged: cache stays valid.
+  store.put("a", to_buffer("3"));
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"a", "b"}));
+  store.remove("a");
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"b"}));
+  store.undelete("a");
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"a", "b"}));
+  store.remove("b");
+  store.put("b", to_buffer("4"));  // revive via put
+  EXPECT_EQ(store.list(""), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ObjectStore, ListPrefixScansCachedSnapshot) {
+  object_store store;
+  for (const char* k : {"u1/a", "u1/b", "u10/x", "u2/c", "v"}) {
+    store.put(k, byte_buffer{});
+  }
+  // "u1/" must not match "u10/..." — the prefix run is exact.
+  EXPECT_EQ(store.list("u1/"), (std::vector<std::string>{"u1/a", "u1/b"}));
+  EXPECT_EQ(store.list("u10/"), (std::vector<std::string>{"u10/x"}));
+  EXPECT_EQ(store.list("u"),
+            (std::vector<std::string>{"u1/a", "u1/b", "u10/x", "u2/c"}));
+  EXPECT_EQ(store.list("").size(), 5u);
+  EXPECT_EQ(store.key_count(), 5u);
+  store.remove("u1/b");
+  EXPECT_EQ(store.list("u1/"), (std::vector<std::string>{"u1/a"}));
+  EXPECT_EQ(store.key_count(), 5u);  // tombstoned keys still known
+}
+
 }  // namespace
 }  // namespace cloudsync

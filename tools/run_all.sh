@@ -4,8 +4,8 @@
 #   tools/run_all.sh [--sanitize] [build-dir]
 #
 # Produces test_output.txt and bench_output.txt in the repo root.
-# With --sanitize, first runs the tier-1 test suite under the asan and ubsan
-# CMake presets (see CMakePresets.json), then does the normal build.
+# With --sanitize, first runs the tier-1 test suite under the asan, ubsan,
+# and tsan CMake presets (see CMakePresets.json), then does the normal build.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,7 +18,7 @@ fi
 build_dir="${1:-$repo_root/build}"
 
 if [ "$sanitize" -eq 1 ]; then
-  for preset in asan ubsan; do
+  for preset in asan ubsan tsan; do
     echo "=== sanitizer pass: $preset ==="
     (cd "$repo_root" \
        && cmake --preset "$preset" \
