@@ -159,12 +159,12 @@ int main(int argc, char** argv) {
   fleet_config id_cfg;
   id_cfg.trace.scale = small ? 0.005 : 0.02;
   id_cfg.max_files_per_service = small ? 100 : 2500;
-  id_cfg.file_size_cap = 2 * MiB;  // the old clamp
+  id_cfg.trace.max_file_bytes = 2 * MiB;  // the old clamp
   id_cfg.replay_threads = 1;
 
   std::printf("identity grid: scale %.3f, cap %zu files/service, clamp %s\n",
               id_cfg.trace.scale, id_cfg.max_files_per_service,
-              human(static_cast<double>(id_cfg.file_size_cap)).c_str());
+              human(static_cast<double>(id_cfg.trace.max_file_bytes)).c_str());
   const run_result id_flat = run_leg(id_cfg, content_mode::flat);
   const run_result id_cow = run_leg(id_cfg, content_mode::cow);
   fleet_config id_mt_cfg = id_cfg;
@@ -193,7 +193,8 @@ int main(int argc, char** argv) {
   run_result sc_flat, sc_cow;
   double reduction = 0;
   bool reduction_ok = true;  // vacuously true for --small
-  fleet_config sc_cfg;  // defaults: whole trace, 64 MiB clamp
+  fleet_config sc_cfg;  // whole trace; clamp pinned (flat leg copies bytes)
+  sc_cfg.trace.max_file_bytes = 64 * MiB;
   sc_cfg.trace.scale = 0.03;
   sc_cfg.trace.p_full_duplicate = 0.45;
   sc_cfg.trace.p_partial_duplicate = 0.12;
@@ -203,7 +204,7 @@ int main(int argc, char** argv) {
     std::printf("scale grid: scale %.3f, whole trace, clamp %s, "
                 "dup share %.2f, modify p %.2f\n",
                 sc_cfg.trace.scale,
-                human(static_cast<double>(sc_cfg.file_size_cap)).c_str(),
+                human(static_cast<double>(sc_cfg.trace.max_file_bytes)).c_str(),
                 sc_cfg.trace.p_full_duplicate,
                 sc_cfg.trace.modify_geometric_p);
     sc_flat = run_leg(sc_cfg, content_mode::flat);
@@ -232,7 +233,7 @@ int main(int argc, char** argv) {
       << "  \"identity_grid\": {\n"
       << "    \"scale\": " << id_cfg.trace.scale
       << ", \"max_files_per_service\": " << id_cfg.max_files_per_service
-      << ", \"file_size_cap\": " << id_cfg.file_size_cap << ",\n";
+      << ", \"max_file_bytes\": " << id_cfg.trace.max_file_bytes << ",\n";
   json_leg(out, "flat", id_flat);
   json_leg(out, "cow", id_cow);
   json_leg(out, "cow_threads4", id_cow_mt);
@@ -244,7 +245,7 @@ int main(int argc, char** argv) {
     out << "  \"scale_grid\": {\n"
         << "    \"scale\": " << sc_cfg.trace.scale
         << ", \"max_files_per_service\": \"whole-trace\""
-        << ", \"file_size_cap\": " << sc_cfg.file_size_cap
+        << ", \"max_file_bytes\": " << sc_cfg.trace.max_file_bytes
         << ",\n    \"p_full_duplicate\": " << sc_cfg.trace.p_full_duplicate
         << ", \"modify_geometric_p\": " << sc_cfg.trace.modify_geometric_p
         << ",\n";

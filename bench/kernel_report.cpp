@@ -626,9 +626,9 @@ int main(int argc, char** argv) {
   fleet_config fcfg;
   fcfg.replay_threads = 1;
   // Pin the historical caps: the fleet_config defaults moved to whole-trace /
-  // 64 MiB with the CoW store, and this report compares 250 vs 2500 files at
-  // the original 2 MiB clamp.
-  fcfg.file_size_cap = 2 * MiB;
+  // uncapped with the CoW store, and this report compares 250 vs 2500 files
+  // at the original 2 MiB clamp.
+  fcfg.trace.max_file_bytes = 2 * MiB;
   fcfg.max_files_per_service = 250;
   double t0 = now_ms();
   const auto fleet_old = replay_trace_fleet(fcfg);

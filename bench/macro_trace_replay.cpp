@@ -17,7 +17,7 @@ int main() {
   fleet_config cfg;
   cfg.trace.scale = 0.01;          // ~2.2k files generated
   cfg.max_files_per_service = 200;  // replayed per service
-  cfg.file_size_cap = 2 * MiB;      // historical clamp, for comparability
+  cfg.trace.max_file_bytes = 2 * MiB;  // historical clamp, for comparability
 
   const auto reports = replay_trace_fleet(cfg);
 

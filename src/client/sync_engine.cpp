@@ -8,12 +8,31 @@
 
 namespace cloudsync {
 
-/// A memoized IDS plan: the delta against one specific old version plus its
-/// serialized wire form (what shipped_size() and the cloud consume).
+/// A memoized IDS plan: the delta against one specific old version plus the
+/// identity of its serialized wire form. Streaming planning never builds the
+/// wire buffer — literal ops reference the new file's rope, and `wire_size` /
+/// `wire_hash` (exactly serialize_delta's length and content_hash64) key the
+/// wire-payload memo instead. Legacy whole-file planning additionally keeps
+/// the materialized buffer in `wire`.
 struct delta_blueprint {
   file_delta delta;
-  byte_buffer wire;
+  byte_buffer wire;             ///< whole_file_planning only; else empty
+  std::uint64_t wire_size = 0;  ///< == serialize_delta(delta).size()
+  std::uint64_t wire_hash = 0;  ///< == content_hash64(serialize_delta(delta))
 };
+
+namespace {
+/// The memoizable part of a streaming IDS plan: the delta's event stream
+/// (indices and offsets only) plus the identity of its serialized wire form.
+/// Deliberately holds no payload bytes and no rope refs — entries live
+/// process-wide, and a memo pinning content store chunks would leak them
+/// past every experiment teardown (and hold multi-GB literals forever).
+struct delta_skeleton {
+  std::vector<delta_job::event> events;
+  std::uint64_t wire_size = 0;
+  std::uint64_t wire_hash = 0;
+};
+}  // namespace
 
 namespace {
 /// App-level bytes for one dedup fingerprint on the wire (digest + framing).
@@ -70,9 +89,10 @@ content_memo<signature_ptr>& signature_memo() {
 }
 
 using blueprint_ptr = std::shared_ptr<const delta_blueprint>;
+using skeleton_ptr = std::shared_ptr<const delta_skeleton>;
 
-content_memo<blueprint_ptr>& delta_memo() {
-  static content_memo<blueprint_ptr> memo;
+content_memo<skeleton_ptr>& delta_memo() {
+  static content_memo<skeleton_ptr> memo;
   return memo;
 }
 
@@ -448,6 +468,90 @@ std::uint64_t wire_payload_size(byte_view content, int level) {
   return lzss_compress(content, {.level = level}).size();
 }
 
+namespace {
+/// The incompressibility probe threshold and sample budget of
+/// wire_payload_size, shared by its streaming twins.
+constexpr std::size_t kProbeMinBytes = 4096;
+constexpr std::size_t kProbeSampleBudget = 16 * 1024;
+constexpr double kProbeRatioCutoff = 1.05;
+
+std::vector<byte_view> views_of(const std::vector<byte_buffer>& buffers) {
+  std::vector<byte_view> views;
+  views.reserve(buffers.size());
+  for (const byte_buffer& b : buffers) views.emplace_back(b);
+  return views;
+}
+
+/// estimate_compression_ratio over a rope, sampling the identical windows.
+double estimate_ratio_ref(const content_ref& content) {
+  std::vector<byte_buffer> samples;
+  for (const sample_window& w :
+       compression_sample_windows(content.size(), kProbeSampleBudget)) {
+    byte_buffer buf;
+    buf.reserve(w.length);
+    content.walk_range(w.offset, w.length,
+                       [&](byte_view v) { append(buf, v); });
+    samples.push_back(std::move(buf));
+  }
+  return estimate_ratio_of_windows(views_of(samples));
+}
+
+/// estimate_compression_ratio over a delta's serialized stream: one walk
+/// collects the probe windows (they are sorted and disjoint), never holding
+/// more than the sample budget.
+double estimate_ratio_delta_wire(const file_delta& delta,
+                                 std::uint64_t wire_size) {
+  const std::vector<sample_window> plan = compression_sample_windows(
+      static_cast<std::size_t>(wire_size), kProbeSampleBudget);
+  std::vector<byte_buffer> samples(plan.size());
+  std::uint64_t off = 0;
+  std::size_t wi = 0;
+  walk_delta_wire(delta, [&](byte_view piece) {
+    const std::uint64_t piece_end = off + piece.size();
+    while (wi < plan.size() && plan[wi].offset < piece_end) {
+      const std::uint64_t w_begin = plan[wi].offset;
+      const std::uint64_t w_end = w_begin + plan[wi].length;
+      if (w_end <= off) {
+        ++wi;
+        continue;
+      }
+      const std::uint64_t from = std::max<std::uint64_t>(off, w_begin);
+      const std::uint64_t to = std::min<std::uint64_t>(piece_end, w_end);
+      append(samples[wi],
+             piece.subspan(static_cast<std::size_t>(from - off),
+                           static_cast<std::size_t>(to - from)));
+      if (to < w_end) break;  // window continues in the next piece
+      ++wi;
+    }
+    off = piece_end;
+  });
+  return estimate_ratio_of_windows(views_of(samples));
+}
+}  // namespace
+
+std::uint64_t wire_payload_size_ref(const content_ref& content, int level) {
+  if (level <= 0 || content.empty()) return content.size();
+  if (content.size() >= kProbeMinBytes &&
+      estimate_ratio_ref(content) < kProbeRatioCutoff) {
+    return content.size();
+  }
+  lzss_stream_sizer sizer(content.size(), {.level = level});
+  content.walk([&](byte_view v) { sizer.feed(v); });
+  return sizer.finish();
+}
+
+std::uint64_t wire_payload_size_delta(const file_delta& delta, int level) {
+  const std::uint64_t size = delta_wire_size(delta);
+  if (level <= 0 || size == 0) return size;
+  if (size >= kProbeMinBytes &&
+      estimate_ratio_delta_wire(delta, size) < kProbeRatioCutoff) {
+    return size;
+  }
+  lzss_stream_sizer sizer(size, {.level = level});
+  walk_delta_wire(delta, [&](byte_view v) { sizer.feed(v); });
+  return sizer.finish();
+}
+
 std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
   if (level <= 0 || content.empty()) return content.size();
   if (opts_.cache == nullptr) return wire_payload_size(content, level);
@@ -458,7 +562,9 @@ std::uint64_t sync_client::shipped_size(const content_ref& content,
                                         int level) const {
   if (level <= 0 || content.empty()) return content.size();
   const auto compute = [&] {
-    return wire_payload_size(content.flatten(), level);
+    return opts_.whole_file_planning
+               ? wire_payload_size(content.flatten(), level)
+               : wire_payload_size_ref(content, level);
   };
   if (opts_.cache == nullptr) return compute();
   // hash64() matches content_hash64 of the flat bytes, so rope and flat
@@ -467,12 +573,29 @@ std::uint64_t sync_client::shipped_size(const content_ref& content,
                                          level, compute);
 }
 
+std::uint64_t sync_client::shipped_wire_size(const delta_blueprint& bp,
+                                             int level) const {
+  if (level <= 0 || bp.wire_size == 0) return bp.wire_size;
+  const auto compute = [&]() -> std::uint64_t {
+    return opts_.whole_file_planning
+               ? wire_payload_size(bp.wire, level)
+               : wire_payload_size_delta(bp.delta, level);
+  };
+  if (opts_.cache == nullptr) return compute();
+  // wire_hash == content_hash64 of the serialized delta, so both planning
+  // modes (and any flat-bytes lookup) share the same cache entries.
+  return opts_.cache->shipped_size_keyed(bp.wire_hash, bp.wire_size, level,
+                                         compute);
+}
+
 const file_signature& sync_client::shadow_signature(shadow_entry& sh) const {
   const std::size_t block_size = opts_.profile.delta_chunk_size;
   if (!sh.sig || sh.sig_block_size != block_size) {
     auto sign = [&]() -> signature_ptr {
       return std::make_shared<const file_signature>(
-          compute_signature(sh.content.flatten(), block_size));
+          opts_.whole_file_planning
+              ? compute_signature(sh.content.flatten(), block_size)
+              : compute_signature_ref(sh.content, block_size));
     };
     sh.sig = opts_.cache != nullptr
                  ? signature_memo().get_or_compute_keyed(
@@ -524,22 +647,44 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
       shadow_it != shadow_.end() && !shadow_it->second.content.empty()) {
     shadow_entry& sh = shadow_it->second;
     const file_signature& sig = shadow_signature(sh);
-    auto plan_delta = [&]() -> blueprint_ptr {
-      auto bp = std::make_shared<delta_blueprint>();
+    auto bp = std::make_shared<delta_blueprint>();
+    if (opts_.whole_file_planning) {
+      // Legacy identity-leg path: whole buffers, no memo (the memo must not
+      // hold payload bytes; the identity leg only cares about wire bytes).
       bp->delta = compute_delta(sig, content.flatten());
       bp->wire = serialize_delta(bp->delta);
-      return bp;
-    };
-    // Key: the new content (hashed) + the old file's identity (salt, cached
-    // alongside the signature), which together determine the delta exactly.
-    plan.blueprint = opts_.cache != nullptr
-                         ? delta_memo().get_or_compute_keyed(
-                               content.hash64(), content.size(), sh.sig_salt,
-                               plan_delta)
-                         : plan_delta();
+      bp->wire_size = bp->wire.size();
+      bp->wire_hash = content_hash64(bp->wire);
+    } else {
+      auto plan_skeleton = [&]() -> skeleton_ptr {
+        auto sk = std::make_shared<delta_skeleton>();
+        sk->events = compute_delta_events(sig, content);
+        const file_delta d =
+            delta_from_events(sig.block_size, content, sk->events);
+        sk->wire_size = delta_wire_size(d);
+        content_hasher64 h;
+        walk_delta_wire(d, [&](byte_view v) { h.update(v); });
+        sk->wire_hash = h.finish();
+        return sk;
+      };
+      // Key: the new content (hashed) + the old file's identity (salt,
+      // cached alongside the signature), which together determine the delta
+      // exactly. The memo stores the ref-free skeleton; the blueprint's rope
+      // refs are re-bound to this plan's content and die with the plan.
+      const skeleton_ptr sk =
+          opts_.cache != nullptr
+              ? delta_memo().get_or_compute_keyed(content.hash64(),
+                                                  content.size(), sh.sig_salt,
+                                                  plan_skeleton)
+              : plan_skeleton();
+      bp->delta = delta_from_events(sig.block_size, content, sk->events);
+      bp->wire_size = sk->wire_size;
+      bp->wire_hash = sk->wire_hash;
+    }
+    plan.blueprint = std::move(bp);
     // The delta's literal regions are compressed like any upload.
     plan.payload_up =
-        shipped_size(plan.blueprint->wire, mp.upload_compression_level);
+        shipped_wire_size(*plan.blueprint, mp.upload_compression_level);
     plan.metadata_up = static_cast<std::uint64_t>(
         static_cast<double>(plan.payload_up) * mp.per_payload_metadata);
     plan.act = upload_action::delta;

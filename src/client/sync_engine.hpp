@@ -69,6 +69,17 @@ struct retry_policy {
 /// direct recomputation.
 std::uint64_t wire_payload_size(byte_view content, int level);
 
+/// Streaming twin of wire_payload_size: walks the rope's segments through
+/// the sampled compressibility probe and the exact stream sizer, returning
+/// the identical value without ever flattening the content. This is what
+/// lets multi-GB uploads be priced in O(MB) working memory.
+std::uint64_t wire_payload_size_ref(const content_ref& content, int level);
+
+/// Same, over a delta's exact serialized wire bytes (walk_delta_wire) —
+/// byte-identical to wire_payload_size(serialize_delta(delta), level)
+/// without materializing the wire buffer.
+std::uint64_t wire_payload_size_delta(const file_delta& delta, int level);
+
 /// Observability for the process-wide incremental-sync memos (rsync
 /// signatures and delta blueprints, consulted when sync_options::cache is
 /// set): hit/miss counters for bench reports, and a reset for clean
@@ -108,6 +119,13 @@ struct sync_options {
   /// one (0 = register fresh). A restarted client must keep its device id so
   /// the cloud's notification queue for it survives the crash.
   device_id reuse_device = 0;
+  /// Legacy planning mode: flatten file contents and materialize delta wire
+  /// buffers instead of streaming rope windows through the incremental
+  /// sig/delta jobs and the stream sizer. Exists solely so the identity leg
+  /// of bench/stream_scale_report can prove the streaming path meters
+  /// byte-identical traffic; it holds whole files in memory and must not be
+  /// used for uncapped inputs.
+  bool whole_file_planning = false;
 };
 
 class sync_client {
@@ -265,8 +283,14 @@ class sync_client {
   /// path that skips compressing incompressible data (as real clients do).
   std::uint64_t shipped_size(byte_view content, int level) const;
   /// Rope variant: memoized under the same (content hash, size, level) key
-  /// as the flat overload; the compressor only sees flat bytes on a miss.
+  /// as the flat overload; in streaming mode a miss walks the rope through
+  /// the stream sizer, in legacy mode it flattens for the compressor.
   std::uint64_t shipped_size(const content_ref& content, int level) const;
+  /// Wire-payload size of a planned delta's serialized bytes, memoized under
+  /// the same (wire hash, wire size, level) key the flat overload would use
+  /// for the materialized buffer — so legacy and streaming worlds share (and
+  /// cross-check) one cache entry.
+  std::uint64_t shipped_wire_size(const delta_blueprint& bp, int level) const;
 
   /// One sync transaction: run the exchange, then `apply` (server-side
   /// commit), retrying transient faults under the retry policy. Successful

@@ -299,26 +299,199 @@ byte_buffer lzss_decompress(byte_view frame) {
   return out;
 }
 
-double estimate_compression_ratio(byte_view input, std::size_t sample_budget) {
-  if (input.empty()) return 1.0;
-  if (input.size() <= sample_budget) {
-    const byte_buffer c = lzss_compress(input, {.level = 5});
-    return static_cast<double>(input.size()) /
-           static_cast<double>(std::max<std::size_t>(1, c.size()));
+std::vector<sample_window> compression_sample_windows(
+    std::size_t size, std::size_t sample_budget) {
+  std::vector<sample_window> windows;
+  if (size == 0) return windows;
+  if (size <= sample_budget) {
+    windows.push_back({0, size});
+    return windows;
   }
   // Sample up to 8 evenly spaced windows.
   const std::size_t window = sample_budget / 8;
-  std::size_t total_in = 0, total_out = 0;
+  windows.reserve(8);
   for (int i = 0; i < 8; ++i) {
-    const std::size_t off =
-        (input.size() - window) * static_cast<std::size_t>(i) / 7;
-    const byte_view chunk = input.subspan(off, window);
+    const std::size_t off = (size - window) * static_cast<std::size_t>(i) / 7;
+    windows.push_back({off, window});
+  }
+  return windows;
+}
+
+double estimate_ratio_of_windows(const std::vector<byte_view>& windows) {
+  std::size_t total_in = 0, total_out = 0;
+  for (const byte_view chunk : windows) {
     const byte_buffer c = lzss_compress(chunk, {.level = 5});
     total_in += chunk.size();
     total_out += c.size();
   }
+  if (total_in == 0) return 1.0;
   return static_cast<double>(total_in) /
          static_cast<double>(std::max<std::size_t>(1, total_out));
+}
+
+double estimate_compression_ratio(byte_view input, std::size_t sample_budget) {
+  if (input.empty()) return 1.0;
+  std::vector<byte_view> views;
+  for (const sample_window& w : compression_sample_windows(input.size(),
+                                                           sample_budget)) {
+    views.push_back(input.subspan(w.offset, w.length));
+  }
+  return estimate_ratio_of_windows(views);
+}
+
+namespace {
+/// History ring of the stream sizer. Must be a power of two and exceed
+/// kWindowSize + kMaxMatch by enough staging room that chain entries are
+/// always recycled strictly outside the match window (see insert/find).
+constexpr std::size_t kSizerRingBytes = 128 * 1024;
+constexpr std::uint64_t kSizerRingMask = kSizerRingBytes - 1;
+/// Feed bytes are staged into the ring at most this many at a time, so the
+/// live span (64 KiB history + lookahead + staging) always fits the ring.
+constexpr std::size_t kSizerStageBytes = 32 * 1024;
+constexpr std::uint64_t kNoPos = ~0ULL;
+
+std::uint64_t stored_frame_size(std::uint64_t size) {
+  byte_buffer varint;
+  put_varint(varint, size);
+  return 2 + 1 + varint.size() + size + 4;
+}
+}  // namespace
+
+lzss_stream_sizer::lzss_stream_sizer(std::uint64_t total_size,
+                                     lzss_params params)
+    : total_(total_size),
+      stored_only_(params.level <= 0 || total_size < kMinMatch + 4) {
+  if (stored_only_) return;
+  const level_config cfg = config_for(params.level);
+  max_chain_ = cfg.max_chain;
+  nice_len_ = cfg.nice_len;
+  accept_len_ = cfg.accept_len;
+  lazy_ = cfg.lazy;
+  ring_.resize(kSizerRingBytes);
+  head_.assign(kHashSize, kNoPos);
+  prev_.resize(kSizerRingBytes);
+  out_ = stored_frame_size(total_) - total_ - 4;  // shared frame header
+}
+
+std::uint8_t lzss_stream_sizer::at(std::uint64_t pos) const {
+  return ring_[pos & kSizerRingMask];
+}
+
+std::uint32_t lzss_stream_sizer::hash_at(std::uint64_t pos) const {
+  // hash4 reads a little-endian uint32; assemble it explicitly because the
+  // four bytes may wrap around the ring.
+  const std::uint32_t v = static_cast<std::uint32_t>(at(pos)) |
+                          static_cast<std::uint32_t>(at(pos + 1)) << 8 |
+                          static_cast<std::uint32_t>(at(pos + 2)) << 16 |
+                          static_cast<std::uint32_t>(at(pos + 3)) << 24;
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+lzss_stream_sizer::match lzss_stream_sizer::find(std::uint64_t pos) const {
+  match best;
+  if (pos + kMinMatch > total_) return best;
+  const std::uint64_t limit = pos >= kWindowSize ? pos - kWindowSize : 0;
+  const std::size_t max_len =
+      static_cast<std::size_t>(std::min<std::uint64_t>(kMaxMatch,
+                                                       total_ - pos));
+  std::uint64_t cand = head_[hash_at(pos)];
+  std::size_t chain = max_chain_;
+  while (cand != kNoPos && cand >= limit && chain-- > 0 &&
+         best.length < max_len) {
+    if (best.length == 0 || at(cand + best.length) == at(pos + best.length)) {
+      std::size_t len = 0;
+      while (len < max_len && at(cand + len) == at(pos + len)) {
+        ++len;
+      }
+      if (len > best.length) {
+        best.length = len;
+        best.distance = static_cast<std::size_t>(pos - cand);
+        if (len >= nice_len_) break;
+      }
+    }
+    cand = prev_[cand & kSizerRingMask];
+  }
+  if (best.length < accept_len_) best = {};
+  return best;
+}
+
+void lzss_stream_sizer::insert(std::uint64_t pos) {
+  if (pos + 4 > total_) return;
+  const std::uint32_t h = hash_at(pos);
+  prev_[pos & kSizerRingMask] = head_[h];
+  head_[h] = pos;
+}
+
+void lzss_stream_sizer::count_token(bool is_match) {
+  if (bit_ == 8) {
+    ++out_;  // flag byte
+    bit_ = 0;
+  }
+  ++bit_;
+  out_ += is_match ? 3 : 1;
+}
+
+void lzss_stream_sizer::drain(bool final_window) {
+  // Matching at `pos` may read ahead up to kMaxMatch bytes (the lazy probe
+  // one further) and inserting covered positions hashes up to three bytes
+  // past the match, so hold positions back until that whole horizon is fed;
+  // the remainder resolves at finish(), where the true end-of-input match
+  // limits apply.
+  while (pos_ < total_) {
+    if (!final_window && pos_ + kMaxMatch + 3 > fed_) return;
+    match cur = find(pos_);
+    if (cur.length >= kMinMatch) {
+      if (lazy_ && pos_ + 1 < total_) {
+        insert(pos_);
+        const match next = find(pos_ + 1);
+        if (next.length > cur.length + 1) {
+          count_token(false);
+          ++pos_;
+          continue;
+        }
+      } else {
+        insert(pos_);
+      }
+      count_token(true);
+      for (std::size_t i = 1; i < cur.length; ++i) insert(pos_ + i);
+      pos_ += cur.length;
+    } else {
+      insert(pos_);
+      count_token(false);
+      ++pos_;
+    }
+  }
+}
+
+void lzss_stream_sizer::feed(byte_view window) {
+  if (stored_only_) {
+    fed_ += window.size();
+    return;
+  }
+  while (!window.empty()) {
+    const std::size_t take = std::min(window.size(), kSizerStageBytes);
+    for (std::size_t i = 0; i < take; ++i) {
+      ring_[(fed_ + i) & kSizerRingMask] = window[i];
+    }
+    fed_ += take;
+    window = window.subspan(take);
+    drain(/*final_window=*/false);
+  }
+}
+
+std::uint64_t lzss_stream_sizer::finish() {
+  if (fed_ != total_) {
+    throw std::logic_error("lzss_stream_sizer: fed size != declared size");
+  }
+  if (finished_) throw std::logic_error("lzss_stream_sizer: already finished");
+  finished_ = true;
+  if (stored_only_) return stored_frame_size(total_);
+  drain(/*final_window=*/true);
+  out_ += 4;  // CRC-32 trailer
+  // Expansion fallback: the consumer gets min(original, compressed), so the
+  // priced frame is the stored one whenever the token stream expanded.
+  if (out_ >= total_ + 7 + 4) return stored_frame_size(total_);
+  return out_;
 }
 
 }  // namespace cloudsync

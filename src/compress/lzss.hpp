@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/bytes.hpp"
 
@@ -32,5 +33,67 @@ byte_buffer lzss_decompress(byte_view frame);
 /// (>= 1.0 means compressible).
 double estimate_compression_ratio(byte_view input,
                                   std::size_t sample_budget = 64 * 1024);
+
+/// The window layout the probe samples for a `size`-byte input: the whole
+/// input when it fits the budget, otherwise 8 evenly spaced budget/8-byte
+/// windows. Exposed so non-contiguous representations (ropes, streamed delta
+/// wire) can be probed with the identical layout and therefore return the
+/// identical estimate.
+struct sample_window {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+std::vector<sample_window> compression_sample_windows(
+    std::size_t size, std::size_t sample_budget);
+
+/// Shared probe core: ratio sum(in) / max(1, sum(out)) over level-5
+/// compressions of the sampled windows. estimate_compression_ratio ==
+/// estimate_ratio_of_windows over compression_sample_windows' views.
+double estimate_ratio_of_windows(const std::vector<byte_view>& windows);
+
+/// Exact streamed frame sizing: feed the input in windows of any size and
+/// finish() returns precisely lzss_compress(concatenation, params).size() —
+/// including the stored-frame fallback — while holding O(1) state (a 128 KiB
+/// history ring plus hash chains, ~1.4 MB) instead of the input. This is how
+/// multi-GB upload payloads are priced without ever being flat in memory.
+class lzss_stream_sizer {
+ public:
+  /// The total input size must be known up front (frame headers and
+  /// end-of-input match limits depend on it).
+  explicit lzss_stream_sizer(std::uint64_t total_size, lzss_params params = {});
+
+  void feed(byte_view window);
+  /// Throws std::logic_error unless exactly total_size bytes were fed.
+  std::uint64_t finish();
+
+ private:
+  struct match {
+    std::size_t length = 0;
+    std::size_t distance = 0;
+  };
+
+  std::uint8_t at(std::uint64_t pos) const;
+  std::uint32_t hash_at(std::uint64_t pos) const;
+  match find(std::uint64_t pos) const;
+  void insert(std::uint64_t pos);
+  void drain(bool final_window);
+  void count_token(bool is_match);
+
+  std::uint64_t total_;
+  bool stored_only_;       ///< level <= 0 or input too short: pure stored frame
+  std::size_t max_chain_ = 0;
+  std::size_t nice_len_ = 0;
+  std::size_t accept_len_ = 0;
+  bool lazy_ = false;
+
+  byte_buffer ring_;                 ///< history ring, kSizerRingBytes
+  std::vector<std::uint64_t> head_;  ///< hash -> most recent absolute pos
+  std::vector<std::uint64_t> prev_;  ///< chain links, ring-indexed
+  std::uint64_t fed_ = 0;            ///< absolute write position
+  std::uint64_t pos_ = 0;            ///< absolute scan position
+  std::uint64_t out_ = 0;            ///< counted frame bytes so far
+  unsigned bit_ = 8;                 ///< token slot within the open flag byte
+  bool finished_ = false;
+};
 
 }  // namespace cloudsync

@@ -69,6 +69,7 @@ void experiment_env::build_client(station& st) {
   opts.cache = cfg_.use_content_cache ? &content_cache::global() : nullptr;
   opts.faults = faults_.get();
   opts.retry = cfg_.retry;
+  opts.whole_file_planning = cfg_.whole_file_planning;
   if (cfg_.journal) {
     opts.journal = &st.journal;
     opts.recovery = cfg_.recovery;

@@ -43,6 +43,10 @@ struct experiment_config {
   bool journal = false;
   recovery_options recovery{};
   sim_time restart_delay = sim_time::from_sec(5);
+  /// Plan uploads/deltas over flattened whole-file buffers instead of the
+  /// streaming jobs (sync_options::whole_file_planning). Identity-leg only:
+  /// proves streaming meters byte-identical traffic. Never use uncapped.
+  bool whole_file_planning = false;
 };
 
 /// One client machine attached to the environment: its own sync folder and

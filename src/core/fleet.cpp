@@ -1,8 +1,10 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/parallel_runner.hpp"
@@ -13,6 +15,54 @@
 namespace cloudsync {
 
 namespace {
+
+/// The deprecated replay-time clamp, still honored for one release: 0 means
+/// uncapped, anything else clamps and warns once per process.
+std::uint64_t effective_size_cap(const fleet_config& cfg) {
+  if (cfg.file_size_cap == 0) return UINT64_MAX;
+  static std::once_flag warned;
+  std::call_once(warned, [] {
+    std::fprintf(stderr,
+                 "warning: fleet_config::file_size_cap is deprecated and will "
+                 "be removed in the next release; set "
+                 "fleet_config::trace.max_file_bytes to bound file sizes at "
+                 "trace generation instead\n");
+  });
+  return cfg.file_size_cap;
+}
+
+/// Above this size a record's content is built as a rope tiling a bounded
+/// pool of seeded segments instead of one lazy whole-file chunk, so reading
+/// (signing, diffing, uploading) a multi-GB file materializes O(pool) unique
+/// bytes, never O(file).
+constexpr std::uint64_t kPooledFileThreshold = 64 * MiB;
+constexpr std::size_t kPoolSegmentBytes = 1 * MiB;
+constexpr std::size_t kPoolSegments = 32;  ///< 32 MiB unique per big file
+
+content_ref pooled_record_content(std::uint64_t seed, std::uint64_t size,
+                                  double ratio) {
+  std::vector<content_ref> pool;
+  pool.reserve(kPoolSegments);
+  for (std::size_t i = 0; i < kPoolSegments; ++i) {
+    const std::uint64_t sub = mix64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    pool.push_back(content_ref::lazy(kPoolSegmentBytes, [sub, ratio] {
+      rng r(sub);
+      return synthetic_payload(r, kPoolSegmentBytes, ratio);
+    }));
+  }
+  // Deterministic tiling: segment j of the file is a seeded pick from the
+  // pool, so duplicate records (same seed/size/ratio) still alias the same
+  // chunks and the bytes are stable across runs and window splits.
+  content_ref::builder out;
+  std::uint64_t off = 0;
+  for (std::uint64_t j = 0; off < size; ++j) {
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPoolSegmentBytes, size - off));
+    out.append(pool[mix64(seed ^ j) % kPoolSegments], 0, len);
+    off += len;
+  }
+  return out.build();
+}
 
 /// Deterministic content for a trace record: seeded by the record's content
 /// identity so exact duplicates get byte-identical files, sized and shaped
@@ -42,6 +92,9 @@ content_ref record_content(const trace_file_record& rec,
   std::uint64_t ratio_bits = 0;
   std::memcpy(&ratio_bits, &ratio, sizeof(ratio_bits));
   return memo.get_or_compute_keyed(mix64(seed), size, ratio_bits, [&] {
+    if (size > kPooledFileThreshold) {
+      return pooled_record_content(seed, size, ratio);
+    }
     return content_ref::lazy(static_cast<std::size_t>(size), generate);
   });
 }
@@ -71,16 +124,16 @@ fleet_service_report replay_service(const service_profile& profile,
   report.users = stations.size();
 
   // Schedule creations and modifications on the compressed timeline.
+  const std::uint64_t size_cap = effective_size_cap(cfg);
   std::uint64_t update_bytes = 0;
   for (const trace_file_record* rec : records) {
     station* st = stations[rec->user];
     const sim_time created_at =
         sim_time::from_sec(rec->creation_time / cfg.time_compression);
-    const std::uint64_t size = std::min(rec->original_size,
-                                        cfg.file_size_cap);
+    const std::uint64_t size = std::min(rec->original_size, size_cap);
     update_bytes += size;
-    env.clock().schedule_at(created_at, [st, rec, &cfg, &env] {
-      st->fs.create(rec->file_name, record_content(*rec, cfg.file_size_cap),
+    env.clock().schedule_at(created_at, [st, rec, size_cap, &env] {
+      st->fs.create(rec->file_name, record_content(*rec, size_cap),
                     env.clock().now());
     });
     // Modifications: spread after creation; random single-byte edits.

@@ -33,10 +33,13 @@ struct fleet_config {
   /// the whole trace; benches that want the historical scope set it lower.
   std::size_t max_files_per_service = SIZE_MAX;
 
-  /// Files larger than this are clamped (the 2 GB trace outliers would
-  /// dominate runtime without changing the comparison). Raised from 2 MiB
-  /// once file contents became shared lazy ropes instead of per-file copies.
-  std::uint64_t file_size_cap = 64 * MiB;
+  /// DEPRECATED (to be removed next release): replay-time clamp on file
+  /// sizes. 0 — the default — replays every file at its recorded size; big
+  /// files become bounded-pool ropes, so fleet memory no longer depends on
+  /// file size. To bound sizes, set trace.max_file_bytes instead (clamping
+  /// at generation keeps trace identities consistent). A non-zero value here
+  /// still clamps but prints a one-time warning.
+  std::uint64_t file_size_cap = 0;
 
   /// Trace timestamps are divided by this factor so months of user activity
   /// replay in a bounded number of simulated hours.

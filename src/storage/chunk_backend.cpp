@@ -114,8 +114,10 @@ void chunk_backend::apply_delta(const std::string& old_key,
       }
       append_old_range(next, old, start, end - start);
     } else {
-      // Fresh bytes: split into chunk-sized objects.
-      const content_ref lit = content_ref::from_bytes(op.bytes);
+      // Fresh bytes: split into chunk-sized objects. A by-reference literal
+      // already is a rope — share it instead of re-interning the bytes.
+      const content_ref lit =
+          op.ref.empty() ? content_ref::from_bytes(op.bytes) : op.ref;
       std::size_t pos = 0;
       while (pos < lit.size()) {
         const std::size_t len = std::min(chunk_size_, lit.size() - pos);

@@ -80,8 +80,11 @@ void fill_block_ids(trace_file_record& rec, const layout& l) {
 
 std::uint64_t draw_size(rng& r, const trace_params& p) {
   const double s = r.lognormal(p.size_mu, p.size_sigma);
-  return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(s), 1,
-                                   2ull * GiB);
+  const std::uint64_t hi =
+      p.max_file_bytes == 0
+          ? 2ull * GiB
+          : std::min<std::uint64_t>(p.max_file_bytes, 2ull * GiB);
+  return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(s), 1, hi);
 }
 
 double draw_compression_ratio(rng& r, const trace_params& p,

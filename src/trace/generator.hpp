@@ -31,6 +31,12 @@ struct trace_params {
                              ///< realised median up toward the paper's 7.5 KB
   double size_sigma = 3.11;  ///< yields mean ≈ 962 KB, P(<100 KB) ≈ 0.78
 
+  /// Upper clamp on generated sizes; 0 = the paper's natural 2 GiB maximum.
+  /// Replaces the old replay-time fleet_config::file_size_cap: clamping at
+  /// generation keeps every downstream identity (full_md5, block_ids,
+  /// duplicate-byte accounting) consistent with the bytes actually replayed.
+  std::uint64_t max_file_bytes = 0;
+
   // -- compressibility -----------------------------------------------------
   double p_compressible_small = 0.55;  ///< files < 100 KB
   double p_compressible_large = 0.45;  ///< files 100 KB - 8 MB

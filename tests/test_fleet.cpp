@@ -10,7 +10,7 @@ fleet_config small_config() {
   fleet_config cfg;
   cfg.trace.scale = 0.004;  // ~900 files generated
   cfg.max_files_per_service = 40;
-  cfg.file_size_cap = 512 * KiB;
+  cfg.trace.max_file_bytes = 512 * KiB;
   return cfg;
 }
 
@@ -58,6 +58,24 @@ TEST(Fleet, CapsRespected) {
   for (const fleet_service_report& r : reports) {
     EXPECT_LE(r.files, 10u) << r.service;
   }
+}
+
+TEST(Fleet, DeprecatedFileSizeCapStillClamps) {
+  // file_size_cap is deprecated (one release) but must keep clamping: a
+  // tight replay-time cap has to shrink the replayed update bytes relative
+  // to the uncapped default on the same generated trace.
+  fleet_config capped = small_config();
+  capped.trace.max_file_bytes = 1 * MiB;
+  capped.max_files_per_service = 10;
+  fleet_config uncapped = capped;
+  capped.file_size_cap = 4 * KiB;
+  const auto a = replay_trace_fleet(capped);
+  const auto b = replay_trace_fleet(uncapped);
+  ASSERT_EQ(a.size(), b.size());
+  std::uint64_t capped_bytes = 0, uncapped_bytes = 0;
+  for (const auto& r : a) capped_bytes += r.update_bytes;
+  for (const auto& r : b) uncapped_bytes += r.update_bytes;
+  EXPECT_LT(capped_bytes, uncapped_bytes);
 }
 
 TEST(Fleet, MechanismsReduceTue) {

@@ -139,6 +139,83 @@ TEST(CompressorInterface, FactoryLevels) {
   EXPECT_EQ(c->decompress(c->compress(text)), text);
 }
 
+TEST(SampleWindows, CoverSmallInputWhole) {
+  const auto w = compression_sample_windows(1000, 16 * 1024);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].offset, 0u);
+  EXPECT_EQ(w[0].length, 1000u);
+}
+
+TEST(SampleWindows, LargeInputGetsEightSortedDisjointWindows) {
+  const std::size_t size = 5'000'000;
+  const auto w = compression_sample_windows(size, 16 * 1024);
+  ASSERT_EQ(w.size(), 8u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(w[i].length, 16 * 1024 / 8) << i;
+    EXPECT_LE(w[i].offset + w[i].length, size) << i;
+    if (i > 0) EXPECT_GE(w[i].offset, w[i - 1].offset + w[i - 1].length) << i;
+  }
+  EXPECT_EQ(w.back().offset + w.back().length, size);
+}
+
+TEST(SampleWindows, RatioOfWindowsMatchesWholeBufferEstimate) {
+  rng r(21);
+  for (const std::size_t size : {900u, 70'000u, 500'000u}) {
+    const byte_buffer data = random_text(r, size);
+    const auto plan = compression_sample_windows(data.size(), 16 * 1024);
+    std::vector<byte_view> views;
+    for (const sample_window& w : plan) {
+      views.push_back(byte_view(data).subspan(w.offset, w.length));
+    }
+    EXPECT_DOUBLE_EQ(estimate_ratio_of_windows(views),
+                     estimate_compression_ratio(data, 16 * 1024))
+        << size;
+  }
+}
+
+/// The sizer's whole contract: finish() == lzss_compress(flat).size(),
+/// across content shapes, levels, feed-window sizes, and the stored-frame
+/// fallback boundary.
+class StreamSizer : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamSizer, MatchesCompressorAcrossShapesAndWindows) {
+  const int level = GetParam();
+  rng r(100 + level);
+  const struct {
+    const char* name;
+    byte_buffer data;
+  } shapes[] = {
+      {"empty", {}},
+      {"tiny", random_bytes(r, 3)},
+      {"text", random_text(r, 200'000)},
+      {"noise", random_bytes(r, 150'000)},
+      {"rle", byte_buffer(100'000, std::uint8_t{'x'})},
+      {"mixed", synthetic_payload(r, 300'000, 1.8)},
+  };
+  for (const auto& s : shapes) {
+    const std::size_t expect = lzss_compress(s.data, {.level = level}).size();
+    // Feed windows chosen to cross the sizer's 32 KiB staging and 128 KiB
+    // ring boundaries at awkward offsets.
+    for (const std::size_t win : {1u << 20, 65'537u, 4096u, 977u}) {
+      lzss_stream_sizer sizer(s.data.size(), {.level = level});
+      for (std::size_t off = 0; off < s.data.size(); off += win) {
+        sizer.feed(byte_view(s.data).subspan(
+            off, std::min(win, s.data.size() - off)));
+      }
+      EXPECT_EQ(sizer.finish(), expect) << s.name << " win=" << win;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, StreamSizer,
+                         ::testing::Values(0, 1, 3, 6, 9));
+
+TEST(StreamSizerErrors, FinishValidatesFedBytes) {
+  lzss_stream_sizer sizer(10, {.level = 6});
+  sizer.feed(byte_buffer(5, std::uint8_t{'a'}));
+  EXPECT_THROW(sizer.finish(), std::logic_error);  // 5 of 10 bytes fed
+}
+
 TEST(SyntheticPayloadCompression, TracksTargetRatio) {
   rng r(9);
   const byte_buffer p = synthetic_payload(r, 200'000, 2.0);

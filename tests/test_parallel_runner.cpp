@@ -122,7 +122,7 @@ TEST(ParallelDeterminism, FleetReplayIdenticalAtAnyThreadCount) {
   fleet_config cfg;
   cfg.trace.scale = 0.004;
   cfg.max_files_per_service = 25;
-  cfg.file_size_cap = 256 * 1024;
+  cfg.trace.max_file_bytes = 256 * 1024;
 
   cfg.replay_threads = 1;
   const std::vector<fleet_service_report> serial = replay_trace_fleet(cfg);

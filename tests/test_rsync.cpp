@@ -236,5 +236,156 @@ TEST(FileDelta, CopiedBytesAccounting) {
   EXPECT_EQ(delta.copied_bytes(old_data.size()), old_data.size());
 }
 
+TEST(Rsync, ZeroBlockSizeThrows) {
+  // Regression: this used to be an assert that vanished under NDEBUG,
+  // leaving release builds spinning forever in the signature loop.
+  rng r(17);
+  const byte_buffer data = random_bytes(r, 1000);
+  EXPECT_THROW(compute_signature(data, 0), invalid_block_size);
+  EXPECT_THROW(compute_signature_ref(content_ref::from_bytes(data), 0),
+               invalid_block_size);
+  EXPECT_THROW(sig_job(0), invalid_block_size);
+  // invalid_block_size is a std::invalid_argument, so legacy catch sites
+  // written against the standard hierarchy still work.
+  EXPECT_THROW(compute_signature(data, 0), std::invalid_argument);
+}
+
+/// Build a rope with deliberately awkward segmentation so streaming jobs see
+/// window boundaries that never line up with blocks.
+content_ref chopped_rope(byte_view data, std::size_t first_seg) {
+  content_ref::builder b;
+  std::size_t off = 0;
+  std::size_t seg = first_seg;
+  while (off < data.size()) {
+    const std::size_t len = std::min(seg, data.size() - off);
+    b.append_bytes(data.subspan(off, len));
+    off += len;
+    seg = seg * 2 + 1;  // 7, 15, 31, ... : never a block multiple
+  }
+  return b.build();
+}
+
+/// Both legs of the pipeline on one (old, new, block_size) case: the
+/// streaming signature/delta must equal the whole-buffer ones bit-for-bit —
+/// same ops, same wire bytes, same streamed wire walk — and both patch
+/// paths must reproduce the new file.
+void expect_streaming_identity(const byte_buffer& old_data,
+                               const byte_buffer& new_data,
+                               std::size_t block_size) {
+  const content_ref old_ref = chopped_rope(old_data, 7);
+  const content_ref new_ref = chopped_rope(new_data, 7);
+
+  const file_signature sig = compute_signature(old_data, block_size);
+  const file_signature sig_ref = compute_signature_ref(old_ref, block_size);
+  EXPECT_EQ(sig_ref.file_size, sig.file_size);
+  EXPECT_EQ(sig_ref.block_size, sig.block_size);
+  ASSERT_EQ(sig_ref.blocks.size(), sig.blocks.size());
+  for (std::size_t i = 0; i < sig.blocks.size(); ++i) {
+    EXPECT_EQ(sig_ref.blocks[i].weak, sig.blocks[i].weak) << i;
+    EXPECT_EQ(sig_ref.blocks[i].strong, sig.blocks[i].strong) << i;
+  }
+
+  const file_delta delta = compute_delta(sig, new_data);
+  const file_delta delta_ref = compute_delta_ref(sig_ref, new_ref, 1000);
+  ASSERT_EQ(delta_ref.ops.size(), delta.ops.size());
+  for (std::size_t i = 0; i < delta.ops.size(); ++i) {
+    EXPECT_EQ(delta_ref.ops[i].op, delta.ops[i].op) << i;
+    EXPECT_EQ(delta_ref.ops[i].block_index, delta.ops[i].block_index) << i;
+    EXPECT_EQ(delta_ref.ops[i].block_count, delta.ops[i].block_count) << i;
+    EXPECT_EQ(delta_ref.ops[i].literal_size(), delta.ops[i].literal_size())
+        << i;
+  }
+
+  const byte_buffer wire = serialize_delta(delta);
+  EXPECT_EQ(serialize_delta(delta_ref), wire);
+  EXPECT_EQ(delta_wire_size(delta_ref), wire.size());
+  byte_buffer walked;
+  walk_delta_wire(delta_ref, [&](byte_view v) { append(walked, v); });
+  EXPECT_EQ(walked, wire);
+
+  EXPECT_EQ(apply_delta(old_data, delta_ref), new_data);
+  const content_ref patched = apply_delta_ref(old_ref, delta_ref);
+  EXPECT_TRUE(patched.equal(new_data));
+}
+
+TEST(RsyncStreaming, EdgeCasesMatchWholeBufferPath) {
+  rng r(18);
+  const byte_buffer base = random_bytes(r, 10'000);
+  auto prefix = [&](std::size_t n) {
+    return byte_buffer(base.begin(), base.begin() + n);
+  };
+  byte_buffer edited = base;
+  edited[4'000] ^= 0xff;
+
+  // Empty old, empty new, new smaller than one block, exact block multiple,
+  // single short old block, and a plain edit — per the streaming rework's
+  // boundary rules, each resolves in a different place (feed vs finish).
+  expect_streaming_identity({}, base, 1024);           // empty old file
+  expect_streaming_identity(base, {}, 1024);           // empty new file
+  expect_streaming_identity(base, prefix(700), 1024);  // new < one block
+  expect_streaming_identity(prefix(4096), edited, 1024);  // exact multiple
+  expect_streaming_identity(prefix(300), base, 1024);  // one short old block
+  expect_streaming_identity(base, edited, 1024);       // plain edit
+  expect_streaming_identity(base, base, 1024);         // identical files
+}
+
+TEST(RsyncStreaming, RandomWindowSplitsDoNotChangeResults) {
+  // Feed the same inputs through sig_job/delta_job with random window
+  // splits: results must be independent of how the input is windowed.
+  rng r(19);
+  const byte_buffer old_data = random_bytes(r, 50'000);
+  byte_buffer new_data = old_data;
+  for (int i = 0; i < 4; ++i) new_data[r.uniform(new_data.size())] ^= 0x5a;
+  const byte_buffer ins = random_bytes(r, 333);
+  new_data.insert(new_data.begin() + 20'000, ins.begin(), ins.end());
+
+  const file_signature want_sig = compute_signature(old_data, 4096);
+  const file_delta want_delta = compute_delta(want_sig, new_data);
+  const byte_buffer want_wire = serialize_delta(want_delta);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    sig_job sj(4096);
+    for (std::size_t off = 0; off < old_data.size();) {
+      const std::size_t len =
+          std::min<std::size_t>(1 + r.uniform(9000), old_data.size() - off);
+      sj.feed(byte_view(old_data).subspan(off, len));
+      off += len;
+    }
+    const file_signature sig = sj.finish();
+    ASSERT_EQ(sig.blocks.size(), want_sig.blocks.size()) << trial;
+    for (std::size_t i = 0; i < sig.blocks.size(); ++i) {
+      EXPECT_EQ(sig.blocks[i].weak, want_sig.blocks[i].weak) << trial;
+      EXPECT_EQ(sig.blocks[i].strong, want_sig.blocks[i].strong) << trial;
+    }
+
+    delta_job dj(sig);
+    for (std::size_t off = 0; off < new_data.size();) {
+      const std::size_t len =
+          std::min<std::size_t>(1 + r.uniform(9000), new_data.size() - off);
+      dj.feed(byte_view(new_data).subspan(off, len));
+      off += len;
+    }
+    const file_delta delta = delta_from_events(
+        4096, content_ref::from_bytes(new_data), dj.finish());
+    EXPECT_EQ(serialize_delta(delta), want_wire) << trial;
+  }
+}
+
+TEST(RsyncStreaming, PatchJobSharesOldChunks) {
+  rng r(20);
+  const byte_buffer old_data = random_bytes(r, 200'000);
+  byte_buffer new_data = old_data;
+  new_data[100'000] ^= 1;
+  const content_ref old_ref = content_ref::from_bytes(old_data);
+  const file_signature sig = compute_signature_ref(old_ref, 8192);
+  const file_delta delta =
+      compute_delta_ref(sig, content_ref::from_bytes(new_data));
+
+  patch_job pj(old_ref, delta.block_size, delta.new_file_size);
+  for (const delta_op& op : delta.ops) pj.feed(op);
+  const content_ref rebuilt = pj.finish();
+  EXPECT_TRUE(rebuilt.equal(new_data));
+}
+
 }  // namespace
 }  // namespace cloudsync
