@@ -134,6 +134,22 @@ sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
   // start-up is outside the failure model (and constructors must not throw
   // transient faults).
   conn_.set_fault_injector(opts_.faults);
+  if (opts_.transfer.enabled) {
+    shard_retry_policy srp;
+    srp.max_attempts = opts_.retry.max_attempts;
+    srp.base_backoff = opts_.retry.base_backoff;
+    srp.backoff_multiplier = opts_.retry.backoff_multiplier;
+    srp.max_backoff = opts_.retry.max_backoff;
+    srp.jitter = opts_.retry.jitter;
+    shard_wire_costs costs;
+    costs.control_up = kChunkControlUpBytes;
+    costs.ack_down = kChunkAckDownBytes;
+    costs.http_request_up = opts_.http.request_header_bytes;
+    costs.http_response_down = opts_.http.response_header_bytes;
+    xfer_ = std::make_unique<transfer_scheduler>(
+        opts_.link, opts_.tcp, meter_, opts_.transfer, srp, costs,
+        opts_.faults);
+  }
   fs_subscription_ = fs_.subscribe([this](const fs_event& ev) {
     on_fs_event(ev);
   });
@@ -767,7 +783,43 @@ sim_time sync_client::send_session_chunks(std::uint64_t txn,
   const std::uint64_t total = rec->payload_bytes;
   const std::uint32_t chunks = rec->total_chunks;
   if (oc != nullptr) *oc = txn_outcome::ok;
+
+  // Striped dispatch: when the adaptive controller has escalated past a
+  // single connection, ship the un-acked chunks through the parallel
+  // scheduler (FEC parity + hedging; acks land out of order). On a clean
+  // link decide() stays at K=1 and control falls through to the serial loop
+  // below — byte-identical to a scheduler-less client. The never_give_up
+  // path (BDS batch exchanges) keeps its unbounded serial semantics.
+  if (xfer_ != nullptr && !never_give_up && chunks > 1) {
+    std::vector<chunk_range> todo;
+    for (std::uint32_t i = rec->acked_chunks; i < chunks; ++i) {
+      if (rec->chunk_acked(i)) continue;
+      todo.push_back({i, chunk_size_at(total, opts_.recovery.chunk_bytes, i)});
+    }
+    if (todo.size() > 1) {
+      const transfer_decision d = xfer_->decide();
+      if (d.striped()) {
+        const striped_outcome so = xfer_->send_striped(
+            t, todo, d,
+            [&](std::uint32_t idx, std::uint64_t bytes, sim_time at) {
+              // Server ack + durable journal ack, atomically paired: there
+              // is no kill site between the two, so resume state and
+              // session state can never disagree (holes included).
+              cloud_.upload_session_chunk(token, idx, bytes, at);
+              j.ack_chunk(txn, idx);
+              ++exchanges_;
+            },
+            [&](sim_time at) { maybe_crash(crash_site::mid_chunk, at); });
+        if (!so.complete && oc != nullptr) *oc = txn_outcome::gave_up;
+        return so.done;
+      }
+    }
+  }
+
   for (std::uint32_t i = rec->acked_chunks; i < chunks; ++i) {
+    // Skip holes already acked by a crashed striped attempt; for serial
+    // records the mask is a pure prefix and this never skips.
+    if (rec->chunk_acked(i)) continue;
     maybe_crash(crash_site::mid_chunk, t);
     const std::uint64_t bytes =
         chunk_size_at(total, opts_.recovery.chunk_bytes, i);
@@ -964,10 +1016,15 @@ sim_time sync_client::run_exchange(sim_time at, const exchange_spec& spec,
                     opts_.http.request_header_bytes);
       meter_.record(direction::down, traffic_category::notification,
                     opts_.http.response_header_bytes);
+      // Feed the transfer controller's observation window. Pure
+      // bookkeeping — no RNG, no metered bytes — so a clean link observed
+      // through an enabled scheduler stays byte-identical to scheduler-off.
+      if (xfer_ != nullptr) xfer_->observe_success(done - start);
       if (outcome != nullptr) *outcome = txn_outcome::ok;
       return done;
     } catch (const transient_fault& f) {
       ++retries_;
+      if (xfer_ != nullptr) xfer_->observe_fault();
       const sim_time failed_at = exchanged ? done : f.at();
       if (exchanged) {
         // The request reached the server and was rejected: the app bytes it

@@ -31,6 +31,7 @@
 #include "net/sim_clock.hpp"
 #include "net/tcp_model.hpp"
 #include "net/traffic_meter.hpp"
+#include "net/transfer_scheduler.hpp"
 #include "storage/cloud.hpp"
 #include "util/content_cache.hpp"
 #include "util/stats.hpp"
@@ -119,6 +120,13 @@ struct sync_options {
   /// one (0 = register fresh). A restarted client must keep its device id so
   /// the cloud's notification queue for it survives the crash.
   device_id reuse_device = 0;
+  /// Parallel transfer scheduler (net/transfer_scheduler.hpp). When enabled,
+  /// journaled upload sessions with more than one chunk may be striped
+  /// across K connections with FEC parity and hedged duplicates, as decided
+  /// by the adaptive controller from observed faults. Disabled (default), or
+  /// enabled on a clean link, the client's wire traffic is byte-identical to
+  /// the serial single-connection path.
+  transfer_policy transfer{};
   /// Legacy planning mode: flatten file contents and materialize delta wire
   /// buffers instead of streaming rope windows through the incremental
   /// sig/delta jobs and the stream sizer. Exists solely so the identity leg
@@ -205,7 +213,15 @@ class sync_client {
   const sync_options& options() const { return opts_; }
 
   /// Replace the link mid-run (packet-filter experiments).
-  void set_link(link_config link) { conn_.set_link(link); }
+  void set_link(link_config link) {
+    conn_.set_link(link);
+    if (xfer_ != nullptr) xfer_->set_link(link);
+  }
+
+  /// The parallel transfer scheduler, when sync_options::transfer.enabled
+  /// (nullptr otherwise) — observability for tools/transfer_stats and the
+  /// frontier bench.
+  const transfer_scheduler* transfer_sched() const { return xfer_.get(); }
 
  private:
   struct pending_change {
@@ -390,6 +406,10 @@ class sync_client {
   sync_options opts_;
   traffic_meter meter_;
   tcp_connection conn_;
+  /// Parallel flows + FEC + hedging for striped session uploads; non-null
+  /// only when opts_.transfer.enabled. Dies with the incarnation (its
+  /// observation window is in-memory client state, like the dirty set).
+  std::unique_ptr<transfer_scheduler> xfer_;
   std::unique_ptr<defer_policy> defer_;
   device_id device_;
 

@@ -77,13 +77,25 @@ void sync_journal::ack_chunk(std::uint64_t id, std::uint32_t index) {
   if (rec.state != journal_state::in_flight) {
     throw std::logic_error("journal: ack_chunk outside in_flight");
   }
-  if (index != rec.acked_chunks || index >= rec.total_chunks) {
-    throw std::logic_error("journal: non-contiguous chunk ack");
+  if (index >= rec.total_chunks) {
+    throw std::logic_error("journal: chunk ack out of range");
   }
-  ++rec.acked_chunks;
+  if (rec.acked_mask.empty()) rec.acked_mask.assign(rec.total_chunks, 0);
+  if (rec.acked_mask[index] != 0) {
+    throw std::logic_error("journal: duplicate chunk ack");
+  }
+  rec.acked_mask[index] = 1;
+  ++rec.acked_total;
+  // The contiguous prefix only ever grows; holes behind it are closed when
+  // their ack (or a resume re-send) lands.
+  while (rec.acked_chunks < rec.total_chunks &&
+         rec.acked_mask[rec.acked_chunks] != 0) {
+    ++rec.acked_chunks;
+  }
   if (trace_enabled_) {
     std::ostringstream os;
-    os << "ack chunk " << rec.acked_chunks << "/" << rec.total_chunks;
+    os << "ack chunk " << index << " (" << rec.acked_total << "/"
+       << rec.total_chunks << ")";
     note_transition(rec, os.str().c_str());
   }
 }
@@ -170,7 +182,10 @@ std::string sync_journal::dump() const {
                 "base", "note"});
   for (const auto& [id, rec] : records_) {
     std::ostringstream chunks;
-    chunks << rec.acked_chunks << "/" << rec.total_chunks;
+    chunks << rec.acked_total << "/" << rec.total_chunks;
+    if (rec.acked_total != rec.acked_chunks) {
+      chunks << " (prefix " << rec.acked_chunks << ")";
+    }
     table.row({std::to_string(rec.id), rec.path, to_string(rec.kind),
                to_string(rec.state), chunks.str(),
                format_bytes(static_cast<double>(rec.payload_bytes)),

@@ -53,11 +53,21 @@ struct journal_record {
   std::uint64_t payload_bytes = 0;   ///< planned wire payload (all chunks)
   std::uint32_t total_chunks = 0;
   std::uint32_t acked_chunks = 0;    ///< contiguous prefix acked by the server
+  std::uint32_t acked_total = 0;     ///< acked chunks incl. out-of-order holes
+  /// Per-chunk ack bits (sized total_chunks on first ack). The parallel
+  /// transfer scheduler lands chunks out of order across K connections, so a
+  /// crash can leave holes behind the prefix; resume re-sends exactly the
+  /// unset bits. Serial transfers keep the mask a pure prefix.
+  std::vector<std::uint8_t> acked_mask;
   std::uint64_t resume_token = 0;    ///< server upload session (0 = none)
   std::uint64_t base_version = 0;    ///< cloud version the plan was based on
   std::uint64_t content_hash = 0;    ///< identity of the planned local content
   sim_time started_at{};
   std::string note;                  ///< abort reason, recovery disposition
+
+  bool chunk_acked(std::uint32_t index) const {
+    return index < acked_mask.size() && acked_mask[index] != 0;
+  }
 };
 
 /// How a restarted client treats in-flight journal records.
@@ -82,7 +92,9 @@ class sync_journal {
 
   void set_resume_token(std::uint64_t id, std::uint64_t token);
   void mark_in_flight(std::uint64_t id);
-  /// Record that chunk `index` was acked; must be the next un-acked chunk.
+  /// Record that chunk `index` was acked. Acks may arrive out of order
+  /// (striped transfers); re-acking a chunk or acking past total_chunks
+  /// throws.
   void ack_chunk(std::uint64_t id, std::uint32_t index);
   void commit(std::uint64_t id);
   void abort(std::uint64_t id, std::string reason);

@@ -69,6 +69,7 @@ void experiment_env::build_client(station& st) {
   opts.cache = cfg_.use_content_cache ? &content_cache::global() : nullptr;
   opts.faults = faults_.get();
   opts.retry = cfg_.retry;
+  opts.transfer = cfg_.transfer;
   opts.whole_file_planning = cfg_.whole_file_planning;
   if (cfg_.journal) {
     opts.journal = &st.journal;
@@ -359,6 +360,69 @@ crash_run_result run_crash_experiment(const experiment_config& cfg,
   for (const traffic_meter& m : st.retired_meters) parts.push_back(&m);
   if (st.client) parts.push_back(&st.client->meter());
   check_meter_conservation(aggregate, parts, res.invariants);
+  return res;
+}
+
+transfer_run_result run_transfer_experiment(const experiment_config& cfg,
+                                            std::size_t files,
+                                            std::uint64_t file_bytes) {
+  experiment_config jcfg = cfg;
+  jcfg.journal = true;  // sessions (and thus striping) need the journal
+  experiment_env env(jcfg);
+  station& st = env.primary();
+
+  transfer_run_result res;
+
+  // Each transaction runs alone: schedule the fs event, settle, take the
+  // event → all-idle latency as one delay sample. Serialising transactions
+  // keeps every sample attributable to exactly one transfer (requeues and
+  // recovery after a give-up stay inside their transaction's sample — that
+  // tail is precisely what redundancy is supposed to cut).
+  const auto run_one = [&](const std::string& path) {
+    const sim_time at =
+        std::max(env.clock().now(),
+                 st.client ? st.client->busy_until() : env.clock().now()) +
+        sim_time::from_sec(5);
+    env.clock().schedule_at(at, [&env, &st, path, file_bytes, at] {
+      if (st.fs.exists(path)) {
+        st.fs.write(path, env.gen_compressed(file_bytes), at);
+      } else {
+        st.fs.create(path, env.gen_compressed(file_bytes), at);
+      }
+    });
+    env.settle();
+    const sim_time idle =
+        st.client ? st.client->busy_until() : env.clock().now();
+    res.delay_samples_sec.push_back(std::max(0.0, (idle - at).sec()));
+  };
+
+  // Phase 1: incompressible creations — full-upload sessions split into
+  // recovery.chunk_bytes ranges. Phase 2: full rewrites with fresh content
+  // of the same size — the incremental path ships a payload on the order of
+  // the file again, still multi-chunk.
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::size_t i = 0; i < files; ++i) {
+      run_one("xfer/f" + std::to_string(i));
+    }
+  }
+
+  const traffic_meter aggregate = st.aggregate_meter();
+  res.total_traffic = aggregate.total();
+  res.payload_traffic = aggregate.by_category(traffic_category::payload);
+  res.retry_traffic = aggregate.by_category(traffic_category::retry);
+  res.redundancy_traffic =
+      aggregate.by_category(traffic_category::redundancy);
+  res.resume_traffic = aggregate.by_category(traffic_category::resume);
+  res.data_update_bytes = 2 * files * file_bytes;
+  res.tue = tue(res.total_traffic, res.data_update_bytes);
+  res.retries = st.total_retries();
+  res.requeues = st.total_requeues();
+  res.fallbacks = st.total_fallbacks();
+  res.faults_injected = env.faults().injected_total_all_domains();
+  if (st.client != nullptr && st.client->transfer_sched() != nullptr) {
+    res.sched = st.client->transfer_sched()->stats();
+    res.per_connection = st.client->transfer_sched()->per_connection();
+  }
   return res;
 }
 

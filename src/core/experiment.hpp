@@ -47,6 +47,10 @@ struct experiment_config {
   /// streaming jobs (sync_options::whole_file_planning). Identity-leg only:
   /// proves streaming meters byte-identical traffic. Never use uncapped.
   bool whole_file_planning = false;
+  /// Parallel transfer scheduler for every station's client (see
+  /// net/transfer_scheduler.hpp). Disabled by default; enabled on a clean
+  /// link it is byte-invisible (the controller never escalates).
+  transfer_policy transfer{};
 };
 
 /// One client machine attached to the environment: its own sync folder and
@@ -237,5 +241,34 @@ struct crash_run_result {
 crash_run_result run_crash_experiment(const experiment_config& cfg,
                                       std::size_t files,
                                       std::uint64_t file_bytes);
+
+/// Tail-delay experiment for the parallel transfer scheduler: `files`
+/// incompressible files are created and then fully rewritten, one
+/// transaction at a time (each settled before the next starts), with
+/// journaling forced on so every upload ships through a resumable session in
+/// recovery.chunk_bytes ranges. Each transaction's sync delay (event → all
+/// idle) becomes one sample of the delay distribution — the p99 of these is
+/// what FEC striping and hedging buy — and the traffic meters split the cost
+/// into payload, retry (reactive) and redundancy (proactive) bytes.
+struct transfer_run_result {
+  std::vector<double> delay_samples_sec;  ///< one per transaction, in order
+  std::uint64_t total_traffic = 0;
+  std::uint64_t payload_traffic = 0;
+  std::uint64_t retry_traffic = 0;
+  std::uint64_t redundancy_traffic = 0;
+  std::uint64_t resume_traffic = 0;
+  std::uint64_t data_update_bytes = 0;
+  double tue = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t faults_injected = 0;  ///< all fault domains
+  /// Scheduler observability (zeros when cfg.transfer is disabled).
+  transfer_stats sched;
+  std::vector<connection_stats> per_connection;
+};
+transfer_run_result run_transfer_experiment(const experiment_config& cfg,
+                                            std::size_t files,
+                                            std::uint64_t file_bytes);
 
 }  // namespace cloudsync

@@ -100,6 +100,7 @@ fault_plan fault_plan::merged(const fault_plan& a, const fault_plan& b) {
 
 fault_injector::fault_injector(fault_plan plan, std::uint64_t env_seed)
     : plan_(plan),
+      env_seed_(env_seed),
       // splitmix-style mix so plan.seed == env_seed still decorrelates the
       // fault stream from the workload stream.
       rng_(plan.seed ^ (env_seed * 0x9e3779b97f4a7c15ULL) ^
@@ -197,6 +198,33 @@ bool fault_injector::should_crash(crash_site site) {
 std::uint64_t fault_injector::injected_total() const {
   std::uint64_t t = 0;
   for (const auto c : injected_) t += c;
+  return t;
+}
+
+fault_injector& fault_injector::domain(std::uint32_t conn_id) {
+  if (conn_id == 0) return *this;
+  while (domains_.size() < conn_id) {
+    const std::uint64_t id = domains_.size() + 1;
+    fault_plan child = plan_;
+    // Mix the connection id into the plan seed (splitmix-style constant) so
+    // each domain precomputes an independent outage schedule and draws an
+    // independent fault stream, while two injectors built from the same
+    // (plan, env_seed) still agree domain-by-domain.
+    child.seed = plan_.seed ^ ((id + 0x2545f4914f6cdd1dULL) *
+                              0x9e3779b97f4a7c15ULL);
+    // Forced count-based faults and crash plans target the main flow; child
+    // domains only model independent link/server behavior.
+    child.fail_first_server_ops = 0;
+    child.fail_first_exchanges = 0;
+    child.crash_prob = 0.0;
+    domains_.push_back(std::make_unique<fault_injector>(child, env_seed_));
+  }
+  return *domains_[conn_id - 1];
+}
+
+std::uint64_t fault_injector::injected_total_all_domains() const {
+  std::uint64_t t = injected_total();
+  for (const auto& d : domains_) t += d->injected_total_all_domains();
   return t;
 }
 

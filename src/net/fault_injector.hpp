@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -226,9 +227,28 @@ class fault_injector {
   /// Crashes injected so far (forced + sampled).
   int crashes_injected() const { return crashes_injected_; }
 
+  /// Per-connection fault domain for parallel transfers. Domain 0 is this
+  /// injector itself — the legacy single-domain behavior every existing
+  /// caller gets by default. Higher ids are lazily built child injectors
+  /// derived from the same plan but with the connection id mixed into the
+  /// seed, so each parallel flow draws its own outage schedule and
+  /// per-exchange fault stream instead of sharing one link schedule.
+  /// Instantiating or drawing from a child never consumes RNG from (or
+  /// otherwise perturbs) domain 0, and domains are stable: repeated calls
+  /// with the same id return the same injector.
+  fault_injector& domain(std::uint32_t conn_id);
+
+  /// Child domains instantiated so far (domain 0 excluded).
+  std::size_t domain_count() const { return domains_.size(); }
+
+  /// Faults injected across this injector and every instantiated domain.
+  std::uint64_t injected_total_all_domains() const;
+
  private:
   fault_plan plan_;
+  std::uint64_t env_seed_ = 0;
   rng rng_;
+  std::vector<std::unique_ptr<fault_injector>> domains_;
   std::vector<std::pair<sim_time, sim_time>> outages_;  ///< sorted windows
   int remaining_forced_server_ = 0;
   int remaining_forced_exchange_ = 0;

@@ -1,0 +1,218 @@
+#include "net/fec.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace cloudsync {
+
+namespace gf256 {
+namespace {
+
+// log/exp tables over the generator 2 of GF(256) mod 0x11d, built once.
+struct tables {
+  std::uint8_t exp[512];  // doubled so mul can skip the mod-255 reduction
+  std::uint8_t log[256];
+  tables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // never consulted: mul/inv guard the zero operand
+  }
+};
+
+const tables& t() {
+  static const tables tab;
+  return tab;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return t().exp[t().log[a] + t().log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  return t().exp[255 - t().log[a]];
+}
+
+}  // namespace gf256
+
+namespace {
+
+void check_params(const fec_params& p) {
+  if (p.data_shards < 1 || p.parity_shards < 0 ||
+      p.data_shards + p.parity_shards > 255) {
+    throw std::invalid_argument("fec: need 1 <= K and K + R <= 255");
+  }
+}
+
+/// Row `row` of the (K+R) x K generator matrix [I; C]. The identity block
+/// makes the code systematic; the redundancy block is XOR (all ones) for
+/// R = 1 and a Cauchy matrix C[p][d] = 1 / (x_p ^ y_d) with x_p = K + p,
+/// y_d = d for R >= 2 — x's and y's are distinct elements of GF(256), so
+/// every square submatrix of C is nonsingular and any K rows of [I; C]
+/// are invertible (the any-K-of-(K+R) property).
+std::vector<std::uint8_t> generator_row(const fec_params& p, int row) {
+  const int k = p.data_shards;
+  std::vector<std::uint8_t> r(static_cast<std::size_t>(k), 0);
+  if (row < k) {
+    r[static_cast<std::size_t>(row)] = 1;
+  } else if (p.parity_shards == 1) {
+    for (auto& c : r) c = 1;
+  } else {
+    for (int d = 0; d < k; ++d) {
+      r[static_cast<std::size_t>(d)] =
+          gf256::inv(static_cast<std::uint8_t>(row ^ d));
+    }
+  }
+  return r;
+}
+
+/// Invert a K x K GF(256) matrix in place via Gauss-Jordan; `m` is row-major.
+std::vector<std::uint8_t> invert(std::vector<std::uint8_t> m, int k) {
+  std::vector<std::uint8_t> id(static_cast<std::size_t>(k) * k, 0);
+  for (int i = 0; i < k; ++i) id[static_cast<std::size_t>(i) * k + i] = 1;
+  auto at = [k](std::vector<std::uint8_t>& v, int r, int c) -> std::uint8_t& {
+    return v[static_cast<std::size_t>(r) * k + c];
+  };
+  for (int col = 0; col < k; ++col) {
+    int pivot = -1;
+    for (int r = col; r < k; ++r) {
+      if (at(m, r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) throw std::invalid_argument("fec: singular decode matrix");
+    if (pivot != col) {
+      for (int c = 0; c < k; ++c) {
+        std::swap(at(m, pivot, c), at(m, col, c));
+        std::swap(at(id, pivot, c), at(id, col, c));
+      }
+    }
+    const std::uint8_t scale = gf256::inv(at(m, col, col));
+    for (int c = 0; c < k; ++c) {
+      at(m, col, c) = gf256::mul(at(m, col, c), scale);
+      at(id, col, c) = gf256::mul(at(id, col, c), scale);
+    }
+    for (int r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = at(m, r, col);
+      if (f == 0) continue;
+      for (int c = 0; c < k; ++c) {
+        at(m, r, c) = static_cast<std::uint8_t>(
+            at(m, r, c) ^ gf256::mul(f, at(m, col, c)));
+        at(id, r, c) = static_cast<std::uint8_t>(
+            at(id, r, c) ^ gf256::mul(f, at(id, col, c)));
+      }
+    }
+  }
+  return id;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> fec_encode(
+    const fec_params& p, const std::vector<std::vector<std::uint8_t>>& data) {
+  check_params(p);
+  if (data.size() != static_cast<std::size_t>(p.data_shards)) {
+    throw std::invalid_argument("fec: encode expects exactly K data shards");
+  }
+  const std::size_t len = data.empty() ? 0 : data.front().size();
+  for (const auto& d : data) {
+    if (d.size() != len) throw std::invalid_argument("fec: ragged shards");
+  }
+  std::vector<std::vector<std::uint8_t>> parity;
+  parity.reserve(static_cast<std::size_t>(p.parity_shards));
+  for (int pr = 0; pr < p.parity_shards; ++pr) {
+    const auto row = generator_row(p, p.data_shards + pr);
+    std::vector<std::uint8_t> out(len, 0);
+    for (int d = 0; d < p.data_shards; ++d) {
+      const std::uint8_t coeff = row[static_cast<std::size_t>(d)];
+      if (coeff == 0) continue;
+      const auto& src = data[static_cast<std::size_t>(d)];
+      if (coeff == 1) {
+        for (std::size_t i = 0; i < len; ++i) out[i] ^= src[i];
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          out[i] ^= gf256::mul(coeff, src[i]);
+        }
+      }
+    }
+    parity.push_back(std::move(out));
+  }
+  return parity;
+}
+
+std::vector<std::vector<std::uint8_t>> fec_decode(
+    const fec_params& p, const std::vector<std::vector<std::uint8_t>>& present) {
+  check_params(p);
+  const int k = p.data_shards;
+  const int n = k + p.parity_shards;
+  if (present.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("fec: decode expects K + R slots");
+  }
+  // Pick the first K present shards (data shards first by construction of the
+  // slot order) and note which data shards are already there verbatim.
+  std::vector<int> rows;
+  std::size_t len = 0;
+  bool len_set = false;
+  for (int i = 0; i < n && static_cast<int>(rows.size()) < k; ++i) {
+    const auto& s = present[static_cast<std::size_t>(i)];
+    if (s.empty()) continue;
+    if (!len_set) {
+      len = s.size();
+      len_set = true;
+    } else if (s.size() != len) {
+      throw std::invalid_argument("fec: ragged shards");
+    }
+    rows.push_back(i);
+  }
+  if (static_cast<int>(rows.size()) < k) {
+    throw std::invalid_argument("fec: fewer than K shards present");
+  }
+
+  std::vector<std::vector<std::uint8_t>> out(
+      static_cast<std::size_t>(k), std::vector<std::uint8_t>(len, 0));
+  bool all_data = true;
+  for (int i = 0; i < k; ++i) all_data = all_data && rows[static_cast<std::size_t>(i)] == i;
+  if (all_data) {  // nothing lost: systematic fast path
+    for (int i = 0; i < k; ++i) out[static_cast<std::size_t>(i)] = present[static_cast<std::size_t>(i)];
+    return out;
+  }
+
+  // Decode matrix: the chosen K rows of [I; C], inverted.
+  std::vector<std::uint8_t> m(static_cast<std::size_t>(k) * k, 0);
+  for (int r = 0; r < k; ++r) {
+    const auto row = generator_row(p, rows[static_cast<std::size_t>(r)]);
+    for (int c = 0; c < k; ++c) {
+      m[static_cast<std::size_t>(r) * k + c] = row[static_cast<std::size_t>(c)];
+    }
+  }
+  const auto inv = invert(std::move(m), k);
+  for (int d = 0; d < k; ++d) {
+    auto& dst = out[static_cast<std::size_t>(d)];
+    for (int r = 0; r < k; ++r) {
+      const std::uint8_t coeff = inv[static_cast<std::size_t>(d) * k + r];
+      if (coeff == 0) continue;
+      const auto& src = present[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])];
+      if (coeff == 1) {
+        for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          dst[i] ^= gf256::mul(coeff, src[i]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,48 @@
+// Systematic erasure coding for the parallel transfer scheduler.
+//
+// A stripe of K equal-length data shards is extended with R parity shards so
+// that ANY K of the K+R shards reconstruct the original data bit-identically
+// (maximum-distance-separable). R = 1 is plain XOR parity; R >= 2 uses a
+// GF(256) Cauchy-matrix Reed–Solomon code (every square submatrix of a
+// Cauchy matrix is invertible, which is exactly the any-K-of-N property).
+//
+// The transfer scheduler itself moves byte *counts*, not payload bytes (the
+// simulation's exchanges are analytic); it uses this codec for parity shard
+// sizing and for the reconstruction bookkeeping, while the codec's
+// bit-correctness — including under the hole patterns a mid-stripe crash
+// leaves in the sync journal — is proven by tests/test_fec.cpp over every
+// K-of-(K+R) subset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cloudsync {
+
+/// GF(2^8) with the AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+/// (0x11d), the conventional choice for storage Reed–Solomon codes.
+namespace gf256 {
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);  ///< multiplicative inverse; inv(0) = 0
+}  // namespace gf256
+
+struct fec_params {
+  int data_shards = 1;    ///< K >= 1
+  int parity_shards = 0;  ///< R >= 0; K + R <= 255 (GF(256) Cauchy bound)
+};
+
+/// Encode: given K equal-length data shards, return the R parity shards.
+/// Throws std::invalid_argument on K < 1, R < 0, K + R > 255, or ragged
+/// shard lengths (callers pad short tails with zeros before encoding).
+std::vector<std::vector<std::uint8_t>> fec_encode(
+    const fec_params& p, const std::vector<std::vector<std::uint8_t>>& data);
+
+/// Decode: reconstruct all K data shards from any >= K survivors.
+/// `present[i]` holds shard i (data shards are ids 0..K-1, parity shards
+/// K..K+R-1) or is empty when shard i was lost. Returns the K data shards,
+/// bit-identical to the encoder's input. Throws std::invalid_argument when
+/// fewer than K shards are present or shard lengths disagree.
+std::vector<std::vector<std::uint8_t>> fec_decode(
+    const fec_params& p, const std::vector<std::vector<std::uint8_t>>& present);
+
+}  // namespace cloudsync

@@ -21,6 +21,10 @@ enum class traffic_category : std::uint8_t {
   retry,         ///< bytes wasted on failed attempts and re-sent after faults
   resume,        ///< resumable-transfer control: session handshakes, chunk
                  ///< acks, recovery queries (see client/sync_journal.hpp)
+  redundancy,    ///< proactive redundancy of the parallel transfer scheduler:
+                 ///< FEC parity shards and hedged duplicate dispatches (see
+                 ///< net/transfer_scheduler.hpp) — bytes spent to cut tail
+                 ///< delay rather than recover from a fault already seen
   kCount
 };
 

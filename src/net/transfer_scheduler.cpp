@@ -1,0 +1,422 @@
+#include "net/transfer_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "net/fault_injector.hpp"
+#include "util/stats.hpp"
+#include "util/text_table.hpp"
+
+namespace cloudsync {
+
+/// Book-keeping for one dispatched shard of a stripe.
+struct transfer_scheduler::shard {
+  std::uint32_t chunk = 0;  ///< data chunk index (unused for parity)
+  std::uint64_t bytes = 0;
+  bool parity = false;
+  int conn = 0;
+  sim_time dispatched{};
+  bool landed = false;
+  sim_time landed_at{};
+  sim_time fault_at{};  ///< detection time when the primary dispatch failed
+  bool hedge_landed = false;
+  sim_time hedge_landed_at{};
+};
+
+transfer_scheduler::transfer_scheduler(link_config link, tcp_config tcp,
+                                       traffic_meter& meter,
+                                       transfer_policy policy,
+                                       shard_retry_policy retry,
+                                       shard_wire_costs costs,
+                                       fault_injector* faults)
+    : link_(link),
+      tcp_(tcp),
+      meter_(&meter),
+      policy_(policy),
+      retry_(retry),
+      costs_(costs),
+      faults_(faults) {}
+
+transfer_scheduler::~transfer_scheduler() = default;
+
+void transfer_scheduler::record_outcome(bool fault, sim_time duration) {
+  if (policy_.observe_window == 0) return;
+  if (outcomes_.size() < policy_.observe_window) {
+    outcomes_.push_back(fault);
+  } else {
+    outcomes_[outcome_next_ % policy_.observe_window] = fault;
+  }
+  ++outcome_next_;
+  if (!fault) {
+    if (durations_.size() < policy_.observe_window) {
+      durations_.push_back(duration);
+    } else {
+      durations_[duration_next_ % policy_.observe_window] = duration;
+    }
+    ++duration_next_;
+  }
+}
+
+void transfer_scheduler::observe_success(sim_time duration) {
+  ++stats_.observed_success;
+  record_outcome(false, duration);
+}
+
+void transfer_scheduler::observe_fault() {
+  ++stats_.observed_faults;
+  record_outcome(true, sim_time{});
+}
+
+transfer_decision transfer_scheduler::decide() {
+  ++stats_.decisions;
+  transfer_decision d;
+  if (policy_.pinned) {
+    d = policy_.pin;
+  } else if (outcomes_.size() >= policy_.min_samples) {
+    std::size_t faulted = 0;
+    for (const bool f : outcomes_) faulted += f ? 1 : 0;
+    const double rate =
+        static_cast<double>(faulted) / static_cast<double>(outcomes_.size());
+    if (rate >= policy_.escalate4) {
+      d = {4, 2, {}};
+    } else if (rate >= policy_.escalate3) {
+      d = {3, 1, {}};
+    } else if (rate >= policy_.escalate2) {
+      d = {2, 1, {}};
+    }
+    // Hedge timeout: a high quantile of recent successful exchange durations,
+    // scaled — fire the duplicate only for genuine stragglers.
+    if (d.striped() && durations_.size() >= policy_.min_samples) {
+      std::vector<double> secs;
+      secs.reserve(durations_.size());
+      for (const auto t : durations_) secs.push_back(t.sec());
+      const empirical_cdf cdf(std::move(secs));
+      d.hedge_timeout =
+          std::max(policy_.hedge_floor,
+                   sim_time::from_sec(cdf.quantile(policy_.hedge_quantile) *
+                                      policy_.hedge_multiplier));
+    }
+  }
+  d.connections = std::clamp(d.connections, 1, policy_.max_connections);
+  d.parity = std::clamp(d.parity, 0, policy_.max_parity);
+  if (!d.striped()) {
+    d.parity = 0;
+    d.hedge_timeout = {};
+  } else {
+    ++stats_.escalations;
+  }
+  stats_.last_connections = d.connections;
+  stats_.last_parity = d.parity;
+  stats_.last_hedge_timeout = d.hedge_timeout;
+  return d;
+}
+
+void transfer_scheduler::ensure_connections(int k) {
+  while (static_cast<int>(conns_.size()) < k) {
+    auto conn = std::make_unique<tcp_connection>(link_, tcp_, *meter_);
+    if (faults_ != nullptr) {
+      // Flow i rides fault domain i+1: an independent schedule per
+      // connection, and no draws from the environment's main stream.
+      conn->set_fault_injector(
+          &faults_->domain(static_cast<std::uint32_t>(conns_.size()) + 1));
+    }
+    conns_.push_back(std::move(conn));
+    conn_stats_.emplace_back();
+  }
+}
+
+void transfer_scheduler::set_link(link_config link) {
+  link_ = link;
+  for (auto& c : conns_) c->set_link(link);
+}
+
+sim_time transfer_scheduler::backoff_delay(int attempt,
+                                           fault_injector& domain) const {
+  // Same shape as sync_client::backoff_delay, with jitter drawn from the
+  // shard's own fault domain.
+  double d = retry_.base_backoff.sec() *
+             std::pow(retry_.backoff_multiplier, attempt - 1);
+  d = std::min(d, retry_.max_backoff.sec());
+  if (retry_.jitter > 0) {
+    d *= 1.0 + retry_.jitter * (2.0 * domain.jitter01() - 1.0);
+  }
+  return sim_time::from_sec(d);
+}
+
+striped_outcome transfer_scheduler::send_striped(
+    sim_time start, const std::vector<chunk_range>& chunks,
+    const transfer_decision& d, const deliver_fn& deliver,
+    const crash_fn& crash_check) {
+  const int k = d.connections;
+  ensure_connections(k);
+  std::vector<sim_time> free(static_cast<std::size_t>(k), start);
+
+  striped_outcome out;
+  out.done = start;
+  std::vector<chunk_range> missing;  // survives parity + hedging undelivered
+
+  const auto meter_framing = [this] {
+    meter_->record(direction::up, traffic_category::resume, costs_.control_up);
+    meter_->record(direction::down, traffic_category::resume, costs_.ack_down);
+    meter_->record(direction::up, traffic_category::notification,
+                   costs_.http_request_up);
+    meter_->record(direction::down, traffic_category::notification,
+                   costs_.http_response_down);
+  };
+  // One shard exchange on connection `c` starting no earlier than `at`.
+  // Returns true on success (completion in *done, framing metered; the
+  // payload-vs-redundancy call is the caller's). On a fault, advances the
+  // connection cursor past the detection time and records *fault_at.
+  const auto dispatch = [&](int c, std::uint64_t bytes, sim_time at, bool* ok,
+                            sim_time* done, sim_time* fault_at) {
+    auto& cs = conn_stats_[static_cast<std::size_t>(c)];
+    ++cs.dispatches;
+    try {
+      const sim_time fin = conns_[static_cast<std::size_t>(c)]->exchange(
+          at, bytes + costs_.control_up + costs_.http_request_up,
+          costs_.ack_down + costs_.http_response_down);
+      free[static_cast<std::size_t>(c)] = fin;
+      cs.busy += fin - at;
+      meter_framing();
+      record_outcome(false, fin - at);
+      *ok = true;
+      *done = fin;
+    } catch (const transient_fault& f) {
+      ++cs.faults;
+      ++stats_.shard_faults;
+      // The retry-after embargo binds this connection, not the stripe: the
+      // flow's cursor waits it out, but the fault is *detected* at f.at() —
+      // that is when a hedge on another (independent) flow may fire.
+      free[static_cast<std::size_t>(c)] =
+          std::max(at, std::max(f.at(), f.retry_after()));
+      record_outcome(true, sim_time{});
+      *ok = false;
+      *fault_at = std::max(at, f.at());
+    }
+  };
+
+  for (std::size_t pos = 0; pos < chunks.size();
+       pos += static_cast<std::size_t>(k)) {
+    const std::size_t data_n =
+        std::min(static_cast<std::size_t>(k), chunks.size() - pos);
+    ++stats_.stripes;
+
+    std::vector<shard> shards;
+    std::uint64_t max_bytes = 0;
+    for (std::size_t i = 0; i < data_n; ++i) {
+      shard s;
+      s.chunk = chunks[pos + i].index;
+      s.bytes = chunks[pos + i].bytes;
+      max_bytes = std::max(max_bytes, s.bytes);
+      shards.push_back(s);
+    }
+    // Parity shards are sized to the widest data shard (short shards are
+    // zero-padded on the wire, exactly as the FEC codec requires).
+    for (int r = 0; r < d.parity; ++r) {
+      shard s;
+      s.parity = true;
+      s.bytes = max_bytes;
+      shards.push_back(s);
+    }
+    stats_.data_shards += data_n;
+    stats_.parity_shards += static_cast<std::uint64_t>(d.parity);
+
+    // Primary dispatches: shard i rides the i-th earliest-free flow (ties
+    // broken by index — deterministic), so the K data shards land on K
+    // distinct fault domains and a flow stuck in an outage naturally sinks
+    // to the back of the order instead of collecting every K-th chunk.
+    std::vector<int> order(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) order[static_cast<std::size_t>(c)] = c;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (free[static_cast<std::size_t>(a)] !=
+          free[static_cast<std::size_t>(b)]) {
+        return free[static_cast<std::size_t>(a)] <
+               free[static_cast<std::size_t>(b)];
+      }
+      return a < b;
+    });
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      shard& s = shards[i];
+      s.conn = order[i % static_cast<std::size_t>(k)];
+      const sim_time at =
+          std::max(start, free[static_cast<std::size_t>(s.conn)]);
+      if (!s.parity) crash_check(at);
+      s.dispatched = at;
+      bool ok = false;
+      dispatch(s.conn, s.bytes, at, &ok, &s.landed_at, &s.fault_at);
+      s.landed = ok;
+    }
+
+    // Hedge pass: duplicate-dispatch data shards whose primary faulted (at
+    // the fault's detection time) or outlived the timeout (at fire time), on
+    // the earliest-free other connection. First completion wins; the loser's
+    // payload bytes are metered as redundancy below.
+    if (d.hedge_timeout > sim_time{} && k > 1) {
+      for (shard& s : shards) {
+        if (s.parity) continue;
+        const sim_time fire = s.dispatched + d.hedge_timeout;
+        sim_time when;
+        if (!s.landed) {
+          when = std::max(s.fault_at, s.dispatched);
+        } else if (s.landed_at > fire) {
+          when = fire;
+        } else {
+          continue;  // primary beat the timeout: duplicate never dispatched
+        }
+        int hc = -1;
+        for (int c = 0; c < k; ++c) {
+          if (c == s.conn) continue;
+          if (hc < 0 || free[static_cast<std::size_t>(c)] <
+                            free[static_cast<std::size_t>(hc)]) {
+            hc = c;
+          }
+        }
+        if (hc < 0) continue;
+        ++stats_.hedges_fired;
+        const sim_time at =
+            std::max(when, free[static_cast<std::size_t>(hc)]);
+        bool ok = false;
+        sim_time fa;
+        dispatch(hc, s.bytes, at, &ok, &s.hedge_landed_at, &fa);
+        s.hedge_landed = ok;
+      }
+    }
+
+    // Resolve the stripe: classify payload vs redundancy, reconstruct losses
+    // covered by parity, queue the rest for recovery.
+    std::vector<sim_time> landed_times;
+    for (shard& s : shards) {
+      bool won_by_hedge = false;
+      if (s.hedge_landed && (!s.landed || s.hedge_landed_at < s.landed_at)) {
+        won_by_hedge = true;
+        ++stats_.hedges_won;
+        if (s.landed) {  // the primary lost the race
+          meter_->record(direction::up, traffic_category::redundancy, s.bytes);
+        }
+        s.landed = true;
+        s.landed_at = s.hedge_landed_at;
+      } else if (s.hedge_landed) {  // duplicate cancelled on arrival
+        ++stats_.hedges_cancelled;
+        meter_->record(direction::up, traffic_category::redundancy, s.bytes);
+      }
+      (void)won_by_hedge;
+      if (!s.landed) continue;
+      landed_times.push_back(s.landed_at);
+      meter_->record(direction::up,
+                     s.parity ? traffic_category::redundancy
+                              : traffic_category::payload,
+                     s.bytes);
+    }
+
+    // Any data_n of the landed shards decode the whole stripe (net/fec.hpp),
+    // so the MDS property covers stragglers as well as losses: every chunk
+    // is available by the data_n-th arrival, whether its own shard ever
+    // lands or lands late behind an outage.
+    sim_time reconstruct_at{};
+    bool can_reconstruct = false;
+    if (landed_times.size() >= data_n) {
+      std::sort(landed_times.begin(), landed_times.end());
+      reconstruct_at = landed_times[data_n - 1];
+      can_reconstruct = true;
+    }
+
+    for (std::size_t i = 0; i < data_n; ++i) {
+      shard& s = shards[i];
+      sim_time at;
+      if (s.landed && (!can_reconstruct || s.landed_at <= reconstruct_at)) {
+        at = s.landed_at;
+      } else if (can_reconstruct) {
+        at = reconstruct_at;
+        ++stats_.reconstructions;
+      } else if (s.landed) {
+        at = s.landed_at;
+      } else {
+        missing.push_back({s.chunk, s.bytes});
+        continue;
+      }
+      try {
+        deliver(s.chunk, s.bytes, at);
+        out.done = std::max(out.done, at);
+      } catch (const transient_fault&) {
+        // The server refused the commit (transient): recover serially.
+        missing.push_back({s.chunk, s.bytes});
+      }
+    }
+  }
+
+  // Bounded recovery rounds for anything parity and hedging couldn't save:
+  // the serial retry/backoff shape of the sync engine, spread over the
+  // parallel flows, with jitter drawn from each flow's own domain.
+  int attempt = 1;
+  while (!missing.empty() && attempt < retry_.max_attempts) {
+    ++stats_.recovery_rounds;
+    ++attempt;
+    std::vector<chunk_range> still;
+    for (const chunk_range& m : missing) {
+      int c = 0;
+      for (int i = 1; i < k; ++i) {
+        if (free[static_cast<std::size_t>(i)] <
+            free[static_cast<std::size_t>(c)]) {
+          c = i;
+        }
+      }
+      fault_injector* dom =
+          faults_ != nullptr
+              ? &faults_->domain(static_cast<std::uint32_t>(c) + 1)
+              : nullptr;
+      sim_time at = std::max(start, free[static_cast<std::size_t>(c)]);
+      if (dom != nullptr) at += backoff_delay(attempt - 1, *dom);
+      crash_check(at);
+      bool ok = false;
+      sim_time done, fa;
+      dispatch(c, m.bytes, at, &ok, &done, &fa);
+      if (!ok) {
+        still.push_back(m);
+        continue;
+      }
+      meter_->record(direction::up, traffic_category::payload, m.bytes);
+      try {
+        deliver(m.index, m.bytes, done);
+        out.done = std::max(out.done, done);
+      } catch (const transient_fault&) {
+        still.push_back(m);
+      }
+    }
+    missing.swap(still);
+  }
+
+  out.complete = missing.empty();
+  return out;
+}
+
+std::string transfer_scheduler::summary() const {
+  std::ostringstream os;
+  os << "decision: K=" << stats_.last_connections
+     << " R=" << stats_.last_parity
+     << " hedge=" << stats_.last_hedge_timeout.str() << "\n";
+  os << "observed: " << stats_.observed_success << " ok, "
+     << stats_.observed_faults << " faulted; " << stats_.decisions
+     << " decisions (" << stats_.escalations << " striped)\n";
+  os << "stripes: " << stats_.stripes << " (" << stats_.data_shards
+     << " data + " << stats_.parity_shards << " parity shards, "
+     << stats_.shard_faults << " shard faults)\n";
+  os << "hedges: " << stats_.hedges_fired << " fired, " << stats_.hedges_won
+     << " won, " << stats_.hedges_cancelled << " cancelled\n";
+  os << "reconstructions: " << stats_.reconstructions
+     << ", recovery rounds: " << stats_.recovery_rounds << "\n";
+  text_table t;
+  t.header({"conn", "dispatches", "faults", "loss est", "rtt est"});
+  for (std::size_t i = 0; i < conn_stats_.size(); ++i) {
+    const auto& cs = conn_stats_[i];
+    std::ostringstream loss;
+    loss.precision(3);
+    loss << std::fixed << cs.loss_estimate();
+    t.row({"c" + std::to_string(i), std::to_string(cs.dispatches),
+           std::to_string(cs.faults), loss.str(), cs.rtt_estimate().str()});
+  }
+  os << t.str();
+  return os.str();
+}
+
+}  // namespace cloudsync

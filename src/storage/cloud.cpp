@@ -168,11 +168,20 @@ void cloud::upload_session_chunk(resume_token token, std::uint32_t index,
                                  std::uint64_t bytes, sim_time now) {
   check_server_fault(now);
   auto& s = must_session(token);
-  if (index != s.status.acked_chunks || index >= s.status.total_chunks) {
-    throw std::logic_error("cloud: non-contiguous session chunk");
+  if (index >= s.status.total_chunks) {
+    throw std::logic_error("cloud: session chunk out of range");
   }
-  ++s.status.acked_chunks;
+  if (s.acked.empty()) s.acked.assign(s.status.total_chunks, 0);
+  if (s.acked[index] != 0) {
+    throw std::logic_error("cloud: duplicate session chunk");
+  }
+  s.acked[index] = 1;
+  ++s.status.acked_total;
   s.status.acked_bytes += bytes;
+  while (s.status.acked_chunks < s.status.total_chunks &&
+         s.acked[s.status.acked_chunks] != 0) {
+    ++s.status.acked_chunks;
+  }
 }
 
 upload_session_status cloud::query_upload_session(resume_token token,
@@ -183,7 +192,7 @@ upload_session_status cloud::query_upload_session(resume_token token,
 
 void cloud::close_session(resume_token token) {
   const auto& s = must_session(token);
-  if (s.status.acked_chunks != s.status.total_chunks) {
+  if (s.status.acked_total != s.status.total_chunks) {
     throw std::logic_error("cloud: finalize with un-acked chunks");
   }
   sessions_.erase(token);

@@ -30,6 +30,7 @@ using resume_token = std::uint64_t;
 struct upload_session_status {
   std::uint32_t total_chunks = 0;
   std::uint32_t acked_chunks = 0;   ///< contiguous prefix the server holds
+  std::uint32_t acked_total = 0;    ///< acked chunks incl. out-of-order holes
   std::uint64_t acked_bytes = 0;    ///< wire bytes already paid for
   std::uint64_t payload_bytes = 0;  ///< declared size of the full payload
 };
@@ -101,8 +102,10 @@ class cloud {
                                     std::uint32_t total_chunks,
                                     std::uint64_t payload_bytes, sim_time now);
 
-  /// Ack chunk `index` (`bytes` wire bytes); must be the next un-acked chunk
-  /// of an open session, else std::logic_error (client bug, not a fault).
+  /// Ack chunk `index` (`bytes` wire bytes) of an open session. Chunks may
+  /// arrive in any order (a striped transfer lands them across K parallel
+  /// connections); re-acking a chunk or acking past total_chunks throws
+  /// std::logic_error (client bug, not a fault).
   void upload_session_chunk(resume_token token, std::uint32_t index,
                             std::uint64_t bytes, sim_time now);
 
@@ -171,6 +174,9 @@ class cloud {
     user_id user = 0;
     std::string path;
     upload_session_status status;
+    /// Per-chunk ack bits (lazily sized): striped transfers land chunks out
+    /// of order, so the server tracks exactly which indices it holds.
+    std::vector<std::uint8_t> acked;
   };
 
   std::string object_key(user_id user, const std::string& path,

@@ -327,17 +327,32 @@ TEST(UploadSessions, ContractEnforcement) {
   EXPECT_TRUE(cl.session_open(tok));
   EXPECT_EQ(cl.open_session_count(), 1u);
 
-  // Chunks must arrive in order, within bounds.
+  // Chunks may arrive out of order (striped transfers), but never twice and
+  // never out of bounds.
+  cl.upload_session_chunk(tok, 1, 1000, t);
   EXPECT_THROW(cl.upload_session_chunk(tok, 1, 1000, t), std::logic_error);
-  cl.upload_session_chunk(tok, 0, 1000, t);
-  EXPECT_THROW(cl.upload_session_chunk(tok, 0, 1000, t), std::logic_error);
   EXPECT_THROW(cl.upload_session_chunk(tok, 3, 1000, t), std::logic_error);
 
-  const upload_session_status st = cl.query_upload_session(tok, t);
-  EXPECT_EQ(st.total_chunks, 3u);
-  EXPECT_EQ(st.acked_chunks, 1u);
-  EXPECT_EQ(st.acked_bytes, 1000u);
-  EXPECT_EQ(st.payload_bytes, 3000u);
+  {
+    // Out-of-order landing: the contiguous prefix lags the acked total.
+    const upload_session_status st = cl.query_upload_session(tok, t);
+    EXPECT_EQ(st.total_chunks, 3u);
+    EXPECT_EQ(st.acked_chunks, 0u);
+    EXPECT_EQ(st.acked_total, 1u);
+    EXPECT_EQ(st.acked_bytes, 1000u);
+    EXPECT_EQ(st.payload_bytes, 3000u);
+  }
+
+  cl.upload_session_chunk(tok, 0, 1000, t);
+  EXPECT_THROW(cl.upload_session_chunk(tok, 0, 1000, t), std::logic_error);
+
+  {
+    // Chunk 0 closed the hole: the prefix catches up through chunk 1.
+    const upload_session_status st = cl.query_upload_session(tok, t);
+    EXPECT_EQ(st.acked_chunks, 2u);
+    EXPECT_EQ(st.acked_total, 2u);
+    EXPECT_EQ(st.acked_bytes, 2000u);
+  }
 
   // Finalizing before all chunks acked is a client bug.
   byte_buffer content(3000, std::uint8_t{7});
@@ -345,7 +360,6 @@ TEST(UploadSessions, ContractEnforcement) {
       cl.finalize_session_put(tok, 0, 1, "p", content, 3000, t),
       std::logic_error);
 
-  cl.upload_session_chunk(tok, 1, 1000, t);
   cl.upload_session_chunk(tok, 2, 1000, t);
   cl.finalize_session_put(tok, 0, 1, "p", content, 3000, t);
   EXPECT_FALSE(cl.session_open(tok));

@@ -262,6 +262,85 @@ TEST(FaultInjector, ForcedCrashFiresOnceAtItsSiteOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-connection fault domains (the transfer scheduler's parallel flows)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DomainZeroIsTheInjectorItself) {
+  fault_injector inj(fault_plan::degraded(0.5), /*env_seed=*/7);
+  EXPECT_EQ(&inj.domain(0), &inj);
+  EXPECT_EQ(inj.domain_count(), 0u);
+}
+
+TEST(FaultInjector, DomainsAreStableAndDeterministic) {
+  const fault_plan plan = fault_plan::degraded(0.5, /*seed=*/42);
+  fault_injector a(plan, /*env_seed=*/7);
+  fault_injector b(plan, /*env_seed=*/7);
+
+  // Repeated lookups return the same child; creating domain 3 materializes
+  // the lower-numbered ones too.
+  fault_injector& a3 = a.domain(3);
+  EXPECT_EQ(&a.domain(3), &a3);
+  EXPECT_EQ(a.domain_count(), 3u);
+
+  // Two injectors built from the same (plan, env seed) grow identical
+  // domain streams.
+  for (std::uint32_t d = 1; d <= 3; ++d) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a.domain(d).sample_exchange_fault(),
+                b.domain(d).sample_exchange_fault())
+          << "domain " << d << " draw " << i;
+    }
+  }
+  EXPECT_EQ(a.injected_total_all_domains(), b.injected_total_all_domains());
+}
+
+TEST(FaultInjector, DomainsAreIndependentSchedules) {
+  fault_injector inj(fault_plan::degraded(1.0, /*seed=*/42), /*env_seed=*/7);
+  // Sibling domains must not share a fault stream: collect each domain's
+  // fault/no-fault pattern over a window and require at least one mismatch.
+  std::vector<std::vector<bool>> pattern(3);
+  for (std::uint32_t d = 1; d <= 3; ++d) {
+    for (int i = 0; i < 64; ++i) {
+      pattern[d - 1].push_back(
+          inj.domain(d).sample_exchange_fault().has_value());
+    }
+  }
+  EXPECT_NE(pattern[0], pattern[1]);
+  EXPECT_NE(pattern[1], pattern[2]);
+}
+
+TEST(FaultInjector, DomainDrawsNeverTouchTheMainStream) {
+  const fault_plan plan = fault_plan::degraded(0.7, /*seed=*/42);
+  fault_injector pristine(plan, /*env_seed=*/7);
+  fault_injector used(plan, /*env_seed=*/7);
+  // Hammer the child domains of one injector...
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    for (int i = 0; i < 500; ++i) {
+      used.domain(d).sample_exchange_fault();
+      used.domain(d).jitter01();
+    }
+  }
+  // ...and the main (domain-0) streams still march in lockstep: existing
+  // single-connection identities survive scheduler activity.
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(pristine.sample_exchange_fault(), used.sample_exchange_fault());
+    EXPECT_DOUBLE_EQ(pristine.jitter01(), used.jitter01());
+  }
+}
+
+TEST(FaultInjector, ChildDomainsDropForcedAndCrashFaults) {
+  // Count-based forced faults and crash probability belong to the main
+  // schedule; children only inherit the stochastic link/server rates.
+  fault_plan plan = fault_plan::degraded(0.5, /*seed=*/42);
+  plan.fail_first_exchanges = 3;
+  fault_injector inj(plan, /*env_seed=*/7);
+  EXPECT_EQ(inj.domain(1).plan().fail_first_exchanges, 0);
+  EXPECT_EQ(inj.domain(1).plan().fail_first_server_ops, 0);
+  EXPECT_EQ(inj.domain(1).plan().crash_prob, 0.0);
+  EXPECT_EQ(inj.plan().fail_first_exchanges, 3);
+}
+
+// ---------------------------------------------------------------------------
 // Sync engine under faults
 // ---------------------------------------------------------------------------
 

@@ -57,12 +57,19 @@ TEST(SyncJournal, InvalidTransitionsThrow) {
   EXPECT_THROW(j.commit(id), std::logic_error);
 
   j.mark_in_flight(id);
-  // Chunk acks must be contiguous.
-  EXPECT_THROW(j.ack_chunk(id, 1), std::logic_error);
+  // Chunk acks may land out of order (striped transfers): the contiguous
+  // prefix lags until the hole closes, the total counts every ack.
+  j.ack_chunk(id, 1);
+  EXPECT_EQ(j.find(id)->acked_chunks, 0u);
+  EXPECT_EQ(j.find(id)->acked_total, 1u);
+  EXPECT_TRUE(j.find(id)->chunk_acked(1));
+  EXPECT_FALSE(j.find(id)->chunk_acked(0));
+  EXPECT_THROW(j.ack_chunk(id, 1), std::logic_error);  // replay
   j.ack_chunk(id, 0);
   EXPECT_THROW(j.ack_chunk(id, 0), std::logic_error);  // replay
   j.mark_in_flight(id);  // idempotent while still in flight
-  EXPECT_EQ(j.find(id)->acked_chunks, 1u);
+  EXPECT_EQ(j.find(id)->acked_chunks, 2u);
+  EXPECT_EQ(j.find(id)->acked_total, 2u);
 
   j.commit(id);
   EXPECT_THROW(j.abort(id, "too late"), std::logic_error);

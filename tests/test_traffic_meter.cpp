@@ -91,5 +91,31 @@ TEST(TrafficMeter, CategoryNames) {
   EXPECT_STREQ(to_string(traffic_category::transport), "transport");
 }
 
+TEST(TrafficMeter, RedundancyCategoryIsTracked) {
+  // Proactive redundancy (FEC parity shards, losing hedge duplicates) is
+  // overhead the transfer scheduler spends on purpose — metered apart from
+  // `retry` (reactive) so the frontier bench can price each separately.
+  traffic_meter m;
+  m.record(direction::up, traffic_category::redundancy, 4096);
+  m.record(direction::down, traffic_category::redundancy, 32);
+  EXPECT_EQ(m.by_category(traffic_category::redundancy), 4128u);
+  EXPECT_EQ(m.overhead(), 4128u);
+  EXPECT_STREQ(to_string(traffic_category::redundancy), "redundancy");
+  EXPECT_NE(m.summary().find("redundancy"), std::string::npos);
+}
+
+TEST(TrafficMeter, RedundancySurvivesResetAndSnapshotClamp) {
+  traffic_meter m;
+  m.record(direction::up, traffic_category::redundancy, 1000);
+  const auto snap = m.snap();
+  m.reset();
+  EXPECT_EQ(m.by_category(traffic_category::redundancy), 0u);
+  // Clamped, not wrapped, against the pre-reset snapshot...
+  EXPECT_EQ(m.total_since(snap), 0u);
+  // ...and growth after the reset counts only the excess over the snapshot.
+  m.record(direction::up, traffic_category::redundancy, 1250);
+  EXPECT_EQ(m.total_since(snap), 250u);
+}
+
 }  // namespace
 }  // namespace cloudsync
