@@ -1,0 +1,314 @@
+#include "client/protocol_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "pipeline/byte_pipeline.hpp"
+
+namespace cloudsync {
+
+namespace {
+
+/// The incompressibility probe constants of wire_payload_size, mirrored so
+/// the prediction takes the same fast path the sizer will.
+constexpr double kProbeMinBytes = 4096.0;
+constexpr double kProbeRatioCutoff = 1.05;
+
+/// Samples beyond which the raw error vector stops growing (the histogram
+/// and running mean keep counting).
+constexpr std::size_t kMaxErrorSamples = 1 << 16;
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+const char* to_string(protocol_mode m) {
+  switch (m) {
+    case protocol_mode::service_default: return "service_default";
+    case protocol_mode::forced: return "forced";
+    case protocol_mode::adaptive: return "adaptive";
+  }
+  return "mode?";
+}
+
+std::uint64_t predicted_delta_frame_bytes(std::uint64_t file_size,
+                                          std::size_t block_size,
+                                          double similarity) {
+  const std::uint64_t block = block_size == 0 ? 1 : block_size;
+  std::uint64_t n = 2 + varint_size(block) + varint_size(file_size);
+  if (file_size == 0) return n + varint_size(0) + 4;
+
+  const std::uint64_t nblocks = (file_size + block - 1) / block;
+  const double sim = std::clamp(similarity, 0.0, 1.0);
+  const std::uint64_t m = std::min<std::uint64_t>(
+      nblocks, static_cast<std::uint64_t>(
+                   std::llround(sim * static_cast<double>(nblocks))));
+  const std::uint64_t matched = std::min<std::uint64_t>(file_size, m * block);
+  const std::uint64_t literal = file_size - matched;
+
+  if (m == 0) {
+    // One literal op carrying the whole file.
+    return n + varint_size(1) + 1 + varint_size(literal) + literal + 4;
+  }
+  if (literal == 0) {
+    // One coalesced copy op spanning every block.
+    return n + varint_size(1) + 1 + varint_size(0) + varint_size(nblocks) + 4;
+  }
+
+  // Scattered in-place edits: k replaced blocks, each its own literal run,
+  // interleaved with coalesced copy runs of the surviving blocks. This is
+  // the exact frame of an evenly-spaced block-aligned edit; anything messier
+  // is absorbed by calibration.
+  const std::uint64_t k = nblocks - m;
+  const std::uint64_t copy_runs = std::min<std::uint64_t>(k + 1, m);
+  const std::uint64_t lit_runs = k;
+  n += varint_size(copy_runs + lit_runs);
+  const std::uint64_t lit_base = literal / lit_runs;
+  const std::uint64_t lit_extra = literal % lit_runs;
+  for (std::uint64_t i = 0; i < lit_runs; ++i) {
+    const std::uint64_t len = lit_base + (i < lit_extra ? 1 : 0);
+    n += 1 + varint_size(len) + len;
+  }
+  const std::uint64_t copy_base = m / copy_runs;
+  const std::uint64_t copy_extra = m % copy_runs;
+  std::uint64_t cursor = 0;  // old-file block index of the next copy run
+  for (std::uint64_t r = 0; r < copy_runs; ++r) {
+    const std::uint64_t cnt = copy_base + (r < copy_extra ? 1 : 0);
+    n += 1 + varint_size(cursor) + varint_size(cnt);
+    cursor += cnt + 1;  // skip the edited block between runs
+  }
+  return n + 4;  // CRC-32 trailer
+}
+
+double predicted_compressed_bytes(double bytes, double entropy_bits_per_byte,
+                                  int level) {
+  if (level <= 0 || bytes <= 0) return bytes;
+  const double entropy = std::clamp(entropy_bits_per_byte, 0.0, 8.0);
+  const double ratio = entropy <= 0.125 ? 64.0 : 8.0 / entropy;
+  if (bytes >= kProbeMinBytes && ratio < kProbeRatioCutoff) {
+    return bytes;  // the sizer's incompressibility fast path returns raw
+  }
+  // Order-0 entropy coding estimate with an LZ token floor: even an
+  // all-zeros stream pays match headers, so the model never predicts
+  // (near-)free.
+  double comp = bytes * (entropy / 8.0);
+  comp = std::max(comp, bytes / 64.0 + 16.0);
+  return std::min(comp, bytes);
+}
+
+update_features extract_update_features(
+    const planning_env& env, const protocol_update& up,
+    const std::unordered_set<std::uint64_t>& synced_hashes,
+    double dedup_hit_ewma) {
+  update_features f;
+  const content_ref& content = *up.content;
+  f.size = content.size();
+  f.content_hash = content.hash64();
+  f.whole_file_duplicate = synced_hashes.contains(f.content_hash);
+  f.dedup_hit_prob = f.whole_file_duplicate
+                         ? 1.0
+                         : std::clamp(dedup_hit_ewma, 0.0, 1.0);
+  f.block_size = env.profile->delta_chunk_size;
+  f.has_shadow = up.has_shadow() && up.in_cloud && !up.force_full &&
+                 env.mp().incremental_sync;
+
+  content_request req;
+  req.entropy = true;
+  if (f.has_shadow && f.size > 0) req.block_weak = f.block_size;
+  const content_report rep = analyze_content(content, req);
+  f.entropy_bits_per_byte = f.size > 0 ? rep.entropy_bits_per_byte : 0.0;
+
+  if (f.has_shadow) {
+    f.shadow_size = up.shadow->content.size();
+    const file_signature& sig = shadow_signature(env, *up.shadow);
+    // Multiset match of the new file's per-block weak sums against the
+    // shadow signature: a cheap, single-pass stand-in for the rolling-match
+    // fraction the real delta will find. Fixed-grid matching underestimates
+    // under insertions; the calibration loop absorbs that bias.
+    std::unordered_map<std::uint32_t, std::uint32_t> budget;
+    for (const block_signature& b : sig.blocks) ++budget[b.weak];
+    std::size_t matched = 0;
+    for (const std::uint32_t w : rep.block_weak) {
+      const auto it = budget.find(w);
+      if (it != budget.end() && it->second > 0) {
+        --it->second;
+        ++matched;
+      }
+    }
+    f.similarity = rep.block_weak.empty()
+                       ? 0.0
+                       : static_cast<double>(matched) /
+                             static_cast<double>(rep.block_weak.size());
+  }
+  return f;
+}
+
+cost_prediction predict_protocol_cost(protocol_id id,
+                                      const update_features& f,
+                                      const planning_env& env) {
+  const method_profile& mp = env.mp();
+  const int level = mp.upload_compression_level;
+  const double ppm = mp.per_payload_metadata;
+  cost_prediction p;
+
+  const auto rounds_for = [&](double payload) {
+    // Journaled uploads ship through a resumable session: open + one
+    // exchange per chunk + finalize; plain uploads are one exchange.
+    if (!env.journaled || env.session_chunk_bytes == 0) return 1.0;
+    return 2.0 + std::ceil(payload /
+                           static_cast<double>(env.session_chunk_bytes));
+  };
+
+  switch (id) {
+    case protocol_id::full_file: {
+      const double payload = predicted_compressed_bytes(
+          static_cast<double>(f.size), f.entropy_bits_per_byte, level);
+      p.app_up = payload * (1.0 + ppm);
+      p.round_trips = rounds_for(payload);
+      p.feasible = true;
+      return p;
+    }
+    case protocol_id::rsync: {
+      if (!f.has_shadow) return p;  // infeasible
+      const double wire = static_cast<double>(predicted_delta_frame_bytes(
+          f.size, f.block_size, f.similarity));
+      // The frame is mostly fresh literal bytes; its compressibility tracks
+      // the file's entropy.
+      const double payload =
+          predicted_compressed_bytes(wire, f.entropy_bits_per_byte, level);
+      p.app_up = payload * (1.0 + ppm);
+      p.round_trips = rounds_for(payload);
+      p.feasible = true;
+      return p;
+    }
+    case protocol_id::cdc_dedup: {
+      const dedup_policy& policy = env.cl->dedup().policy();
+      if (!mp.dedup_enabled || policy.granularity == dedup_granularity::none) {
+        return p;
+      }
+      const double fps = static_cast<double>(
+          expected_fingerprint_count(policy, f.size));
+      const double dup = std::clamp(f.dedup_hit_prob, 0.0, 1.0);
+      const double new_bytes = static_cast<double>(f.size) * (1.0 - dup);
+      const double payload = predicted_compressed_bytes(
+          new_bytes, f.entropy_bits_per_byte, level);
+      p.app_up = payload * (1.0 + ppm) +
+                 fps * static_cast<double>(kFingerprintWireBytes);
+      p.app_down = fps * static_cast<double>(kFingerprintAnswerBytes);
+      p.round_trips = rounds_for(payload);
+      p.feasible = true;
+      return p;
+    }
+  }
+  return p;
+}
+
+double protocol_selector_stats::median_abs_rel_error() const {
+  if (abs_rel_errors.empty()) return 0.0;
+  std::vector<double> v = abs_rel_errors;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  return v[mid];
+}
+
+protocol_selector::protocol_selector(protocol_options opts, link_config link)
+    : opts_(opts), link_(link) {}
+
+const sync_protocol& protocol_selector::choose(const planning_env& env,
+                                               const protocol_update& up,
+                                               selector_pick* pick) {
+  const sync_protocol* chosen = nullptr;
+  selector_pick out;
+
+  if (opts_.mode == protocol_mode::forced) {
+    const sync_protocol* forced =
+        protocol_registry::instance().find(opts_.forced);
+    if (forced != nullptr && forced->eligible(env, up)) chosen = forced;
+    // Ineligible forced protocol: fall through to the service default so a
+    // forced run can always ship (e.g. rsync forced but no shadow yet).
+  } else if (opts_.mode == protocol_mode::adaptive) {
+    const update_features f =
+        extract_update_features(env, up, synced_hashes_, dedup_hit_ewma_);
+    double best = std::numeric_limits<double>::infinity();
+    for (const sync_protocol* proto : protocol_registry::instance().all()) {
+      if (!proto->eligible(env, up)) continue;
+      cost_prediction c = predict_protocol_cost(proto->id(), f, env);
+      if (!c.feasible) continue;  // extension protocol without a model
+      const double corr =
+          stats_.correction[static_cast<std::size_t>(proto->id())];
+      c.app_up *= corr;
+      c.app_down *= corr;
+      const double score = c.score(link_, opts_.rtt_cost_weight);
+      // Strict < keeps the first (lowest-id, registration-order) protocol
+      // on ties — the deterministic tiebreak.
+      if (score < best) {
+        best = score;
+        chosen = proto;
+        out.predicted = true;
+        out.predicted_app_up = c.app_up;
+      }
+    }
+  }
+
+  if (chosen == nullptr) chosen = &select_service_default(env, up);
+  out.id = chosen->id();
+  ++stats_.picks[static_cast<std::size_t>(chosen->id())];
+  if (pick != nullptr) *pick = out;
+  return *chosen;
+}
+
+void protocol_selector::observe(const upload_plan& plan,
+                                std::uint64_t content_hash,
+                                std::uint64_t actual_app_up) {
+  if (opts_.mode != protocol_mode::adaptive) return;
+  // Client-side knowledge real clients have: the hashes of everything this
+  // client successfully synced (whole-file duplicate detection) and the
+  // duplicate fraction the dedup protocol actually found (chunk-hit EWMA).
+  synced_hashes_.insert(content_hash);
+  if (plan.observed_dup_fraction >= 0.0) {
+    dedup_hit_ewma_ = have_dedup_obs_
+                          ? 0.5 * dedup_hit_ewma_ +
+                                0.5 * plan.observed_dup_fraction
+                          : plan.observed_dup_fraction;
+    have_dedup_obs_ = true;
+  }
+  if (plan.predicted_app_up < 0.0) return;  // no prediction to score
+
+  const double actual = static_cast<double>(std::max<std::uint64_t>(
+      actual_app_up, 1));
+  const double err = std::abs(plan.predicted_app_up - actual) / actual;
+  static constexpr double kBucketEdges[protocol_selector_stats::kErrorBuckets -
+                                       1] = {0.05, 0.10, 0.15,
+                                             0.25, 0.50, 1.00};
+  std::size_t bucket = protocol_selector_stats::kErrorBuckets - 1;
+  for (std::size_t i = 0; i + 1 < protocol_selector_stats::kErrorBuckets;
+       ++i) {
+    if (err < kBucketEdges[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++stats_.error_hist[bucket];
+  ++stats_.observations;
+  stats_.abs_rel_error_sum += err;
+  if (stats_.abs_rel_errors.size() < kMaxErrorSamples) {
+    stats_.abs_rel_errors.push_back(err);
+  }
+  if (opts_.calibration_gain > 0 && plan.predicted_app_up > 0) {
+    const double ratio =
+        std::clamp(actual / plan.predicted_app_up, 0.25, 4.0);
+    double& c = stats_.correction[static_cast<std::size_t>(plan.protocol)];
+    c = std::clamp(c * std::pow(ratio, opts_.calibration_gain), 0.1, 10.0);
+  }
+}
+
+}  // namespace cloudsync

@@ -8,37 +8,12 @@
 
 namespace cloudsync {
 
-/// A memoized IDS plan: the delta against one specific old version plus the
-/// identity of its serialized wire form. Streaming planning never builds the
-/// wire buffer — literal ops reference the new file's rope, and `wire_size` /
-/// `wire_hash` (exactly serialize_delta's length and content_hash64) key the
-/// wire-payload memo instead. Legacy whole-file planning additionally keeps
-/// the materialized buffer in `wire`.
-struct delta_blueprint {
-  file_delta delta;
-  byte_buffer wire;             ///< whole_file_planning only; else empty
-  std::uint64_t wire_size = 0;  ///< == serialize_delta(delta).size()
-  std::uint64_t wire_hash = 0;  ///< == content_hash64(serialize_delta(delta))
-};
+// The transfer-path machinery the engine used to hold inline — the delta
+// blueprint/skeleton, the incremental-sync memos, and the per-protocol
+// planning branches — now lives behind the protocol registry in
+// client/sync_protocol.{hpp,cpp}.
 
 namespace {
-/// The memoizable part of a streaming IDS plan: the delta's event stream
-/// (indices and offsets only) plus the identity of its serialized wire form.
-/// Deliberately holds no payload bytes and no rope refs — entries live
-/// process-wide, and a memo pinning content store chunks would leak them
-/// past every experiment teardown (and hold multi-GB literals forever).
-struct delta_skeleton {
-  std::vector<delta_job::event> events;
-  std::uint64_t wire_size = 0;
-  std::uint64_t wire_hash = 0;
-};
-}  // namespace
-
-namespace {
-/// App-level bytes for one dedup fingerprint on the wire (digest + framing).
-constexpr std::uint64_t kFingerprintWireBytes = 40;
-/// Cloud's per-fingerprint answer ("have it / need it").
-constexpr std::uint64_t kFingerprintAnswerBytes = 8;
 /// Tombstone record for a deletion (attribute update, §4.2).
 constexpr std::uint64_t kDeleteRecordBytes = 300;
 /// Per-file entry in a BDS delete/rename manifest.
@@ -75,45 +50,7 @@ std::uint64_t chunk_size_at(std::uint64_t total, std::size_t chunk_bytes,
   return std::min<std::uint64_t>(chunk_bytes, total - start);
 }
 
-// Process-wide memos for incremental sync. Seeded experiments reproduce the
-// same shadow and edited contents across bench cells and services, so the
-// per-block MD5 signature work and the rolling-window delta search recur
-// identically; both are pure functions of their keys, so sharing the results
-// (also across parallel_runner workers) cannot change any output.
-
-using signature_ptr = std::shared_ptr<const file_signature>;
-
-content_memo<signature_ptr>& signature_memo() {
-  static content_memo<signature_ptr> memo;
-  return memo;
-}
-
-using blueprint_ptr = std::shared_ptr<const delta_blueprint>;
-using skeleton_ptr = std::shared_ptr<const delta_skeleton>;
-
-content_memo<skeleton_ptr>& delta_memo() {
-  static content_memo<skeleton_ptr> memo;
-  return memo;
-}
-
-/// Salt identifying the old-file side of a delta: folds the signature's full
-/// block structure so two different shadows can never share a memo entry.
-std::uint64_t signature_salt(const file_signature& sig) {
-  std::uint64_t h = mix64(sig.file_size ^
-                          sig.block_size * 0x9e3779b97f4a7c15ULL);
-  for (const block_signature& b : sig.blocks) {
-    h = mix64(h ^ b.weak) ^ b.strong.prefix64();
-  }
-  return mix64(h);
-}
 }  // namespace
-
-content_cache_stats signature_memo_stats() { return signature_memo().stats(); }
-content_cache_stats delta_memo_stats() { return delta_memo().stats(); }
-void clear_incremental_sync_memos() {
-  signature_memo().clear();
-  delta_memo().clear();
-}
 
 sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
                          sync_options opts)
@@ -125,7 +62,8 @@ sync_client::sync_client(sim_clock& clock, memfs& fs, cloud& cl, user_id user,
       conn_(opts_.link, opts_.tcp, meter_),
       defer_(opts_.profile.defer.instantiate()),
       device_(opts_.reuse_device != 0 ? opts_.reuse_device
-                                      : cl.attach_device(user)) {
+                                      : cl.attach_device(user)),
+      selector_(opts_.protocol, opts_.link) {
   if (opts_.warm_connection) {
     conn_.exchange(clock_.now(), 64, 64);
     meter_.reset();
@@ -576,58 +514,24 @@ std::uint64_t sync_client::shipped_size(byte_view content, int level) const {
 
 std::uint64_t sync_client::shipped_size(const content_ref& content,
                                         int level) const {
-  if (level <= 0 || content.empty()) return content.size();
-  const auto compute = [&] {
-    return opts_.whole_file_planning
-               ? wire_payload_size(content.flatten(), level)
-               : wire_payload_size_ref(content, level);
-  };
-  if (opts_.cache == nullptr) return compute();
-  // hash64() matches content_hash64 of the flat bytes, so rope and flat
-  // lookups hit the same cache entries.
-  return opts_.cache->shipped_size_keyed(content.hash64(), content.size(),
-                                         level, compute);
+  return shipped_content_size(planning_environment(), content, level);
 }
 
-std::uint64_t sync_client::shipped_wire_size(const delta_blueprint& bp,
-                                             int level) const {
-  if (level <= 0 || bp.wire_size == 0) return bp.wire_size;
-  const auto compute = [&]() -> std::uint64_t {
-    return opts_.whole_file_planning
-               ? wire_payload_size(bp.wire, level)
-               : wire_payload_size_delta(bp.delta, level);
-  };
-  if (opts_.cache == nullptr) return compute();
-  // wire_hash == content_hash64 of the serialized delta, so both planning
-  // modes (and any flat-bytes lookup) share the same cache entries.
-  return opts_.cache->shipped_size_keyed(bp.wire_hash, bp.wire_size, level,
-                                         compute);
+planning_env sync_client::planning_environment() const {
+  planning_env env;
+  env.profile = &opts_.profile;
+  env.method = opts_.method;
+  env.cl = &cloud_;
+  env.user = user_;
+  env.cache = opts_.cache;
+  env.whole_file_planning = opts_.whole_file_planning;
+  env.journaled = opts_.journal != nullptr;
+  env.session_chunk_bytes = opts_.recovery.chunk_bytes;
+  return env;
 }
 
-const file_signature& sync_client::shadow_signature(shadow_entry& sh) const {
-  const std::size_t block_size = opts_.profile.delta_chunk_size;
-  if (!sh.sig || sh.sig_block_size != block_size) {
-    auto sign = [&]() -> signature_ptr {
-      return std::make_shared<const file_signature>(
-          opts_.whole_file_planning
-              ? compute_signature(sh.content.flatten(), block_size)
-              : compute_signature_ref(sh.content, block_size));
-    };
-    sh.sig = opts_.cache != nullptr
-                 ? signature_memo().get_or_compute_keyed(
-                       sh.content.hash64(), sh.content.size(), block_size,
-                       sign)
-                 : sign();
-    sh.sig_block_size = block_size;
-    sh.sig_salt = signature_salt(*sh.sig);
-  }
-  return *sh.sig;
-}
-
-sync_client::upload_plan sync_client::plan_upload(const std::string& path,
-                                                  sim_time at,
-                                                  bool force_full) {
-  const method_profile& mp = opts_.profile.method(opts_.method);
+upload_plan sync_client::plan_upload(const std::string& path, sim_time at,
+                                     bool force_full) {
   upload_plan plan;
 
   const content_ref content = fs_.read(path);
@@ -651,79 +555,18 @@ sync_client::upload_plan sync_client::plan_upload(const std::string& path,
     }
   }
 
-  plan.dedup_commit =
-      mp.dedup_enabled &&
-      cloud_.dedup().policy().granularity != dedup_granularity::none;
+  const planning_env env = planning_environment();
+  protocol_update up;
+  up.path = &path;
+  up.content = &content;
+  up.in_cloud = in_cloud;
+  up.shadow = shadow_it != shadow_.end() ? &shadow_it->second : nullptr;
+  up.force_full = force_full;
 
-  // 1. Incremental (rsync) sync — PC clients of Dropbox/SugarSync (§4.3).
-  //    Requires the previous synced version locally (the shadow); web and
-  //    mobile clients never have one. `force_full` skips this path after
-  //    repeated server-side delta rejections.
-  if (!force_full && mp.incremental_sync && in_cloud &&
-      shadow_it != shadow_.end() && !shadow_it->second.content.empty()) {
-    shadow_entry& sh = shadow_it->second;
-    const file_signature& sig = shadow_signature(sh);
-    auto bp = std::make_shared<delta_blueprint>();
-    if (opts_.whole_file_planning) {
-      // Legacy identity-leg path: whole buffers, no memo (the memo must not
-      // hold payload bytes; the identity leg only cares about wire bytes).
-      bp->delta = compute_delta(sig, content.flatten());
-      bp->wire = serialize_delta(bp->delta);
-      bp->wire_size = bp->wire.size();
-      bp->wire_hash = content_hash64(bp->wire);
-    } else {
-      auto plan_skeleton = [&]() -> skeleton_ptr {
-        auto sk = std::make_shared<delta_skeleton>();
-        sk->events = compute_delta_events(sig, content);
-        const file_delta d =
-            delta_from_events(sig.block_size, content, sk->events);
-        sk->wire_size = delta_wire_size(d);
-        content_hasher64 h;
-        walk_delta_wire(d, [&](byte_view v) { h.update(v); });
-        sk->wire_hash = h.finish();
-        return sk;
-      };
-      // Key: the new content (hashed) + the old file's identity (salt,
-      // cached alongside the signature), which together determine the delta
-      // exactly. The memo stores the ref-free skeleton; the blueprint's rope
-      // refs are re-bound to this plan's content and die with the plan.
-      const skeleton_ptr sk =
-          opts_.cache != nullptr
-              ? delta_memo().get_or_compute_keyed(content.hash64(),
-                                                  content.size(), sh.sig_salt,
-                                                  plan_skeleton)
-              : plan_skeleton();
-      bp->delta = delta_from_events(sig.block_size, content, sk->events);
-      bp->wire_size = sk->wire_size;
-      bp->wire_hash = sk->wire_hash;
-    }
-    plan.blueprint = std::move(bp);
-    // The delta's literal regions are compressed like any upload.
-    plan.payload_up =
-        shipped_wire_size(*plan.blueprint, mp.upload_compression_level);
-    plan.metadata_up = static_cast<std::uint64_t>(
-        static_cast<double>(plan.payload_up) * mp.per_payload_metadata);
-    plan.act = upload_action::delta;
-    return plan;
-  }
-
-  // 2. Full-file upload, with dedup if this method participates (§5.2).
-  std::uint64_t payload = 0;
-  if (plan.dedup_commit) {
-    const dedup_result res = cloud_.dedup().analyze(user_, content);
-    plan.metadata_up += res.fingerprints_sent * kFingerprintWireBytes;
-    plan.metadata_down += res.fingerprints_sent * kFingerprintAnswerBytes;
-    for (const chunk_ref& c : res.new_chunks) {
-      payload += shipped_size(content.substr(c.offset, c.size),
-                              mp.upload_compression_level);
-    }
-  } else {
-    payload = shipped_size(content, mp.upload_compression_level);
-  }
-  plan.payload_up = payload;
-  plan.metadata_up += static_cast<std::uint64_t>(
-      static_cast<double>(payload) * mp.per_payload_metadata);
-  plan.act = upload_action::full;
+  selector_pick pick;
+  const sync_protocol& proto = selector_.choose(env, up, &pick);
+  plan = proto.plan(env, up);
+  if (pick.predicted) plan.predicted_app_up = pick.predicted_app_up;
   return plan;
 }
 
@@ -747,6 +590,13 @@ void sync_client::apply_upload(const std::string& path,
   shadow_entry& sh = shadow_[path];
   sh.content = content.retain();
   sh.sig.reset();  // the memoized signature no longer matches
+  // Calibration feedback: the plan's app bytes are exactly what the
+  // surrounding exchange meters as payload + metadata on success. Gated so
+  // non-adaptive runs skip the hash (and stay cycle-identical).
+  if (opts_.protocol.mode == protocol_mode::adaptive) {
+    selector_.observe(plan, content.hash64(),
+                      plan.payload_up + plan.metadata_up);
+  }
 }
 
 void sync_client::apply_upload_session(const std::string& path,
@@ -765,6 +615,10 @@ void sync_client::apply_upload_session(const std::string& path,
   shadow_entry& sh = shadow_[path];
   sh.content = content.retain();
   sh.sig.reset();
+  if (opts_.protocol.mode == protocol_mode::adaptive) {
+    selector_.observe(plan, content.hash64(),
+                      plan.payload_up + plan.metadata_up);
+  }
 }
 
 void sync_client::maybe_crash(crash_site site, sim_time at) {

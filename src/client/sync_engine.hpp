@@ -22,8 +22,10 @@
 #include "client/access_method.hpp"
 #include "client/defer_policy.hpp"
 #include "client/hardware.hpp"
+#include "client/protocol_cost.hpp"
 #include "client/service_profile.hpp"
 #include "client/sync_journal.hpp"
+#include "client/sync_protocol.hpp"
 #include "fs/memfs.hpp"
 #include "net/fault_injector.hpp"
 #include "net/http_model.hpp"
@@ -37,10 +39,6 @@
 #include "util/stats.hpp"
 
 namespace cloudsync {
-
-/// Memoized incremental-sync plan (rsync delta + its serialized wire form);
-/// defined in sync_engine.cpp.
-struct delta_blueprint;
 
 /// How the sync engine reacts to transient faults surfaced by the network
 /// and storage layers: exponential backoff with seeded jitter, a bounded
@@ -81,14 +79,6 @@ std::uint64_t wire_payload_size_ref(const content_ref& content, int level);
 /// without materializing the wire buffer.
 std::uint64_t wire_payload_size_delta(const file_delta& delta, int level);
 
-/// Observability for the process-wide incremental-sync memos (rsync
-/// signatures and delta blueprints, consulted when sync_options::cache is
-/// set): hit/miss counters for bench reports, and a reset for clean
-/// before/after measurements.
-content_cache_stats signature_memo_stats();
-content_cache_stats delta_memo_stats();
-void clear_incremental_sync_memos();
-
 struct sync_options {
   service_profile profile;
   access_method method = access_method::pc_client;
@@ -127,6 +117,10 @@ struct sync_options {
   /// enabled on a clean link, the client's wire traffic is byte-identical to
   /// the serial single-connection path.
   transfer_policy transfer{};
+  /// How the planning layer chooses a sync protocol per update
+  /// (client/protocol_cost.hpp): the historical service-default branching,
+  /// one forced protocol, or the adaptive cost-model selector.
+  protocol_options protocol{};
   /// Legacy planning mode: flatten file contents and materialize delta wire
   /// buffers instead of streaming rope windows through the incremental
   /// sig/delta jobs and the stream sizer. Exists solely so the identity leg
@@ -223,6 +217,14 @@ class sync_client {
   /// frontier bench.
   const transfer_scheduler* transfer_sched() const { return xfer_.get(); }
 
+  /// The per-update protocol chooser — observability for
+  /// tools/protocol_stats and the selector bench (pick counts, calibration
+  /// corrections, prediction-error histogram).
+  const protocol_selector& selector() const { return selector_; }
+  const protocol_selector_stats& protocol_stats() const {
+    return selector_.stats();
+  }
+
  private:
   struct pending_change {
     bool remove = false;
@@ -231,33 +233,9 @@ class sync_client {
                                     ///< update estimate (kept incrementally)
   };
 
-  /// Last-synced content plus its memoized rsync signature: incremental sync
-  /// re-signs a shadow only after it actually changes, not on every commit.
-  /// The signature is shared with the process-wide memo when caching is on.
-  struct shadow_entry {
-    content_ref content;
-    std::shared_ptr<const file_signature> sig;  ///< of `content`, lazy
-    std::size_t sig_block_size = 0;  ///< block size `sig` was built with
-    std::uint64_t sig_salt = 0;  ///< memo salt of `sig` (valid while sig is);
-                                 ///< recomputing it per delta walked every
-                                 ///< block of the signature again
-  };
-
-  /// How a planned upload reaches the cloud once its exchange succeeds.
-  enum class upload_action : std::uint8_t {
-    none,   ///< nothing to ship (conflict diverted to a conflicted copy)
-    delta,  ///< incremental (rsync) sync of the planned blueprint
-    full,   ///< full-file PUT (optionally deduplicated)
-  };
-
-  struct upload_plan {
-    upload_action act = upload_action::none;
-    std::uint64_t payload_up = 0;    ///< wire payload bytes (client → cloud)
-    std::uint64_t metadata_up = 0;   ///< fingerprints, delta framing, manifests
-    std::uint64_t metadata_down = 0; ///< dedup answers, chunk acks
-    std::shared_ptr<const delta_blueprint> blueprint;  ///< when act == delta
-    bool dedup_commit = false;  ///< register content in the dedup index
-  };
+  // shadow_entry / upload_action / upload_plan now live in
+  // client/sync_protocol.hpp — protocols plan with the same types the
+  // engine applies.
 
   /// Result of one sync transaction (exchange + server-side apply, retried
   /// under the retry_policy).
@@ -274,18 +252,20 @@ class sync_client {
   void refresh_entry_estimate(const std::string& path, pending_change& chg);
   /// Remove `path`'s share from the running estimate (entry being dropped).
   void drop_entry_estimate(const std::string& path);
-  /// The signature of `path`'s shadow, computing and memoizing it on first
-  /// use and after every shadow content change.
-  const file_signature& shadow_signature(shadow_entry& sh) const;
+  /// The planning context handed to protocols and the cost model: this
+  /// client's profile, cloud, cache, and planning/journaling mode.
+  planning_env planning_environment() const;
   void schedule_commit(sim_time at);
   void try_commit();
   sim_time commit_batch(sim_time start,
                         std::map<std::string, pending_change> batch);
 
   /// Decide how `path`'s current content reaches the cloud: conflict check,
-  /// delta-vs-full choice, wire costs. Pure planning — no cloud or shadow
-  /// state changes (those happen in apply_upload once the exchange lands).
-  /// `force_full` skips the delta path (graceful degradation).
+  /// then protocol selection (service-default / forced / adaptive per
+  /// sync_options::protocol) and the chosen protocol's transfer plan. Pure
+  /// planning — no cloud or shadow state changes (those happen in
+  /// apply_upload once the exchange lands). `force_full` vetoes the delta
+  /// path (graceful degradation).
   upload_plan plan_upload(const std::string& path, sim_time at,
                           bool force_full = false);
 
@@ -302,11 +282,6 @@ class sync_client {
   /// as the flat overload; in streaming mode a miss walks the rope through
   /// the stream sizer, in legacy mode it flattens for the compressor.
   std::uint64_t shipped_size(const content_ref& content, int level) const;
-  /// Wire-payload size of a planned delta's serialized bytes, memoized under
-  /// the same (wire hash, wire size, level) key the flat overload would use
-  /// for the materialized buffer — so legacy and streaming worlds share (and
-  /// cross-check) one cache entry.
-  std::uint64_t shipped_wire_size(const delta_blueprint& bp, int level) const;
 
   /// One sync transaction: run the exchange, then `apply` (server-side
   /// commit), retrying transient faults under the retry policy. Successful
@@ -412,6 +387,10 @@ class sync_client {
   std::unique_ptr<transfer_scheduler> xfer_;
   std::unique_ptr<defer_policy> defer_;
   device_id device_;
+  /// Per-update protocol chooser (client/protocol_cost.hpp). Its calibration
+  /// state is in-memory client knowledge (like the dirty set) and dies with
+  /// the incarnation.
+  protocol_selector selector_;
 
   std::map<std::string, pending_change> dirty_;
   std::uint64_t pending_estimate_ = 0;  ///< sum of dirty_ estimate shares

@@ -17,7 +17,9 @@
 #include "client/access_method.hpp"
 #include "client/defer_policy.hpp"
 #include "client/hardware.hpp"
+#include "client/protocol_cost.hpp"
 #include "client/service_profile.hpp"
+#include "client/sync_protocol.hpp"
 #include "client/sync_engine.hpp"
 #include "client/sync_journal.hpp"
 #include "compress/compressor.hpp"

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <functional>
 #include <stdexcept>
 
 namespace cloudsync {
@@ -70,6 +71,7 @@ void experiment_env::build_client(station& st) {
   opts.faults = faults_.get();
   opts.retry = cfg_.retry;
   opts.transfer = cfg_.transfer;
+  opts.protocol = cfg_.protocol;
   opts.whole_file_planning = cfg_.whole_file_planning;
   if (cfg_.journal) {
     opts.journal = &st.journal;
@@ -423,6 +425,110 @@ transfer_run_result run_transfer_experiment(const experiment_config& cfg,
     res.sched = st.client->transfer_sched()->stats();
     res.per_connection = st.client->transfer_sched()->per_connection();
   }
+  return res;
+}
+
+const char* to_string(protocol_workload wl) {
+  switch (wl) {
+    case protocol_workload::small_edits: return "small_edits";
+    case protocol_workload::fresh_rewrites: return "fresh_rewrites";
+    case protocol_workload::duplicate_copy: return "duplicate_copy";
+  }
+  return "workload?";
+}
+
+protocol_run_result run_protocol_experiment(const experiment_config& cfg,
+                                            protocol_workload wl,
+                                            std::size_t files,
+                                            std::uint64_t file_bytes) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+
+  // Serialized transactions: each fs event fires once the client is idle,
+  // so every commit carries exactly one update and the selector's
+  // calibration state evolves in a fixed order (the env is single-threaded;
+  // grid parallelism is across envs).
+  const auto step =
+      [&](const std::string& path,
+          std::function<void(const std::string&, sim_time)> action) {
+        const sim_time at =
+            std::max(env.clock().now(), st.client->busy_until()) +
+            sim_time::from_sec(5);
+        env.clock().schedule_at(
+            at, [path, action = std::move(action), at] { action(path, at); });
+        env.settle();
+      };
+  const auto create_with = [&](const std::string& path, byte_buffer content) {
+    step(path, [&st, content = std::move(content)](const std::string& p,
+                                                   sim_time at) {
+      st.fs.create(p, byte_buffer(content), at);
+    });
+  };
+
+  std::uint64_t data_update = 0;
+  switch (wl) {
+    case protocol_workload::small_edits: {
+      for (std::size_t i = 0; i < files; ++i) {
+        create_with("prot/t" + std::to_string(i),
+                    env.gen_text(static_cast<std::size_t>(file_bytes)));
+      }
+      data_update += files * file_bytes;
+      for (int round = 0; round < 2; ++round) {
+        for (std::size_t i = 0; i < files; ++i) {
+          step("prot/t" + std::to_string(i),
+               [&env, &st](const std::string& p, sim_time at) {
+                 modify_random_byte(st.fs, p, env.random(), at);
+               });
+        }
+      }
+      data_update += 2 * files;
+      break;
+    }
+    case protocol_workload::fresh_rewrites: {
+      for (std::size_t i = 0; i < files; ++i) {
+        create_with("prot/r" + std::to_string(i),
+                    env.gen_compressed(static_cast<std::size_t>(file_bytes)));
+      }
+      for (std::size_t i = 0; i < files; ++i) {
+        step("prot/r" + std::to_string(i),
+             [&env, &st, file_bytes](const std::string& p, sim_time at) {
+               st.fs.write(
+                   p,
+                   env.gen_compressed(static_cast<std::size_t>(file_bytes)),
+                   at);
+             });
+      }
+      data_update += 2 * files * file_bytes;
+      break;
+    }
+    case protocol_workload::duplicate_copy: {
+      // Phase-ordered: every distinct file syncs before its copy appears, so
+      // the dedup index (and the adaptive selector's synced-hash knowledge)
+      // is warm when the duplicates arrive.
+      std::vector<byte_buffer> contents;
+      contents.reserve(files);
+      for (std::size_t i = 0; i < files; ++i) {
+        contents.push_back(
+            env.gen_compressed(static_cast<std::size_t>(file_bytes)));
+      }
+      for (std::size_t i = 0; i < files; ++i) {
+        create_with("prot/a" + std::to_string(i), byte_buffer(contents[i]));
+      }
+      for (std::size_t i = 0; i < files; ++i) {
+        create_with("prot/b" + std::to_string(i), byte_buffer(contents[i]));
+      }
+      data_update += 2 * files * file_bytes;
+      break;
+    }
+  }
+
+  protocol_run_result res;
+  res.meter = st.aggregate_meter();
+  res.total_traffic = res.meter.total();
+  res.data_update_bytes = data_update;
+  res.tue = tue(res.total_traffic, res.data_update_bytes);
+  res.commits = st.client->commit_count();
+  res.selector = st.client->protocol_stats();
   return res;
 }
 

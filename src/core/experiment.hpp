@@ -51,6 +51,10 @@ struct experiment_config {
   /// net/transfer_scheduler.hpp). Disabled by default; enabled on a clean
   /// link it is byte-invisible (the controller never escalates).
   transfer_policy transfer{};
+  /// Per-update protocol selection for every station's client (see
+  /// client/protocol_cost.hpp). Default service_default mode is the
+  /// historical branching — byte-identical to the pre-registry engine.
+  protocol_options protocol{};
 };
 
 /// One client machine attached to the environment: its own sync folder and
@@ -268,6 +272,41 @@ struct transfer_run_result {
   std::vector<connection_stats> per_connection;
 };
 transfer_run_result run_transfer_experiment(const experiment_config& cfg,
+                                            std::size_t files,
+                                            std::uint64_t file_bytes);
+
+/// Protocol-selection experiment (bench/protocol_selector_report): one
+/// deterministic trace workload replayed under cfg.protocol's selection
+/// mode, every transaction settled alone so the selector's calibration state
+/// evolves identically at any grid thread count. The three workloads span
+/// the regimes where each built-in protocol wins:
+///   small_edits     — text files, then rounds of one-byte in-place edits
+///                     (delta sync's home turf);
+///   fresh_rewrites  — incompressible files fully rewritten with new content
+///                     (nothing to delta or dedup: full-file wins);
+///   duplicate_copy  — distinct files, then byte-identical copies under new
+///                     paths (whole-file dedup hits; CDC wins).
+enum class protocol_workload : std::uint8_t {
+  small_edits,
+  fresh_rewrites,
+  duplicate_copy,
+};
+const char* to_string(protocol_workload wl);
+
+struct protocol_run_result {
+  /// Aggregate meter — the per-(direction, category) identity object the
+  /// bench's forced-vs-legacy and thread-determinism legs compare.
+  traffic_meter meter;
+  std::uint64_t total_traffic = 0;
+  std::uint64_t data_update_bytes = 0;
+  double tue = 0;
+  std::uint64_t commits = 0;
+  /// Selector observability: pick counts, calibration corrections, and the
+  /// predicted-vs-actual error distribution (empty outside adaptive mode).
+  protocol_selector_stats selector;
+};
+protocol_run_result run_protocol_experiment(const experiment_config& cfg,
+                                            protocol_workload wl,
                                             std::size_t files,
                                             std::uint64_t file_bytes);
 

@@ -1,10 +1,8 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/parallel_runner.hpp"
@@ -15,21 +13,6 @@
 namespace cloudsync {
 
 namespace {
-
-/// The deprecated replay-time clamp, still honored for one release: 0 means
-/// uncapped, anything else clamps and warns once per process.
-std::uint64_t effective_size_cap(const fleet_config& cfg) {
-  if (cfg.file_size_cap == 0) return UINT64_MAX;
-  static std::once_flag warned;
-  std::call_once(warned, [] {
-    std::fprintf(stderr,
-                 "warning: fleet_config::file_size_cap is deprecated and will "
-                 "be removed in the next release; set "
-                 "fleet_config::trace.max_file_bytes to bound file sizes at "
-                 "trace generation instead\n");
-  });
-  return cfg.file_size_cap;
-}
 
 /// Above this size a record's content is built as a rope tiling a bounded
 /// pool of seeded segments instead of one lazy whole-file chunk, so reading
@@ -73,9 +56,8 @@ content_ref pooled_record_content(std::uint64_t seed, std::uint64_t size,
 /// duplicate shares the same chunks, so fleet memory is O(unique bytes). In
 /// flat mode each call generates a private buffer, reproducing the historical
 /// per-file duplication (that is the baseline the bench compares against).
-content_ref record_content(const trace_file_record& rec,
-                           std::uint64_t size_cap) {
-  const std::uint64_t size = std::min(rec.original_size, size_cap);
+content_ref record_content(const trace_file_record& rec) {
+  const std::uint64_t size = rec.original_size;
   const std::uint64_t seed = rec.full_md5.prefix64();
   const double ratio = rec.compression_ratio();
   auto generate = [seed, size, ratio] {
@@ -123,17 +105,17 @@ fleet_service_report replay_service(const service_profile& profile,
   }
   report.users = stations.size();
 
-  // Schedule creations and modifications on the compressed timeline.
-  const std::uint64_t size_cap = effective_size_cap(cfg);
+  // Schedule creations and modifications on the compressed timeline. File
+  // sizes replay exactly as recorded: bounding them is the trace generator's
+  // job (trace.max_file_bytes), never the replayer's.
   std::uint64_t update_bytes = 0;
   for (const trace_file_record* rec : records) {
     station* st = stations[rec->user];
     const sim_time created_at =
         sim_time::from_sec(rec->creation_time / cfg.time_compression);
-    const std::uint64_t size = std::min(rec->original_size, size_cap);
-    update_bytes += size;
-    env.clock().schedule_at(created_at, [st, rec, size_cap, &env] {
-      st->fs.create(rec->file_name, record_content(*rec, size_cap),
+    update_bytes += rec->original_size;
+    env.clock().schedule_at(created_at, [st, rec, &env] {
+      st->fs.create(rec->file_name, record_content(*rec),
                     env.clock().now());
     });
     // Modifications: spread after creation; random single-byte edits.

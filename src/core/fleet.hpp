@@ -33,12 +33,12 @@ struct fleet_config {
   /// the whole trace; benches that want the historical scope set it lower.
   std::size_t max_files_per_service = SIZE_MAX;
 
-  /// DEPRECATED (to be removed next release): replay-time clamp on file
-  /// sizes. 0 — the default — replays every file at its recorded size; big
-  /// files become bounded-pool ropes, so fleet memory no longer depends on
-  /// file size. To bound sizes, set trace.max_file_bytes instead (clamping
-  /// at generation keeps trace identities consistent). A non-zero value here
-  /// still clamps but prints a one-time warning.
+  /// REMOVED MECHANISM, field kept one release for ABI/layout stability:
+  /// the replay-time file-size clamp is gone and this value is ignored —
+  /// every file replays at its recorded size (big files become bounded-pool
+  /// ropes, so fleet memory does not depend on file size). To bound sizes,
+  /// set trace.max_file_bytes: clamping at generation keeps trace
+  /// identities consistent.
   std::uint64_t file_size_cap = 0;
 
   /// Trace timestamps are divided by this factor so months of user activity

@@ -53,6 +53,32 @@ std::vector<chunk_ref> dedup_engine::chunk_layout(
   return out;
 }
 
+std::uint64_t expected_fingerprint_count(const dedup_policy& policy,
+                                         std::uint64_t size) {
+  if (size == 0) return 0;
+  switch (policy.granularity) {
+    case dedup_granularity::none:
+      return 0;
+    case dedup_granularity::full_file:
+      return 1;
+    case dedup_granularity::fixed_block: {
+      const std::uint64_t bs = std::max<std::uint64_t>(policy.block_size, 1);
+      return (size + bs - 1) / bs;
+    }
+    case dedup_granularity::content_defined: {
+      // Cut decisions start after the min-size skip and fire geometrically
+      // with mean avg_size, so the expected chunk length is min + avg,
+      // bounded by the hard max.
+      const cdc_params& p = policy.cdc;
+      const std::uint64_t expect = std::min<std::uint64_t>(
+          p.max_size, static_cast<std::uint64_t>(p.min_size) + p.avg_size);
+      return std::max<std::uint64_t>(1, size / std::max<std::uint64_t>(
+                                               expect, 1));
+    }
+  }
+  return 0;
+}
+
 dedup_result dedup_engine::analyze(user_id user, byte_view data) const {
   dedup_result res;
   switch (policy_.granularity) {

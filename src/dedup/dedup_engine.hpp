@@ -57,6 +57,14 @@ struct dedup_result {
   bool whole_file_duplicate = false;
 };
 
+/// How many fingerprints analyze() would send for `size` bytes under
+/// `policy`, without walking any content: the cost model's metadata term.
+/// Exact for none/full_file/fixed_block; for content_defined it assumes the
+/// expected gear-CDC chunk length (min + avg mask-geometric mean, capped at
+/// max), which calibration refines.
+std::uint64_t expected_fingerprint_count(const dedup_policy& policy,
+                                         std::uint64_t size);
+
 class dedup_engine {
  public:
   /// `memo` (optional, non-owning) caches chunk fingerprints across engines

@@ -86,6 +86,23 @@ void byte_pipeline::feed(byte_view tile) {
   if (req_.sha1) sha1_.update(tile);
   if (req_.crc32) crc_ = cloudsync::crc32(tile, crc_);
   if (req_.weak) weak_accumulate(tile, weak_a_, weak_b_);
+  if (req_.block_weak) {
+    // Split the tile at fixed-block boundaries so each block's accumulator
+    // sees exactly its own bytes — identical to weak_checksum() per block.
+    const std::size_t bs = *req_.block_weak;
+    std::size_t i = 0;
+    while (i < tile.size()) {
+      const std::size_t take = std::min(bs - bw_len_, tile.size() - i);
+      weak_accumulate(tile.subspan(i, take), bw_a_, bw_b_);
+      bw_len_ += take;
+      i += take;
+      if (bw_len_ == bs) {
+        out_.block_weak.push_back((bw_b_ << 16) | (bw_a_ & 0xffffu));
+        bw_a_ = bw_b_ = 0;
+        bw_len_ = 0;
+      }
+    }
+  }
   if (req_.entropy) {
     for (const std::uint8_t b : tile) ++hist_[b];
   }
@@ -100,6 +117,9 @@ content_report byte_pipeline::finish() {
   if (req_.sha1) out_.sha1 = sha1_.finish();
   if (req_.crc32) out_.crc32 = crc_;
   if (req_.weak) out_.weak = (weak_b_ << 16) | (weak_a_ & 0xffffu);
+  if (req_.block_weak && bw_len_ > 0) {
+    out_.block_weak.push_back((bw_b_ << 16) | (bw_a_ & 0xffffu));
+  }
   if (req_.entropy && out_.total_bytes > 0) {
     double bits = 0.0;
     for (const std::uint64_t n : hist_) {

@@ -36,6 +36,10 @@ struct content_request {
   bool sha1 = false;
   bool crc32 = false;
   bool weak = false;  ///< whole-buffer rsync weak checksum (adler a/b sums)
+  /// Per-block rsync weak checksums over a fixed grid of this block size:
+  /// the similarity probe of the protocol cost model. Each value matches
+  /// weak_checksum() of the corresponding fixed block exactly.
+  std::optional<std::size_t> block_weak;
   /// Byte-histogram Huffman entropy, the streamable compressed-size
   /// estimate (bits assigned by an ideal order-0 coder).
   bool entropy = false;
@@ -51,6 +55,7 @@ struct content_report {
   sha1_digest sha1{};
   std::uint32_t crc32 = 0;
   std::uint32_t weak = 0;
+  std::vector<std::uint32_t> block_weak;  ///< one per fixed block, in order
   double entropy_bits_per_byte = 0.0;
   std::uint64_t total_bytes = 0;
   std::vector<chunk_ref> cdc_chunks;
@@ -80,6 +85,8 @@ class byte_pipeline {
   sha1_hasher sha1_;
   std::uint32_t crc_ = 0;
   std::uint32_t weak_a_ = 0, weak_b_ = 0;
+  std::uint32_t bw_a_ = 0, bw_b_ = 0;  ///< block_weak accumulator
+  std::size_t bw_len_ = 0;             ///< bytes into the current block
   std::uint64_t hist_[256] = {};
 
   // Gear CDC chunk-in-progress (offsets are absolute in the stream).

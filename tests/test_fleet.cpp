@@ -60,10 +60,10 @@ TEST(Fleet, CapsRespected) {
   }
 }
 
-TEST(Fleet, DeprecatedFileSizeCapStillClamps) {
-  // file_size_cap is deprecated (one release) but must keep clamping: a
-  // tight replay-time cap has to shrink the replayed update bytes relative
-  // to the uncapped default on the same generated trace.
+TEST(Fleet, FileSizeCapIsIgnored) {
+  // The deprecated replay-time clamp is removed: setting file_size_cap must
+  // change nothing. Bounding sizes is trace.max_file_bytes' job (clamping
+  // at generation keeps trace identities consistent).
   fleet_config capped = small_config();
   capped.trace.max_file_bytes = 1 * MiB;
   capped.max_files_per_service = 10;
@@ -72,10 +72,11 @@ TEST(Fleet, DeprecatedFileSizeCapStillClamps) {
   const auto a = replay_trace_fleet(capped);
   const auto b = replay_trace_fleet(uncapped);
   ASSERT_EQ(a.size(), b.size());
-  std::uint64_t capped_bytes = 0, uncapped_bytes = 0;
-  for (const auto& r : a) capped_bytes += r.update_bytes;
-  for (const auto& r : b) uncapped_bytes += r.update_bytes;
-  EXPECT_LT(capped_bytes, uncapped_bytes);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].update_bytes, b[i].update_bytes) << a[i].service;
+    EXPECT_EQ(a[i].sync_traffic, b[i].sync_traffic) << a[i].service;
+    EXPECT_EQ(a[i].commits, b[i].commits) << a[i].service;
+  }
 }
 
 TEST(Fleet, MechanismsReduceTue) {

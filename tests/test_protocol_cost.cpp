@@ -1,0 +1,292 @@
+// Differential tests for the analytical protocol cost model: on constructed
+// updates where the prediction has no excuse, it must equal the real
+// planner's numbers exactly (delta frames via delta_wire_size, payload via
+// wire_payload_size's probe fast path); everywhere else it must stay inside
+// the calibration loop's reach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chunking/rsync.hpp"
+#include "client/protocol_cost.hpp"
+#include "client/sync_engine.hpp"
+#include "fs/file_ops.hpp"
+#include "pipeline/byte_pipeline.hpp"
+
+namespace cloudsync {
+namespace {
+
+constexpr std::size_t kBlock = 4 * KiB;
+constexpr std::size_t kFileBytes = 32 * KiB;  // 8 whole blocks
+
+service_profile lab_profile() {
+  service_profile s = dropbox();
+  s.delta_chunk_size = kBlock;
+  s.dedup = {dedup_granularity::content_defined, 4 * MiB,
+             /*cross_user=*/false, cdc_params{}};
+  return s;
+}
+
+struct fixture {
+  service_profile profile = lab_profile();
+  cloud cl;
+  planning_env env;
+
+  fixture() : cl(cloud_config{lab_profile().dedup}) {
+    env.profile = &profile;
+    env.method = access_method::pc_client;
+    env.cl = &cl;
+  }
+};
+
+double entropy_of(const byte_buffer& data) {
+  content_request req;
+  req.entropy = true;
+  return analyze_content(byte_view{data.data(), data.size()}, req)
+      .entropy_bits_per_byte;
+}
+
+update_features features_for(fixture& fx, const content_ref& content,
+                             shadow_entry* shadow) {
+  static const std::string path = "f";
+  protocol_update up;
+  up.path = &path;
+  up.content = &content;
+  up.in_cloud = shadow != nullptr;
+  up.shadow = shadow;
+  return extract_update_features(fx.env, up, {}, 0.0);
+}
+
+TEST(ProtocolCost, IdenticalFilePredictsExactCopyFrame) {
+  fixture fx;
+  rng r(7);
+  const byte_buffer data = make_text_file(r, kFileBytes);
+  const content_ref content = content_ref::from_buffer(byte_buffer(data));
+  shadow_entry sh;
+  sh.content = content;
+
+  const update_features f = features_for(fx, content, &sh);
+  ASSERT_TRUE(f.has_shadow);
+  EXPECT_DOUBLE_EQ(f.similarity, 1.0);
+
+  const file_signature sig =
+      compute_signature(byte_view{data.data(), data.size()}, kBlock);
+  const file_delta d =
+      compute_delta(sig, byte_view{data.data(), data.size()});
+  EXPECT_EQ(predicted_delta_frame_bytes(f.size, f.block_size, f.similarity),
+            delta_wire_size(d));
+}
+
+TEST(ProtocolCost, DisjointFilePredictsExactLiteralFrame) {
+  fixture fx;
+  rng r_old(11), r_new(13);
+  const byte_buffer old_data = make_compressed_file(r_old, kFileBytes);
+  const byte_buffer new_data = make_compressed_file(r_new, kFileBytes);
+  const content_ref content =
+      content_ref::from_buffer(byte_buffer(new_data));
+  shadow_entry sh;
+  sh.content = content_ref::from_buffer(byte_buffer(old_data));
+
+  const update_features f = features_for(fx, content, &sh);
+  ASSERT_TRUE(f.has_shadow);
+  EXPECT_DOUBLE_EQ(f.similarity, 0.0);
+
+  const file_signature sig = compute_signature(
+      byte_view{old_data.data(), old_data.size()}, kBlock);
+  const file_delta d =
+      compute_delta(sig, byte_view{new_data.data(), new_data.size()});
+  EXPECT_EQ(predicted_delta_frame_bytes(f.size, f.block_size, f.similarity),
+            delta_wire_size(d));
+}
+
+TEST(ProtocolCost, SpacedBlockEditsPredictExactFrame) {
+  // Replace blocks 2 and 5 of an 8-block file with fresh random bytes: the
+  // evenly-spaced block-aligned edit is exactly the frame shape the model
+  // assumes, so prediction == the real delta's wire size, byte for byte.
+  fixture fx;
+  rng r(17);
+  const byte_buffer old_data = make_text_file(r, kFileBytes);
+  byte_buffer new_data = old_data;
+  rng r_edit(19);
+  for (const std::size_t blk : {std::size_t{2}, std::size_t{5}}) {
+    const byte_buffer noise = make_compressed_file(r_edit, kBlock);
+    std::copy(noise.begin(), noise.end(), new_data.begin() + blk * kBlock);
+  }
+  const content_ref content =
+      content_ref::from_buffer(byte_buffer(new_data));
+  shadow_entry sh;
+  sh.content = content_ref::from_buffer(byte_buffer(old_data));
+
+  const update_features f = features_for(fx, content, &sh);
+  ASSERT_TRUE(f.has_shadow);
+  EXPECT_DOUBLE_EQ(f.similarity, 6.0 / 8.0);
+
+  const file_signature sig = compute_signature(
+      byte_view{old_data.data(), old_data.size()}, kBlock);
+  const file_delta d =
+      compute_delta(sig, byte_view{new_data.data(), new_data.size()});
+  EXPECT_EQ(predicted_delta_frame_bytes(f.size, f.block_size, f.similarity),
+            delta_wire_size(d));
+}
+
+TEST(ProtocolCost, HighEntropyFilePredictsRawViaProbePath) {
+  // Incompressible content >= the probe threshold: both the model and the
+  // real sizer take the incompressibility fast path and answer raw size.
+  rng r(23);
+  const byte_buffer data = make_compressed_file(r, 8 * KiB);
+  const double entropy = entropy_of(data);
+  EXPECT_GT(entropy, 7.5);
+  const double predicted =
+      predicted_compressed_bytes(static_cast<double>(data.size()), entropy,
+                                 /*level=*/4);
+  EXPECT_DOUBLE_EQ(predicted, static_cast<double>(data.size()));
+  EXPECT_EQ(wire_payload_size(byte_view{data.data(), data.size()}, 4),
+            data.size());
+}
+
+TEST(ProtocolCost, ZeroFilePredictionStaysBounded) {
+  // An all-zeros file compresses almost to nothing; the model's LZ token
+  // floor must keep the prediction within calibration reach of the real
+  // sizer (a bounded constant factor), never orders of magnitude off.
+  const byte_buffer zeros(16 * KiB, 0);
+  const double entropy = entropy_of(zeros);
+  EXPECT_NEAR(entropy, 0.0, 1e-9);
+  const double predicted = predicted_compressed_bytes(
+      static_cast<double>(zeros.size()), entropy, /*level=*/4);
+  const double actual = static_cast<double>(
+      wire_payload_size(byte_view{zeros.data(), zeros.size()}, 4));
+  EXPECT_LT(predicted, static_cast<double>(zeros.size()) / 16.0);
+  EXPECT_LT(actual, static_cast<double>(zeros.size()) / 16.0);
+  const double ratio = predicted / actual;
+  EXPECT_GE(ratio, 0.25);
+  EXPECT_LE(ratio, 4.0);
+}
+
+TEST(ProtocolCost, CompressionLevelZeroPredictsRaw) {
+  EXPECT_DOUBLE_EQ(predicted_compressed_bytes(1000.0, 4.0, 0), 1000.0);
+  EXPECT_DOUBLE_EQ(predicted_compressed_bytes(0.0, 4.0, 4), 0.0);
+}
+
+TEST(ProtocolCost, FingerprintCountFormulas) {
+  dedup_policy none = dedup_policy::disabled();
+  EXPECT_EQ(expected_fingerprint_count(none, 1 * MiB), 0u);
+
+  dedup_policy whole{dedup_granularity::full_file, 4 * MiB, false};
+  EXPECT_EQ(expected_fingerprint_count(whole, 1), 1u);
+  EXPECT_EQ(expected_fingerprint_count(whole, 0), 0u);
+
+  dedup_policy fixed{dedup_granularity::fixed_block, 4 * MiB, false};
+  EXPECT_EQ(expected_fingerprint_count(fixed, 4 * MiB), 1u);
+  EXPECT_EQ(expected_fingerprint_count(fixed, 4 * MiB + 1), 2u);
+  EXPECT_EQ(expected_fingerprint_count(fixed, 9 * MiB), 3u);
+
+  dedup_policy cdc{dedup_granularity::content_defined, 4 * MiB, false,
+                   cdc_params{}};
+  // Expected chunk pitch = min(max_size, min_size + avg_size) = 10 KiB.
+  EXPECT_EQ(expected_fingerprint_count(cdc, 100 * KiB), 10u);
+  EXPECT_EQ(expected_fingerprint_count(cdc, 1), 1u);  // floor of one chunk
+  EXPECT_EQ(expected_fingerprint_count(cdc, 0), 0u);
+}
+
+TEST(ProtocolCost, JournaledSessionsChargeRoundTrips) {
+  fixture fx;
+  rng r(29);
+  const byte_buffer data = make_compressed_file(r, kFileBytes);
+  const content_ref content = content_ref::from_buffer(byte_buffer(data));
+  const update_features f = features_for(fx, content, nullptr);
+
+  const cost_prediction plain =
+      predict_protocol_cost(protocol_id::full_file, f, fx.env);
+  ASSERT_TRUE(plain.feasible);
+  EXPECT_DOUBLE_EQ(plain.round_trips, 1.0);
+
+  fx.env.journaled = true;
+  fx.env.session_chunk_bytes = 8 * KiB;
+  const cost_prediction chunked =
+      predict_protocol_cost(protocol_id::full_file, f, fx.env);
+  ASSERT_TRUE(chunked.feasible);
+  EXPECT_DOUBLE_EQ(chunked.round_trips,
+                   2.0 + std::ceil(plain.app_up /
+                                   (1.0 + fx.env.mp().per_payload_metadata) /
+                                   (8.0 * KiB)));
+}
+
+TEST(ProtocolCost, WholeFileDuplicateDrivesDedupHitProbability) {
+  fixture fx;
+  rng r(31);
+  const byte_buffer data = make_compressed_file(r, kFileBytes);
+  const content_ref content = content_ref::from_buffer(byte_buffer(data));
+
+  std::unordered_set<std::uint64_t> synced;
+  static const std::string path = "f";
+  protocol_update up;
+  up.path = &path;
+  up.content = &content;
+  const update_features fresh =
+      extract_update_features(fx.env, up, synced, 0.0);
+  EXPECT_FALSE(fresh.whole_file_duplicate);
+  EXPECT_DOUBLE_EQ(fresh.dedup_hit_prob, 0.0);
+
+  synced.insert(content.hash64());
+  const update_features dup =
+      extract_update_features(fx.env, up, synced, 0.0);
+  EXPECT_TRUE(dup.whole_file_duplicate);
+  EXPECT_DOUBLE_EQ(dup.dedup_hit_prob, 1.0);
+
+  // A duplicate file costs cdc_dedup only fingerprints; the model must rank
+  // it far below shipping the bytes full-file.
+  const cost_prediction cdc =
+      predict_protocol_cost(protocol_id::cdc_dedup, dup, fx.env);
+  const cost_prediction full =
+      predict_protocol_cost(protocol_id::full_file, dup, fx.env);
+  ASSERT_TRUE(cdc.feasible);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_LT(cdc.app_up, full.app_up / 10.0);
+}
+
+TEST(ProtocolCost, CalibrationConvergesCorrectionTowardActual) {
+  // Feed the selector a stream of observations where the actual is always
+  // 2x the prediction: the correction factor must walk toward 2 and the
+  // recorded errors must land in the histogram.
+  protocol_options opts;
+  opts.mode = protocol_mode::adaptive;
+  protocol_selector sel(opts, link_config::minnesota());
+
+  // The plan ships the CORRECTED prediction (model x correction), exactly
+  // as choose() stores it, so the feedback loop sees its own adjustment.
+  upload_plan plan;
+  plan.protocol = protocol_id::full_file;
+  const protocol_selector_stats& s = sel.stats();
+  for (int i = 0; i < 12; ++i) {
+    plan.predicted_app_up =
+        1000.0 *
+        s.correction[static_cast<std::size_t>(protocol_id::full_file)];
+    sel.observe(plan, /*content_hash=*/static_cast<std::uint64_t>(i),
+                /*actual_app_up=*/2000);
+  }
+  EXPECT_EQ(s.observations, 12u);
+  EXPECT_NEAR(s.correction[static_cast<std::size_t>(protocol_id::full_file)],
+              2.0, 0.01);
+  // First observation is off by 2x; after correction kicks in the errors
+  // shrink geometrically, so the median lands in the tightest bucket.
+  EXPECT_LT(s.median_abs_rel_error(), 0.05);
+  EXPECT_GT(s.mean_abs_rel_error(), 0.0);
+  EXPECT_GE(s.error_hist[0], 6u);
+}
+
+TEST(ProtocolCost, NonAdaptiveModesNeverObserve) {
+  protocol_options opts;
+  opts.mode = protocol_mode::service_default;
+  protocol_selector sel(opts, link_config::minnesota());
+  upload_plan plan;
+  plan.protocol = protocol_id::rsync;
+  plan.predicted_app_up = 500.0;
+  sel.observe(plan, 42, 1000);
+  EXPECT_EQ(sel.stats().observations, 0u);
+  EXPECT_DOUBLE_EQ(
+      sel.stats().correction[static_cast<std::size_t>(protocol_id::rsync)],
+      1.0);
+}
+
+}  // namespace
+}  // namespace cloudsync

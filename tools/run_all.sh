@@ -39,4 +39,15 @@ for b in "$build_dir"/bench/*; do
   "$b" 2>&1 | tee -a "$repo_root/bench_output.txt"
 done
 
+# Selector observability: one adaptive and one forced replay through
+# tools/protocol_stats, appended to the bench log. (protocol_selector_report
+# itself already ran in the bench/* loop above and wrote BENCH_protocol.json.)
+for args in "--workload small_edits --mode adaptive" \
+            "--workload duplicate_copy --mode forced --forced cdc_dedup"; do
+  echo "### protocol_stats $args" | tee -a "$repo_root/bench_output.txt"
+  # shellcheck disable=SC2086
+  "$build_dir/tools/protocol_stats" $args 2>&1 \
+    | tee -a "$repo_root/bench_output.txt"
+done
+
 echo "done: test_output.txt and bench_output.txt written."
