@@ -1,0 +1,306 @@
+#include "cache/block_cache.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace cloudsync {
+
+const char* to_string(cache_write_mode mode) {
+  switch (mode) {
+    case cache_write_mode::write_through: return "write_through";
+    case cache_write_mode::write_back: return "write_back";
+  }
+  return "?";
+}
+
+block_cache::block_cache(cache_config cfg)
+    : cfg_(cfg), policy_(make_eviction_policy(cfg.policy)) {
+  if (cfg_.block_bytes == 0) {
+    throw std::invalid_argument("cache block size must be nonzero");
+  }
+  const std::size_t cap_blocks =
+      cfg_.capacity_bytes == 0
+          ? (std::numeric_limits<std::size_t>::max)() / 2
+          : static_cast<std::size_t>(std::max<std::uint64_t>(
+                1, cfg_.capacity_bytes / cfg_.block_bytes));
+  policy_->set_capacity(cap_blocks);
+}
+
+std::size_t block_cache::block_count(std::uint64_t size) const {
+  return static_cast<std::size_t>((size + cfg_.block_bytes - 1) /
+                                  cfg_.block_bytes);
+}
+
+std::size_t block_cache::block_len(const file_entry& fe,
+                                   std::size_t index) const {
+  const std::uint64_t off =
+      static_cast<std::uint64_t>(index) * cfg_.block_bytes;
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(cfg_.block_bytes, fe.size - off));
+}
+
+bool block_cache::tracks(const std::string& path) const {
+  return files_.find(path) != files_.end();
+}
+
+block_cache::file_entry& block_cache::entry_for(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it != files_.end()) return it->second;
+  auto [ins, _] = files_.emplace(path, file_entry{});
+  ins->second.id = static_cast<std::uint32_t>(id_to_path_.size());
+  id_to_path_.push_back(&ins->first);  // std::map keys are address-stable
+  return ins->second;
+}
+
+void block_cache::make_resident(const std::string&, file_entry& fe,
+                                std::size_t index, content_ref bytes,
+                                bool dirty) {
+  block_state& bs = fe.blocks[index];
+  const cache_block_id id =
+      block_id(fe.id, static_cast<std::uint32_t>(index));
+  if (bs.resident) {
+    resident_bytes_ -= bs.bytes.size();
+    policy_->on_access(id);
+  } else {
+    bs.resident = true;
+    ++resident_blocks_;
+    ++stats_.insertions;
+    policy_->on_insert(id);
+  }
+  if (dirty && !bs.dirty) {
+    bs.dirty = true;
+    ++dirty_blocks_;
+  } else if (!dirty && bs.dirty) {
+    bs.dirty = false;
+    --dirty_blocks_;
+  }
+  resident_bytes_ += bytes.size();
+  bs.bytes = std::move(bytes);
+}
+
+void block_cache::drop_block(file_entry& fe, std::size_t index) {
+  block_state& bs = fe.blocks[index];
+  if (!bs.resident) return;
+  resident_bytes_ -= bs.bytes.size();
+  --resident_blocks_;
+  if (bs.dirty) --dirty_blocks_;
+  bs = block_state{};
+  policy_->on_erase(block_id(fe.id, static_cast<std::uint32_t>(index)));
+}
+
+void block_cache::ensure_capacity() {
+  if (cfg_.capacity_bytes == 0) return;
+  const auto evictable = [this](cache_block_id id) {
+    const std::uint32_t file = static_cast<std::uint32_t>(id >> 32);
+    const std::uint32_t index = static_cast<std::uint32_t>(id);
+    const file_entry& fe = files_.at(*id_to_path_[file]);
+    return !fe.pinned && !fe.blocks[index].dirty;
+  };
+  while (resident_bytes_ > cfg_.capacity_bytes) {
+    cache_block_id victim = 0;
+    if (!policy_->pick_victim(evictable, &victim)) {
+      // Everything left is pinned or dirty: the cache is allowed to
+      // overshoot, but the stall is visible in stats.
+      ++stats_.eviction_stalls;
+      return;
+    }
+    const std::uint32_t file = static_cast<std::uint32_t>(victim >> 32);
+    const std::uint32_t index = static_cast<std::uint32_t>(victim);
+    file_entry& fe = files_.at(*id_to_path_[file]);
+    // pick_victim already dropped the id from the policy's resident set;
+    // release the bytes without a second on_erase.
+    block_state& bs = fe.blocks[index];
+    resident_bytes_ -= bs.bytes.size();
+    --resident_blocks_;
+    bs = block_state{};
+    ++stats_.evictions;
+  }
+}
+
+void block_cache::install(const std::string& path, const content_ref& content) {
+  file_entry& fe = entry_for(path);
+  bool was_dirty = false;
+  for (const block_state& bs : fe.blocks) was_dirty |= bs.dirty;
+  if (was_dirty) ++stats_.flushes;
+
+  const std::size_t want = block_count(content.size());
+  for (std::size_t i = want; i < fe.blocks.size(); ++i) drop_block(fe, i);
+  fe.size = content.size();
+  fe.blocks.resize(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t off = i * cfg_.block_bytes;
+    make_resident(path, fe, i, content.substr(off, block_len(fe, i)),
+                  /*dirty=*/false);
+  }
+  ensure_capacity();
+}
+
+void block_cache::invalidate(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return;
+  file_entry& fe = it->second;
+  for (std::size_t i = 0; i < fe.blocks.size(); ++i) drop_block(fe, i);
+  // The file id stays allocated (id_to_path_ slots are never reused) but
+  // the entry itself goes away so tracks() turns false.
+  id_to_path_[fe.id] = nullptr;
+  files_.erase(it);
+}
+
+std::size_t block_cache::note_local_write(const std::string& path,
+                                          const content_ref& content) {
+  file_entry& fe = entry_for(path);
+  const std::size_t want = block_count(content.size());
+  for (std::size_t i = want; i < fe.blocks.size(); ++i) drop_block(fe, i);
+  fe.size = content.size();
+  fe.blocks.resize(want);
+
+  std::size_t newly_dirty = 0;
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t off = i * cfg_.block_bytes;
+    content_ref fresh = content.substr(off, block_len(fe, i));
+    block_state& bs = fe.blocks[i];
+    if (bs.resident && bs.bytes.equal(fresh)) {
+      // Unchanged relative to the cached state (clean or already dirty).
+      if (bs.dirty) ++stats_.dirty_coalesced;
+      continue;
+    }
+    const bool was_dirty = bs.dirty;
+    make_resident(path, fe, i, std::move(fresh), /*dirty=*/true);
+    if (was_dirty) {
+      ++stats_.dirty_coalesced;
+    } else {
+      ++stats_.dirty_marked;
+      ++newly_dirty;
+    }
+  }
+  ensure_capacity();
+  return newly_dirty;
+}
+
+void block_cache::pin(const std::string& path) { entry_for(path).pinned = true; }
+
+void block_cache::unpin(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it != files_.end()) it->second.pinned = false;
+}
+
+bool block_cache::pinned(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it != files_.end() && it->second.pinned;
+}
+
+bool block_cache::probe_resident(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  file_entry& fe = it->second;
+  std::size_t absent = 0;
+  for (const block_state& bs : fe.blocks) absent += bs.resident ? 0 : 1;
+  if (absent != 0) {
+    stats_.misses += absent;
+    return false;
+  }
+  stats_.hits += fe.blocks.size();
+  for (std::size_t i = 0; i < fe.blocks.size(); ++i) {
+    policy_->on_access(block_id(fe.id, static_cast<std::uint32_t>(i)));
+  }
+  return true;
+}
+
+std::optional<content_ref> block_cache::read(
+    const std::string& path,
+    const std::function<content_ref(std::uint32_t, std::uint32_t)>& fetch) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  file_entry& fe = it->second;
+
+  // Fetch absent blocks one contiguous run at a time.
+  std::size_t i = 0;
+  while (i < fe.blocks.size()) {
+    if (fe.blocks[i].resident) {
+      ++stats_.hits;
+      policy_->on_access(block_id(fe.id, static_cast<std::uint32_t>(i)));
+      ++i;
+      continue;
+    }
+    std::size_t run = 1;
+    while (i + run < fe.blocks.size() && !fe.blocks[i + run].resident) ++run;
+    stats_.misses += run;
+    const content_ref got = fetch(static_cast<std::uint32_t>(i),
+                                  static_cast<std::uint32_t>(run));
+    std::uint64_t expect = 0;
+    for (std::size_t k = 0; k < run; ++k) expect += block_len(fe, i + k);
+    if (got.size() != expect) {
+      throw std::logic_error("rehydration fetch returned wrong byte count");
+    }
+    for (std::size_t k = 0; k < run; ++k) {
+      const std::size_t len = block_len(fe, i + k);
+      make_resident(path, fe, i + k,
+                    got.substr(k * cfg_.block_bytes, len), /*dirty=*/false);
+      ++stats_.rehydrated_blocks;
+      stats_.rehydrated_bytes += len;
+    }
+    i += run;
+  }
+  ensure_capacity();
+
+  // Assemble. Eviction pressure from the admissions above may already have
+  // re-evicted part of a file larger than the whole cache; assemble from
+  // the bytes fetched this call regardless — make_resident stored them and
+  // ensure_capacity only drops refs, so re-read the block list defensively.
+  content_ref::builder out;
+  for (std::size_t k = 0; k < fe.blocks.size(); ++k) {
+    const block_state& bs = fe.blocks[k];
+    if (!bs.resident) {
+      // Evicted between admission and assembly (file > capacity): the
+      // caller still got a consistent view — refetch just this block.
+      stats_.misses += 1;
+      const content_ref got =
+          fetch(static_cast<std::uint32_t>(k), 1);
+      ++stats_.rehydrated_blocks;
+      stats_.rehydrated_bytes += got.size();
+      out.append(got);
+      continue;
+    }
+    out.append(bs.bytes);
+  }
+  return out.build();
+}
+
+std::size_t block_cache::drop_clean_blocks() {
+  std::size_t dropped = 0;
+  for (auto& [path, fe] : files_) {
+    for (std::size_t i = 0; i < fe.blocks.size(); ++i) {
+      if (fe.blocks[i].resident && !fe.blocks[i].dirty) {
+        drop_block(fe, i);
+        ++dropped;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::size_t block_cache::dirty_paths() const {
+  std::size_t n = 0;
+  for (const auto& [path, fe] : files_) {
+    for (const block_state& bs : fe.blocks) {
+      if (bs.dirty) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t block_cache::pinned_paths() const {
+  std::size_t n = 0;
+  for (const auto& [path, fe] : files_) n += fe.pinned ? 1 : 0;
+  return n;
+}
+
+}  // namespace cloudsync

@@ -1,0 +1,194 @@
+#include "cache/eviction_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cloudsync {
+
+const char* to_string(cache_eviction policy) {
+  switch (policy) {
+    case cache_eviction::lru: return "lru";
+    case cache_eviction::arc: return "arc";
+  }
+  return "?";
+}
+
+std::unique_ptr<eviction_policy> make_eviction_policy(cache_eviction which) {
+  switch (which) {
+    case cache_eviction::lru: return std::make_unique<lru_policy>();
+    case cache_eviction::arc: return std::make_unique<arc_policy>();
+  }
+  throw std::invalid_argument("unknown eviction policy");
+}
+
+// ---------------------------------------------------------------- lru
+
+void lru_policy::set_capacity(std::size_t) {}
+
+void lru_policy::on_insert(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it != where_.end()) {
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  recency_.push_front(id);
+  where_[id] = recency_.begin();
+}
+
+void lru_policy::on_access(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return;
+  recency_.splice(recency_.begin(), recency_, it->second);
+}
+
+void lru_policy::on_erase(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return;
+  recency_.erase(it->second);
+  where_.erase(it);
+}
+
+bool lru_policy::pick_victim(
+    const std::function<bool(cache_block_id)>& evictable,
+    cache_block_id* victim) {
+  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+    if (!evictable(*it)) continue;
+    *victim = *it;
+    where_.erase(*it);
+    recency_.erase(std::next(it).base());
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- arc
+
+std::list<cache_block_id>& arc_policy::list_of(list_id which) {
+  switch (which) {
+    case list_id::t1: return t1_;
+    case list_id::t2: return t2_;
+    case list_id::b1: return b1_;
+    case list_id::b2: return b2_;
+  }
+  return t1_;  // unreachable
+}
+
+void arc_policy::detach(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return;
+  list_of(it->second.in).erase(it->second.it);
+  where_.erase(it);
+}
+
+void arc_policy::attach_mru(cache_block_id id, list_id which) {
+  std::list<cache_block_id>& list = list_of(which);
+  list.push_front(id);
+  where_[id] = slot{which, list.begin()};
+}
+
+void arc_policy::trim_ghosts() {
+  // Standard ARC bounds: |T1| + |B1| <= c and total directory <= 2c.
+  while (!b1_.empty() && t1_.size() + b1_.size() > capacity_) {
+    where_.erase(b1_.back());
+    b1_.pop_back();
+  }
+  while (!b2_.empty() &&
+         t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * capacity_) {
+    where_.erase(b2_.back());
+    b2_.pop_back();
+  }
+}
+
+void arc_policy::set_capacity(std::size_t blocks) {
+  capacity_ = std::max<std::size_t>(1, blocks);
+  trim_ghosts();
+}
+
+void arc_policy::on_insert(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it != where_.end()) {
+    switch (it->second.in) {
+      case list_id::t1:
+      case list_id::t2:
+        on_access(id);
+        return;
+      case list_id::b1: {
+        // Ghost hit in the recency history: recency was under-provisioned.
+        const std::size_t delta =
+            std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
+                                                      1, b1_.size()));
+        p_ = std::min(capacity_, p_ + delta);
+        detach(id);
+        attach_mru(id, list_id::t2);
+        return;
+      }
+      case list_id::b2: {
+        const std::size_t delta =
+            std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
+                                                      1, b2_.size()));
+        p_ = (p_ > delta) ? p_ - delta : 0;
+        detach(id);
+        attach_mru(id, list_id::t2);
+        return;
+      }
+    }
+  }
+  attach_mru(id, list_id::t1);
+  trim_ghosts();
+}
+
+void arc_policy::on_access(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return;
+  switch (it->second.in) {
+    case list_id::t1:
+    case list_id::t2:
+      // A re-reference promotes to (or refreshes within) the frequency list.
+      detach(id);
+      attach_mru(id, list_id::t2);
+      break;
+    case list_id::b1:
+    case list_id::b2:
+      break;  // ghosts are adjusted on re-insertion, not on access
+  }
+}
+
+void arc_policy::on_erase(cache_block_id id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) return;
+  if (it->second.in == list_id::t1 || it->second.in == list_id::t2) {
+    detach(id);
+  }
+}
+
+bool arc_policy::victim_from(
+    list_id which, const std::function<bool(cache_block_id)>& evictable,
+    cache_block_id* victim) {
+  std::list<cache_block_id>& list = list_of(which);
+  for (auto it = list.rbegin(); it != list.rend(); ++it) {
+    if (!evictable(*it)) continue;
+    *victim = *it;
+    detach(*it);
+    attach_mru(*victim,
+               which == list_id::t1 ? list_id::b1 : list_id::b2);
+    trim_ghosts();
+    return true;
+  }
+  return false;
+}
+
+bool arc_policy::pick_victim(
+    const std::function<bool(cache_block_id)>& evictable,
+    cache_block_id* victim) {
+  // REPLACE: evict from T1 while it exceeds the recency target p, else
+  // from T2; fall back to the other list when every candidate in the
+  // preferred one is pinned or dirty.
+  const bool prefer_t1 =
+      !t1_.empty() && t1_.size() >= std::max<std::size_t>(1, p_);
+  const list_id first = prefer_t1 ? list_id::t1 : list_id::t2;
+  const list_id second = prefer_t1 ? list_id::t2 : list_id::t1;
+  if (victim_from(first, evictable, victim)) return true;
+  return victim_from(second, evictable, victim);
+}
+
+}  // namespace cloudsync

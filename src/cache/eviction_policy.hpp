@@ -1,0 +1,132 @@
+// Pluggable block-eviction policies for the client cache tier
+// (cache/block_cache.hpp).
+//
+// A policy tracks *which resident blocks exist and in what order they
+// should leave*; it never owns bytes. The cache identifies blocks by an
+// opaque 64-bit id (file-id << 32 | block-index) and asks the policy for a
+// victim whenever it is over capacity, passing a predicate that encodes
+// the cache's hard constraints (pinned paths and dirty blocks are not
+// evictable). Policies must honor the predicate by *skipping* protected
+// blocks, not by failing — a policy that returns false declares that no
+// evictable block exists at all.
+//
+// Two built-ins:
+//   - lru_policy: classic least-recently-used stack. LRU satisfies the
+//     inclusion property, so its hit ratio is monotone non-decreasing in
+//     capacity — bench/cache_tier_report gates on this.
+//   - arc_policy: Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+//     Two resident lists (T1 recency, T2 frequency) plus two ghost lists
+//     (B1, B2) of recently evicted ids steer an adaptive target p for
+//     |T1|; scan-heavy workloads with a reused hot set keep the hot set
+//     in T2 while the scan churns through T1.
+//
+// Determinism: policies are pure data structures driven only by the call
+// sequence — no clocks, no RNG — so a replayed run picks identical
+// victims.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+namespace cloudsync {
+
+/// Opaque resident-block identity: (file id << 32) | block index.
+using cache_block_id = std::uint64_t;
+
+enum class cache_eviction : std::uint8_t { lru, arc };
+const char* to_string(cache_eviction policy);
+
+class eviction_policy {
+ public:
+  virtual ~eviction_policy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Capacity in *blocks* — bounds the ghost lists of history-keeping
+  /// policies. The cache calls this once before use.
+  virtual void set_capacity(std::size_t blocks) = 0;
+
+  /// A block became resident (install, rehydration, or dirty write to a
+  /// previously absent block).
+  virtual void on_insert(cache_block_id id) = 0;
+
+  /// A resident block was read or rewritten.
+  virtual void on_access(cache_block_id id) = 0;
+
+  /// A resident block left the cache for a reason other than eviction
+  /// (invalidation, file shrink). No history is kept.
+  virtual void on_erase(cache_block_id id) = 0;
+
+  /// Choose a resident block to evict, skipping blocks for which
+  /// `evictable` returns false. On success the victim is written to
+  /// `*victim`, the policy stops tracking it as resident (history-keeping
+  /// policies move it to a ghost list), and true is returned. Returns
+  /// false when no evictable resident block exists; the policy state is
+  /// unchanged.
+  virtual bool pick_victim(
+      const std::function<bool(cache_block_id)>& evictable,
+      cache_block_id* victim) = 0;
+};
+
+std::unique_ptr<eviction_policy> make_eviction_policy(cache_eviction which);
+
+/// Least-recently-used: one recency list, victim is the oldest evictable.
+class lru_policy final : public eviction_policy {
+ public:
+  const char* name() const override { return "lru"; }
+  void set_capacity(std::size_t blocks) override;
+  void on_insert(cache_block_id id) override;
+  void on_access(cache_block_id id) override;
+  void on_erase(cache_block_id id) override;
+  bool pick_victim(const std::function<bool(cache_block_id)>& evictable,
+                   cache_block_id* victim) override;
+
+ private:
+  // Front = most recent, back = least recent.
+  std::list<cache_block_id> recency_;
+  std::unordered_map<cache_block_id, std::list<cache_block_id>::iterator>
+      where_;
+};
+
+/// Adaptive Replacement Cache. T1/T2 hold resident ids, B1/B2 hold ghost
+/// ids of blocks evicted from T1/T2 respectively; a hit in B1 grows the
+/// recency target p, a hit in B2 shrinks it.
+class arc_policy final : public eviction_policy {
+ public:
+  const char* name() const override { return "arc"; }
+  void set_capacity(std::size_t blocks) override;
+  void on_insert(cache_block_id id) override;
+  void on_access(cache_block_id id) override;
+  void on_erase(cache_block_id id) override;
+  bool pick_victim(const std::function<bool(cache_block_id)>& evictable,
+                   cache_block_id* victim) override;
+
+  /// Adaptive recency target (|T1| aims for p) — exposed for tests.
+  std::size_t p() const { return p_; }
+
+ private:
+  enum class list_id : std::uint8_t { t1, t2, b1, b2 };
+  struct slot {
+    list_id in;
+    std::list<cache_block_id>::iterator it;
+  };
+
+  std::list<cache_block_id>& list_of(list_id which);
+  void detach(cache_block_id id);
+  void attach_mru(cache_block_id id, list_id which);
+  void trim_ghosts();
+  bool victim_from(list_id which,
+                   const std::function<bool(cache_block_id)>& evictable,
+                   cache_block_id* victim);
+
+  // Front = most recent, back = least recent, for all four lists.
+  std::list<cache_block_id> t1_, t2_, b1_, b2_;
+  std::unordered_map<cache_block_id, slot> where_;
+  std::size_t capacity_ = 1;
+  std::size_t p_ = 0;
+};
+
+}  // namespace cloudsync

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "chunking/rsync.hpp"
 #include "compress/lzss.hpp"
@@ -35,6 +36,10 @@ constexpr std::uint64_t kSessionFinalizeUpBytes = 64;
 constexpr std::uint64_t kSessionFinalizeDownBytes = 32;
 constexpr std::uint64_t kSessionQueryUpBytes = 72;
 constexpr std::uint64_t kSessionQueryDownBytes = 96;
+
+/// Ranged-GET request a cache miss pays to re-hydrate a run of evicted
+/// blocks (metered as traffic_category::rehydrate, like the block bytes).
+constexpr std::uint64_t kRehydrateRequestBytes = 96;
 
 /// Chunk count of a `total`-byte wire payload at `chunk_bytes` granularity.
 std::uint32_t chunk_count(std::uint64_t total, std::size_t chunk_bytes) {
@@ -100,6 +105,7 @@ sync_client::~sync_client() {
   fs_.unsubscribe(fs_subscription_);
   if (commit_event_ != 0) clock_.cancel(commit_event_);
   if (poll_event_ != 0) clock_.cancel(poll_event_);
+  if (wb_flush_event_ != 0) clock_.cancel(wb_flush_event_);
 }
 
 void sync_client::on_fs_event(const fs_event& ev) {
@@ -130,15 +136,26 @@ void sync_client::on_fs_event(const fs_event& ev) {
     refresh_entry_estimate(path, chg);
   };
 
+  bool intercepted = false;
   switch (ev.op) {
     case fs_event::kind::created:
     case fs_event::kind::modified:
-      queue_upsert(ev.path);
+      // Write-back cache tier: dirty the cached blocks and wait out the
+      // coalescing window instead of entering the dirty set now.
+      intercepted = write_back_intercept(ev);
+      if (!intercepted) queue_upsert(ev.path);
       break;
     case fs_event::kind::removed:
+      // A pending write-back for a deleted path is moot: its dirty blocks
+      // die with the file (the tombstone still syncs below).
+      wb_due_.erase(ev.path);
       queue_remove(ev.path);
       break;
     case fs_event::kind::renamed:
+      // Renames bypass the coalescing window: the remove half must sync,
+      // so the new path syncs with it rather than trailing a window behind.
+      wb_due_.erase(ev.old_path);
+      wb_due_.erase(ev.path);
       queue_remove(ev.old_path);
       queue_upsert(ev.path);
       break;
@@ -148,12 +165,67 @@ void sync_client::on_fs_event(const fs_event& ev) {
   const sim_time start = std::max(index_busy_until_, now);
   index_busy_until_ = start + opts_.hardware.index_time(ev.size_after);
 
-  if (dirty_.empty()) return;
+  if (dirty_.empty() && wb_due_.empty()) return;
   if (!has_earliest_dirty_) {
+    // Write-back paths arm the staleness anchor too: their wait includes
+    // the coalescing window.
     has_earliest_dirty_ = true;
     earliest_dirty_ = now;
   }
-  schedule_commit(defer_->next_fire(now, pending_update_estimate()));
+  if (!dirty_.empty()) {
+    schedule_commit(defer_->next_fire(now, pending_update_estimate()));
+  }
+}
+
+bool sync_client::write_back_intercept(const fs_event& ev) {
+  block_cache* bc = opts_.cache_tier;
+  if (bc == nullptr || bc->config().write_mode != cache_write_mode::write_back) {
+    return false;
+  }
+  bc->note_local_write(ev.path, fs_.read(ev.path));
+  // First unflushed write arms the deadline; later writes coalesce into it.
+  if (!wb_due_.contains(ev.path)) {
+    wb_due_[ev.path] = clock_.now() + bc->config().coalesce_window;
+    schedule_wb_flush();
+  }
+  return true;
+}
+
+void sync_client::schedule_wb_flush() {
+  if (wb_flush_event_ != 0) {
+    clock_.cancel(wb_flush_event_);
+    wb_flush_event_ = 0;
+  }
+  if (wb_due_.empty()) return;
+  sim_time first = wb_due_.begin()->second;
+  for (const auto& [path, due] : wb_due_) first = std::min(first, due);
+  wb_flush_event_ = clock_.schedule_at(first, [this] { flush_write_back(); });
+}
+
+void sync_client::flush_write_back() {
+  wb_flush_event_ = 0;
+  const sim_time now = clock_.now();
+  bool queued = false;
+  for (auto it = wb_due_.begin(); it != wb_due_.end();) {
+    if (it->second > now) {
+      ++it;
+      continue;
+    }
+    const std::string& path = it->first;
+    if (fs_.exists(path)) {
+      pending_change& chg = dirty_[path];
+      chg.remove = false;
+      const file_manifest* man = cloud_.manifest(user_, path);
+      chg.existed_in_cloud = man != nullptr && !man->deleted;
+      refresh_entry_estimate(path, chg);
+      queued = true;
+    }
+    it = wb_due_.erase(it);
+  }
+  schedule_wb_flush();
+  // The window already deferred these updates; commit as soon as the §6.2
+  // gates allow instead of stacking the service defer policy on top.
+  if (queued) schedule_commit(now);
 }
 
 void sync_client::refresh_entry_estimate(const std::string& path,
@@ -269,6 +341,7 @@ sim_time sync_client::commit_batch(
             cloud_.delete_file(user_, device_, path, t);
             shadow_.erase(path);
             base_version_.erase(path);
+            drop_cache_tier(path);
           } else {
             apply_upload(path, plan, t);
           }
@@ -358,6 +431,7 @@ sim_time sync_client::commit_batch(
                         cloud_.delete_file(user_, device_, path, at);
                         shadow_.erase(path);
                         base_version_.erase(path);
+                        drop_cache_tier(path);
                       },
                       0, &oc);
       if (oc != txn_outcome::ok) requeue(path, chg);
@@ -555,13 +629,26 @@ upload_plan sync_client::plan_upload(const std::string& path, sim_time at,
     }
   }
 
+  // Cache-aware planning: delta signatures are computed from cached blocks
+  // only. When any block of the old version has been evicted there is no
+  // local delta basis — drop the shadow and force a full-file upload.
+  bool shadow_evicted = false;
+  if (opts_.cache_tier != nullptr && shadow_it != shadow_.end()) {
+    if (!opts_.cache_tier->probe_resident(path)) {
+      shadow_evicted = true;
+      opts_.cache_tier->note_plan_fallback();
+    }
+  }
+
   const planning_env env = planning_environment();
   protocol_update up;
   up.path = &path;
   up.content = &content;
   up.in_cloud = in_cloud;
-  up.shadow = shadow_it != shadow_.end() ? &shadow_it->second : nullptr;
-  up.force_full = force_full;
+  up.shadow = shadow_it != shadow_.end() && !shadow_evicted
+                  ? &shadow_it->second
+                  : nullptr;
+  up.force_full = force_full || shadow_evicted;
 
   selector_pick pick;
   const sync_protocol& proto = selector_.choose(env, up, &pick);
@@ -590,6 +677,7 @@ void sync_client::apply_upload(const std::string& path,
   shadow_entry& sh = shadow_[path];
   sh.content = content.retain();
   sh.sig.reset();  // the memoized signature no longer matches
+  install_cache_tier(path, sh.content);
   // Calibration feedback: the plan's app bytes are exactly what the
   // surrounding exchange meters as payload + metadata on success. Gated so
   // non-adaptive runs skip the hash (and stay cycle-identical).
@@ -615,6 +703,7 @@ void sync_client::apply_upload_session(const std::string& path,
   shadow_entry& sh = shadow_[path];
   sh.content = content.retain();
   sh.sig.reset();
+  install_cache_tier(path, sh.content);
   if (opts_.protocol.mode == protocol_mode::adaptive) {
     selector_.observe(plan, content.hash64(),
                       plan.payload_up + plan.metadata_up);
@@ -809,6 +898,7 @@ sim_time sync_client::journaled_remove(const std::string& path,
                     cloud_.delete_file(user_, device_, path, at);
                     shadow_.erase(path);
                     base_version_.erase(path);
+                    drop_cache_tier(path);
                   },
                   0, &oc);
   if (oc != txn_outcome::ok) {
@@ -842,10 +932,10 @@ sim_time sync_client::do_exchange(sim_time at, std::uint64_t up_payload,
 sim_time sync_client::run_exchange(sim_time at, const exchange_spec& spec,
                                    txn_outcome* outcome) {
   const std::uint64_t up_app = spec.payload_up + spec.meta_up +
-                               spec.resume_up +
+                               spec.resume_up + spec.rehydrate_up +
                                opts_.http.request_header_bytes;
   const std::uint64_t down_app = spec.payload_down + spec.meta_down +
-                                 spec.resume_down +
+                                 spec.resume_down + spec.rehydrate_down +
                                  opts_.http.response_header_bytes;
   sim_time start = at;
   int apply_failures = 0;
@@ -866,6 +956,10 @@ sim_time sync_client::run_exchange(sim_time at, const exchange_spec& spec,
                     spec.meta_down);
       meter_.record(direction::down, traffic_category::resume,
                     spec.resume_down);
+      meter_.record(direction::up, traffic_category::rehydrate,
+                    spec.rehydrate_up);
+      meter_.record(direction::down, traffic_category::rehydrate,
+                    spec.rehydrate_down);
       meter_.record(direction::up, traffic_category::notification,
                     opts_.http.request_header_bytes);
       meter_.record(direction::down, traffic_category::notification,
@@ -903,6 +997,46 @@ sim_time sync_client::run_exchange(sim_time at, const exchange_spec& spec,
   }
 }
 
+void sync_client::install_cache_tier(const std::string& path,
+                                     const content_ref& content) {
+  if (opts_.cache_tier != nullptr) opts_.cache_tier->install(path, content);
+}
+
+void sync_client::drop_cache_tier(const std::string& path) {
+  if (opts_.cache_tier != nullptr) opts_.cache_tier->invalidate(path);
+}
+
+content_ref sync_client::read_file(const std::string& path) {
+  block_cache* bc = opts_.cache_tier;
+  // Unsynced local edits (pending commit or a write-back window) live on
+  // the local disk by definition — serve them locally.
+  if (bc == nullptr || !bc->tracks(path) || dirty_.contains(path) ||
+      wb_due_.contains(path)) {
+    return fs_.read(path);
+  }
+  const auto assembled = bc->read(
+      path, [&](std::uint32_t first, std::uint32_t count) -> content_ref {
+        // Backing fetch: a ranged GET against the cloud copy of the
+        // last-synced version, one exchange per contiguous absent run.
+        const auto remote = cloud_.file_content(user_, path);
+        if (!remote) {
+          throw std::logic_error("rehydration with no cloud copy");
+        }
+        const std::size_t bb = bc->config().block_bytes;
+        const std::uint64_t off = static_cast<std::uint64_t>(first) * bb;
+        const std::uint64_t len = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(count) * bb, remote->size() - off);
+        exchange_spec spec;
+        spec.rehydrate_up = kRehydrateRequestBytes;
+        spec.rehydrate_down = len;
+        const sim_time start = std::max(clock_.now(), network_busy_until_);
+        network_busy_until_ = run_exchange(start, spec);
+        return remote->substr(static_cast<std::size_t>(off),
+                              static_cast<std::size_t>(len));
+      });
+  return assembled ? *assembled : fs_.read(path);
+}
+
 void sync_client::download(const std::string& path) {
   const method_profile& mp = opts_.profile.method(opts_.method);
   // Rope plumbing: both storage substrates hand back a content_ref that
@@ -938,6 +1072,7 @@ void sync_client::download(const std::string& path) {
   shadow_entry& sh = shadow_[path];
   sh.content = content.retain();
   sh.sig.reset();
+  install_cache_tier(path, sh.content);
   applying_remote_ = true;
   if (fs_.exists(path)) {
     fs_.write(path, content.retain(), clock_.now());
@@ -980,6 +1115,7 @@ std::size_t sync_client::poll_remote_changes() {
       }
       shadow_.erase(note.path);
       base_version_.erase(note.path);
+      drop_cache_tier(note.path);
       ++applied;
       continue;
     }
@@ -1099,6 +1235,7 @@ sim_time sync_client::recover_in_flight(const journal_record& rec,
     shadow_entry& sh = shadow_[rec.path];
     sh.content = base_content->retain();
     sh.sig.reset();
+    install_cache_tier(rec.path, sh.content);
     base_version_[rec.path] = cur;
     plan = plan_upload(rec.path, t);
     if (plan.act != upload_action::delta) {
@@ -1164,6 +1301,7 @@ void sync_client::rescan_after_recovery() {
       shadow_entry& sh = shadow_[path];
       sh.content = local.retain();
       sh.sig.reset();
+      install_cache_tier(path, sh.content);
       base_version_[path] = man->version;
       continue;
     }

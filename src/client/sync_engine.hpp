@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "cache/block_cache.hpp"
 #include "chunking/rsync.hpp"
 #include "client/access_method.hpp"
 #include "client/defer_policy.hpp"
@@ -121,6 +122,18 @@ struct sync_options {
   /// (client/protocol_cost.hpp): the historical service-default branching,
   /// one forced protocol, or the adaptive cost-model selector.
   protocol_options protocol{};
+  /// Client block-cache tier (cache/block_cache.hpp) — the bounded local
+  /// replica of a limited-disk client. Non-owning; the experiment harness
+  /// owns it like the journal and memfs, so residency and dirty blocks
+  /// survive client crashes. When set, the engine installs every synced
+  /// version into it, serves read_file() from resident blocks (re-hydrating
+  /// evicted ones from the cloud under traffic_category::rehydrate), plans
+  /// deltas only when the old version is fully resident (full-file fallback
+  /// otherwise), and in write-back mode routes local writes through the
+  /// dirty-block tracker with a coalescing flush window. When nullptr (the
+  /// default), or uncapped in write-through mode, the client's wire traffic
+  /// is byte-identical to the cacheless engine.
+  block_cache* cache_tier = nullptr;
   /// Legacy planning mode: flatten file contents and materialize delta wire
   /// buffers instead of streaming rope windows through the incremental
   /// sig/delta jobs and the stream sizer. Exists solely so the identity leg
@@ -147,6 +160,14 @@ class sync_client {
 
   /// Client-initiated full-file download (Table 8 "DN" experiments).
   void download(const std::string& path);
+
+  /// Application read of `path`. Without a cache tier (or for a path the
+  /// tier does not track) this is a plain local read — no traffic. With
+  /// one, resident blocks are served locally and absent blocks are fetched
+  /// from the cloud copy of the last-synced version, one ranged exchange
+  /// per contiguous absent run, metered as traffic_category::rehydrate.
+  /// Paths with unsynced local edits are always served from the local fs.
+  content_ref read_file(const std::string& path);
 
   /// Fetch pending change notifications from the cloud and download every
   /// remotely changed file (the receive side of a multi-device setup).
@@ -200,7 +221,10 @@ class sync_client {
   /// T_max rationale: "a too large T_i will harm user experience").
   const running_stats& staleness_sec() const { return staleness_sec_; }
   std::uint64_t handshake_count() const { return conn_.handshakes(); }
-  bool has_pending() const { return !dirty_.empty(); }
+  bool has_pending() const { return !dirty_.empty() || !wb_due_.empty(); }
+  /// Paths with dirty cached blocks waiting out their write-back coalescing
+  /// window (always 0 without a write-back cache tier).
+  std::size_t write_back_pending() const { return wb_due_.size(); }
   /// Conflicted copies created while applying remote changes.
   std::uint64_t conflict_count() const { return conflicts_; }
   device_id device() const { return device_; }
@@ -319,6 +343,8 @@ class sync_client {
     std::uint64_t payload_down = 0;
     std::uint64_t meta_down = 0;
     std::uint64_t resume_down = 0;
+    std::uint64_t rehydrate_up = 0;    ///< cache-tier ranged-fetch request
+    std::uint64_t rehydrate_down = 0;  ///< re-fetched block bytes
     std::function<void()> apply;
     int apply_fail_limit = 0;
     bool never_give_up = false;
@@ -374,6 +400,22 @@ class sync_client {
   /// adopt in-sync paths as shadows, queue divergent ones as dirty.
   void rescan_after_recovery();
 
+  /// Cache-tier hooks (no-ops without opts_.cache_tier): every place the
+  /// shadow is adopted installs the synced version; every place it is
+  /// dropped invalidates.
+  void install_cache_tier(const std::string& path, const content_ref& content);
+  void drop_cache_tier(const std::string& path);
+
+  /// Write-back interception for one upsert fs event: dirty the cached
+  /// blocks and arm (or join) the path's coalescing window instead of
+  /// queueing it into the dirty set. Returns false when the event must
+  /// follow the normal write-through path.
+  bool write_back_intercept(const fs_event& ev);
+  /// (Re)schedule the single flush event at the earliest pending deadline.
+  void schedule_wb_flush();
+  /// Move every due write-back path into the dirty set and commit.
+  void flush_write_back();
+
   sim_clock& clock_;
   memfs& fs_;
   cloud& cloud_;
@@ -402,6 +444,12 @@ class sync_client {
   running_stats staleness_sec_;
   sim_time network_busy_until_{};
   sim_time index_busy_until_{};
+  /// Write-back bookkeeping: path -> flush deadline (first unflushed write
+  /// + coalescing window; later writes join without re-arming). In-memory
+  /// client state — a crash loses the schedule but not the dirty blocks,
+  /// which the recovery rescan re-queues from the durable fs/cache.
+  std::map<std::string, sim_time> wb_due_;
+  event_id wb_flush_event_ = 0;
   event_id commit_event_ = 0;
   event_id poll_event_ = 0;       ///< pending periodic-poll tick
   std::size_t fs_subscription_ = 0;  ///< memfs observer token

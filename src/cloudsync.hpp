@@ -11,6 +11,8 @@
 //   double efficiency = cloudsync::tue(traffic, 1 * cloudsync::MiB);
 #pragma once
 
+#include "cache/block_cache.hpp"
+#include "cache/eviction_policy.hpp"
 #include "chunking/cdc.hpp"
 #include "chunking/fixed_chunker.hpp"
 #include "chunking/rsync.hpp"

@@ -77,6 +77,13 @@ void experiment_env::build_client(station& st) {
     opts.journal = &st.journal;
     opts.recovery = cfg_.recovery;
   }
+  if (cfg_.cache_tier) {
+    // Station-durable like the journal: built once, survives incarnations.
+    if (st.cache == nullptr) {
+      st.cache = std::make_unique<block_cache>(cfg_.cache);
+    }
+    opts.cache_tier = st.cache.get();
+  }
   opts.reuse_device = st.device;  // 0 on first build = register fresh
   st.client = std::make_unique<sync_client>(clock_, st.fs, cloud_, st.user,
                                             std::move(opts));
@@ -529,6 +536,129 @@ protocol_run_result run_protocol_experiment(const experiment_config& cfg,
   res.tue = tue(res.total_traffic, res.data_update_bytes);
   res.commits = st.client->commit_count();
   res.selector = st.client->protocol_stats();
+  return res;
+}
+
+const char* to_string(cache_workload wl) {
+  switch (wl) {
+    case cache_workload::looping_scan: return "looping_scan";
+    case cache_workload::frequent_mods: return "frequent_mods";
+    case cache_workload::cold_start: return "cold_start";
+  }
+  return "workload?";
+}
+
+cache_run_result run_cache_experiment(const experiment_config& cfg,
+                                      cache_workload wl, std::size_t files,
+                                      std::uint64_t file_bytes,
+                                      std::size_t pin_first) {
+  experiment_env env(cfg);
+  station& st = env.primary();
+
+  const auto path_of = [](std::size_t i) {
+    return "cache/f" + std::to_string(i);
+  };
+
+  // Serialized step, as in run_protocol_experiment: each action fires once
+  // the client is idle and settles before the next, so runs are identical
+  // at any grid thread count (the env itself is single-threaded).
+  const auto step = [&](std::function<void(sim_time)> action) {
+    const sim_time at = std::max(env.clock().now(), st.client->busy_until()) +
+                        sim_time::from_sec(5);
+    env.clock().schedule_at(at,
+                            [action = std::move(action), at] { action(at); });
+    env.settle();
+  };
+  const auto read_step = [&](std::size_t i) {
+    step([&st, p = path_of(i)](sim_time) { (void)st.client->read_file(p); });
+  };
+
+  // Creation phase, common to all workloads.
+  std::uint64_t data_update = 0;
+  for (std::size_t i = 0; i < files; ++i) {
+    byte_buffer content =
+        wl == cache_workload::frequent_mods
+            ? env.gen_text(static_cast<std::size_t>(file_bytes))
+            : env.gen_compressed(static_cast<std::size_t>(file_bytes));
+    step([&st, p = path_of(i), content = std::move(content)](sim_time at) {
+      st.fs.create(p, byte_buffer(content), at);
+    });
+  }
+  data_update += files * file_bytes;
+  for (std::size_t i = 0; i < pin_first && i < files; ++i) {
+    if (st.cache != nullptr) st.cache->pin(path_of(i));
+  }
+
+  switch (wl) {
+    case cache_workload::looping_scan: {
+      // Rounds of a re-referenced hot set interleaved with a full scan:
+      // the scan floods recency; only a frequency-aware policy keeps the
+      // hot set resident across rounds.
+      constexpr int kRounds = 3;
+      constexpr int kHotRepeats = 3;
+      const std::size_t hot = std::max<std::size_t>(1, files / 4);
+      for (int r = 0; r < kRounds; ++r) {
+        for (int k = 0; k < kHotRepeats; ++k) {
+          for (std::size_t i = 0; i < hot; ++i) read_step(i);
+        }
+        for (std::size_t i = 0; i < files; ++i) read_step(i);
+      }
+      break;
+    }
+    case cache_workload::frequent_mods: {
+      // Bursts of small in-place edits, scheduled at absolute times up
+      // front (one settle at the end): the write modes must see the exact
+      // same event sequence for their TUE to be comparable, and per-step
+      // settling would drain every write-back window before the next edit.
+      constexpr int kRounds = 3;
+      constexpr int kEditsPerBurst = 3;
+      const double round_gap = 60.0, edit_gap = 2.0, file_gap = 0.1;
+      const sim_time t0 = std::max(env.clock().now(),
+                                   st.client->busy_until()) +
+                          sim_time::from_sec(5);
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::size_t i = 0; i < files; ++i) {
+          for (int k = 0; k < kEditsPerBurst; ++k) {
+            const sim_time at =
+                t0 + sim_time::from_sec(r * round_gap +
+                                        static_cast<double>(i) * file_gap +
+                                        k * edit_gap);
+            env.clock().schedule_at(at, [&env, &st, p = path_of(i), at] {
+              modify_random_byte(st.fs, p, env.random(), at);
+            });
+          }
+        }
+      }
+      env.settle();
+      data_update +=
+          static_cast<std::uint64_t>(kRounds) * kEditsPerBurst * files;
+      break;
+    }
+    case cache_workload::cold_start: {
+      // A purged device cache: every clean block dropped, then everything
+      // read back — pure miss-driven re-hydration.
+      if (st.cache != nullptr) st.cache->drop_clean_blocks();
+      for (std::size_t i = 0; i < files; ++i) read_step(i);
+      break;
+    }
+  }
+  env.settle();
+
+  cache_run_result res;
+  res.meter = st.aggregate_meter();
+  res.total_traffic = res.meter.total();
+  res.rehydrate_traffic = res.meter.by_category(traffic_category::rehydrate);
+  res.data_update_bytes = data_update;
+  res.tue = tue(res.total_traffic, res.data_update_bytes);
+  res.commits = st.client->commit_count();
+  if (st.cache != nullptr) {
+    res.cache = st.cache->stats();
+    res.hit_ratio = res.cache.hit_ratio();
+    res.resident_blocks = st.cache->resident_blocks();
+    res.resident_bytes = st.cache->resident_bytes();
+    res.pinned_paths = st.cache->pinned_paths();
+    res.tracked_paths = st.cache->tracked_paths();
+  }
   return res;
 }
 

@@ -55,6 +55,14 @@ struct experiment_config {
   /// client/protocol_cost.hpp). Default service_default mode is the
   /// historical branching — byte-identical to the pre-registry engine.
   protocol_options protocol{};
+  /// Give every station a client block-cache tier (cache/block_cache.hpp):
+  /// the bounded local replica of a limited-disk client, with eviction,
+  /// pinning, miss-driven re-hydration, and write-through/write-back dirty
+  /// flushing. Station-durable like the journal — residency and dirty
+  /// blocks survive client crashes. Off by default; uncapped write-through
+  /// is byte-identical to the cacheless engine.
+  bool cache_tier = false;
+  cache_config cache{};
 };
 
 /// One client machine attached to the environment: its own sync folder and
@@ -66,6 +74,7 @@ struct station {
   user_id user;
   memfs fs;
   sync_journal journal;              ///< used when config.journal is set
+  std::unique_ptr<block_cache> cache;  ///< used when config.cache_tier is set
   std::unique_ptr<sync_client> client;
   device_id device = 0;              ///< stable across incarnations
   std::vector<traffic_meter> retired_meters;  ///< one per dead incarnation
@@ -309,5 +318,50 @@ protocol_run_result run_protocol_experiment(const experiment_config& cfg,
                                             protocol_workload wl,
                                             std::size_t files,
                                             std::uint64_t file_bytes);
+
+/// Limited-disk cache-tier experiment (bench/cache_tier_report): one
+/// deterministic workload driven through a station whose client has a
+/// block cache (cfg.cache_tier/cfg.cache — or none, for the cacheless
+/// identity baseline). The three workloads span the cache's regimes:
+///   looping_scan  — distinct files synced once, then rounds of repeated
+///                   hot-set reads interleaved with full scans through
+///                   read_file(): the classic access pattern where ARC's
+///                   frequency list protects the hot set from scan churn;
+///   frequent_mods — text files, then bursts of small in-place edits per
+///                   file (paper §frequent mods): the workload where
+///                   write-back coalescing beats write-through TUE;
+///   cold_start    — files synced, every clean block dropped (a purged
+///                   device cache), then everything read back: all misses,
+///                   pure re-hydration traffic.
+enum class cache_workload : std::uint8_t {
+  looping_scan,
+  frequent_mods,
+  cold_start,
+};
+const char* to_string(cache_workload wl);
+
+struct cache_run_result {
+  /// Aggregate meter — the per-(direction, category) identity object the
+  /// bench's uncapped-vs-cacheless and thread-determinism legs compare.
+  traffic_meter meter;
+  std::uint64_t total_traffic = 0;
+  std::uint64_t rehydrate_traffic = 0;  ///< traffic_category::rehydrate share
+  std::uint64_t data_update_bytes = 0;
+  double tue = 0;
+  double hit_ratio = 0;  ///< block reads served from residency
+  std::uint64_t commits = 0;
+  /// Cache observability (all zeros for the cacheless baseline).
+  block_cache_stats cache;
+  std::uint64_t resident_blocks = 0;  ///< end-of-run gauges
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t pinned_paths = 0;
+  std::uint64_t tracked_paths = 0;
+};
+/// `pin_first` pins the first N file paths after the creation phase —
+/// eviction must route around them (tools/cache_stats --pin).
+cache_run_result run_cache_experiment(const experiment_config& cfg,
+                                      cache_workload wl, std::size_t files,
+                                      std::uint64_t file_bytes,
+                                      std::size_t pin_first = 0);
 
 }  // namespace cloudsync

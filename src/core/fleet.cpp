@@ -92,6 +92,8 @@ fleet_service_report replay_service(const service_profile& profile,
   ecfg.method = cfg.method;
   ecfg.link = cfg.link;
   ecfg.hardware = cfg.hardware;
+  ecfg.cache_tier = cfg.cache_tier;
+  ecfg.cache = cfg.cache;
   experiment_env env(ecfg);
 
   // One station per distinct trace user (cross-user dedup needs real

@@ -51,6 +51,12 @@ struct fleet_config {
   /// simulation world, so they run in parallel). 0 = auto-detect; 1 = serial.
   /// Reports are index-ordered, so results are identical at any setting.
   unsigned replay_threads = 0;
+
+  /// Give every replayed station a client block-cache tier (see
+  /// experiment_config::cache_tier) — limited-disk fleet replays. Off by
+  /// default; each station owns its cache, so thread-count identity holds.
+  bool cache_tier = false;
+  cache_config cache{};
 };
 
 struct fleet_service_report {

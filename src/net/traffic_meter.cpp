@@ -14,6 +14,7 @@ const char* to_string(traffic_category c) {
     case traffic_category::retry: return "retry";
     case traffic_category::resume: return "resume";
     case traffic_category::redundancy: return "redundancy";
+    case traffic_category::rehydrate: return "rehydrate";
     case traffic_category::kCount: break;
   }
   return "?";

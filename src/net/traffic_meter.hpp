@@ -25,6 +25,10 @@ enum class traffic_category : std::uint8_t {
                  ///< FEC parity shards and hedged duplicate dispatches (see
                  ///< net/transfer_scheduler.hpp) — bytes spent to cut tail
                  ///< delay rather than recover from a fault already seen
+  rehydrate,     ///< miss-driven block re-hydration of the client cache tier
+                 ///< (see cache/block_cache.hpp): ranged fetches of evicted
+                 ///< blocks from the cloud copy of the last-synced version —
+                 ///< bytes a full-replica client would never transfer
   kCount
 };
 

@@ -117,5 +117,32 @@ TEST(TrafficMeter, RedundancySurvivesResetAndSnapshotClamp) {
   EXPECT_EQ(m.total_since(snap), 250u);
 }
 
+TEST(TrafficMeter, RehydrateCategoryIsTracked) {
+  // Miss-driven re-hydration of the client cache tier (ranged fetches of
+  // evicted blocks) is traffic a full-replica client never pays — metered
+  // apart from `payload` so the cache bench can price residency misses and
+  // the uncapped-identity leg can assert it reads exactly zero.
+  traffic_meter m;
+  m.record(direction::down, traffic_category::rehydrate, 8192);
+  m.record(direction::up, traffic_category::rehydrate, 96);
+  EXPECT_EQ(m.by_category(traffic_category::rehydrate), 8288u);
+  EXPECT_EQ(m.overhead(), 8288u);
+  EXPECT_STREQ(to_string(traffic_category::rehydrate), "rehydrate");
+  EXPECT_NE(m.summary().find("rehydrate"), std::string::npos);
+}
+
+TEST(TrafficMeter, RehydrateSurvivesResetAndSnapshotClamp) {
+  // A meter reset mid-rehydration (crash retirement, window rollover) must
+  // clamp against the pre-reset snapshot, never underflow.
+  traffic_meter m;
+  m.record(direction::down, traffic_category::rehydrate, 1000);
+  const auto snap = m.snap();
+  m.reset();
+  EXPECT_EQ(m.by_category(traffic_category::rehydrate), 0u);
+  EXPECT_EQ(m.total_since(snap), 0u);
+  m.record(direction::down, traffic_category::rehydrate, 1250);
+  EXPECT_EQ(m.total_since(snap), 250u);
+}
+
 }  // namespace
 }  // namespace cloudsync

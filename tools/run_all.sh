@@ -50,4 +50,15 @@ for args in "--workload small_edits --mode adaptive" \
     | tee -a "$repo_root/bench_output.txt"
 done
 
+# Cache-tier observability: one capacity-pressured scan and one write-back
+# replay through tools/cache_stats, appended to the bench log.
+# (cache_tier_report already ran above and wrote BENCH_cache.json.)
+for args in "--workload scan --capacity 262144 --policy arc --files 8" \
+            "--workload mods --mode wb --window 5 --files 4"; do
+  echo "### cache_stats $args" | tee -a "$repo_root/bench_output.txt"
+  # shellcheck disable=SC2086
+  "$build_dir/tools/cache_stats" $args 2>&1 \
+    | tee -a "$repo_root/bench_output.txt"
+done
+
 echo "done: test_output.txt and bench_output.txt written."
